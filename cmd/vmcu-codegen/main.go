@@ -1,0 +1,62 @@
+// Command vmcu-codegen lowers a fully connected kernel built through the
+// vMCU IR to ARM-intrinsic C (the paper's §6 pipeline) and writes it to
+// stdout or a file.
+//
+// Usage:
+//
+//	vmcu-codegen -m 64 -k 128 -n 64 -scale 0.02 -pool 65536 [-o fc.c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vmcu-project/vmcu/internal/codegen"
+	"github.com/vmcu-project/vmcu/internal/ir"
+	"github.com/vmcu-project/vmcu/internal/plan"
+	"github.com/vmcu-project/vmcu/internal/tensor"
+)
+
+func main() {
+	m := flag.Int("m", 64, "rows M")
+	k := flag.Int("k", 128, "reduction dim K")
+	n := flag.Int("n", 64, "output dim N")
+	scale := flag.Float64("scale", 0.02, "combined requantization scale")
+	pool := flag.Int("pool", 1<<16, "circular pool capacity in bytes")
+	lib := flag.Bool("lib", false, "emit a multi-kernel library (adds a second head-sized FC)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	p := plan.FC(*m, *k, *n)
+	prog := ir.BuildFC(*m, *k, *n, p.SegBytes, tensor.NewRequant(*scale, 0))
+	var src string
+	if *lib {
+		// The paper's §6.2 "light library": several kernels sharing one
+		// runtime prelude. The second entry is a classifier-head-sized FC.
+		head := ir.BuildFC(1, *n, *n, plan.FC(1, *n, *n).SegBytes, tensor.NewRequant(*scale, 0))
+		head.Name = "fc_head"
+		var err error
+		src, err = codegen.EmitLibrary([]*ir.Program{prog, head}, codegen.Options{PoolCapBytes: *pool})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmcu-codegen:", err)
+			os.Exit(1)
+		}
+	} else {
+		src = codegen.EmitC(prog, codegen.Options{PoolCapBytes: *pool})
+	}
+
+	header := fmt.Sprintf("/* plan: seg=%dB gap=%d segs footprint=%dB (in %dB + out %dB) */\n",
+		p.SegBytes, p.GapSegs, p.FootprintBytes, p.InBytes, p.OutBytes)
+	src = header + src
+
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vmcu-codegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(src))
+}

@@ -1,0 +1,96 @@
+// Command vmcu-eval regenerates the paper's evaluation tables and figures
+// on the simulated substrate.
+//
+// Usage:
+//
+//	vmcu-eval                      # run everything
+//	vmcu-eval -experiment fig7     # one experiment
+//	vmcu-eval -experiment fig9,fig10,table3
+//
+// Experiments: table1, table2, fig7, fig8, fig9, fig10, table3, fig11,
+// fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/vmcu-project/vmcu/internal/eval"
+	"github.com/vmcu-project/vmcu/internal/graph"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "comma-separated experiments to run (all, table1, table2, fig7, fig8, fig9, fig10, table3, fig11, fig12, ablations)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(strings.ToLower(w))] = true
+	}
+	all := want["all"]
+	ran := 0
+	sel := func(name string) bool {
+		if all || want[name] {
+			ran++
+			return true
+		}
+		return false
+	}
+
+	if sel("table1") {
+		fmt.Println(eval.RenderTable1())
+	}
+	if sel("table2") {
+		fmt.Println(eval.RenderTable2())
+	}
+	if sel("fig7") {
+		fmt.Println(eval.RenderFigure7(eval.Figure7()))
+	}
+	if sel("fig8") {
+		rows, err := eval.Figure8()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.RenderFigure8(rows))
+	}
+	if sel("fig9") {
+		rows, s := eval.Figure9()
+		fmt.Println(eval.RenderModules("Figure 9: inverted-bottleneck RAM, MCUNet-5fps-VWW on STM32-F411RE", rows, s))
+	}
+	if sel("fig10") {
+		rows, s := eval.Figure10()
+		fmt.Println(eval.RenderModules("Figure 10: inverted-bottleneck RAM, MCUNet-320KB-ImageNet on STM32-F767ZI", rows, s))
+	}
+	if sel("table3") {
+		rows, err := eval.Table3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.RenderTable3(rows))
+	}
+	if sel("fig11") {
+		fmt.Println(eval.RenderScaling("Figure 11: iso-memory image-size increase vs TinyEngine budget", eval.Figure11()))
+	}
+	if sel("fig12") {
+		fmt.Println(eval.RenderScaling("Figure 12: iso-memory channel increase vs TinyEngine budget", eval.Figure12()))
+	}
+	if sel("ablations") {
+		fmt.Println(eval.RenderSegmentSweep(20, 20, 48, 24,
+			eval.SegmentSizeSweep(20, 20, 48, 24, []int{1, 3, 6, 12, 24, 96})))
+		row, err := eval.FusionAblation(graph.VWW().Modules[2], 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.RenderFusionAblation([]eval.FusionRow{row}))
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment selection %q", *which))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmcu-eval:", err)
+	os.Exit(1)
+}

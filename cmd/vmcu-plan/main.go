@@ -1,0 +1,84 @@
+// Command vmcu-plan solves the segment-level memory plan for a layer or
+// an inverted-bottleneck module and compares it with TinyEngine's
+// tensor-level footprint.
+//
+// Usage:
+//
+//	vmcu-plan -layer pointwise -hw 80 -c 16 -k 16
+//	vmcu-plan -layer fc -m 64 -c 128 -k 64
+//	vmcu-plan -layer conv -hw 28 -c 16 -k 32 -r 3 -stride 2 -pad 1
+//	vmcu-plan -layer dw -hw 20 -c 48 -r 3 -stride 1 -pad 1
+//	vmcu-plan -layer module -hw 20 -c 16 -cmid 48 -k 16 -r 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vmcu-project/vmcu/internal/baseline"
+	"github.com/vmcu-project/vmcu/internal/eval"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+func main() {
+	layer := flag.String("layer", "pointwise", "layer kind: pointwise, fc, conv, dw, module")
+	hw := flag.Int("hw", 80, "image height/width (pointwise, conv, dw, module)")
+	m := flag.Int("m", 1, "rows (fc)")
+	c := flag.Int("c", 16, "input channels / fc reduction dim")
+	cmid := flag.Int("cmid", 48, "expanded channels (module)")
+	k := flag.Int("k", 16, "output channels / fc output dim")
+	r := flag.Int("r", 3, "kernel window (conv, dw, module)")
+	stride := flag.Int("stride", 1, "stride (conv, dw)")
+	pad := flag.Int("pad", 0, "padding (conv, dw)")
+	s1 := flag.Int("s1", 1, "module stride of conv1")
+	s2 := flag.Int("s2", 1, "module stride of the depthwise")
+	s3 := flag.Int("s3", 1, "module stride of conv2")
+	flag.Parse()
+
+	var p plan.Plan
+	var tiny int
+	switch *layer {
+	case "pointwise":
+		p = plan.Pointwise(*hw, *hw, *c, *k)
+		tiny = baseline.TinyEnginePointwiseRAM(*hw, *hw, *c, *k)
+	case "fc":
+		p = plan.FC(*m, *c, *k)
+		tiny = *m**c + *m**k
+	case "conv":
+		spec := plan.Conv2DSpec{H: *hw, W: *hw, C: *c, K: *k, R: *r, S: *r, Stride: *stride, Pad: *pad}
+		p = plan.Conv2D(spec)
+		tiny = baseline.TinyEngineConv2DRAM(spec)
+	case "dw":
+		p = plan.Depthwise(*hw, *hw, *c, *r, *r, *stride, *pad)
+		tiny = baseline.TinyEngineDepthwiseRAM(*hw, *hw, *c, *r, *r, *stride, *pad)
+	case "module":
+		cfg := plan.Bottleneck{Name: "cli", H: *hw, W: *hw, Cin: *c, Cmid: *cmid, Cout: *k,
+			R: *r, S: *r, S1: *s1, S2: *s2, S3: *s3}
+		p = plan.PlanBottleneckModule(cfg)
+		tiny = baseline.TinyEngineBottleneckRAM(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "vmcu-plan: unknown layer %q\n", *layer)
+		os.Exit(1)
+	}
+
+	fmt.Printf("plan: %s\n", p.Note)
+	fmt.Printf("  segment size       : %d bytes\n", p.SegBytes)
+	fmt.Printf("  input / output     : %.1f / %.1f KB\n", eval.KB(p.InBytes), eval.KB(p.OutBytes))
+	fmt.Printf("  pointer gap        : %d segments (%d bytes)\n", p.GapSegs, p.GapBytes())
+	if p.WorkspaceBytes > 0 {
+		fmt.Printf("  fused workspace    : %d bytes\n", p.WorkspaceBytes)
+	}
+	fmt.Printf("  vMCU footprint     : %.1f KB\n", eval.KB(p.FootprintBytes))
+	fmt.Printf("  TinyEngine         : %.1f KB\n", eval.KB(tiny))
+	fmt.Printf("  reduction          : %.1f%%\n", 100*(1-float64(p.FootprintBytes)/float64(tiny)))
+	limit := 128 * 1000
+	verdict := func(b int) string {
+		if b <= limit {
+			return "fits"
+		}
+		return "OUT OF MEMORY"
+	}
+	fmt.Printf("  on STM32-F411RE    : vMCU %s, TinyEngine %s\n",
+		verdict(p.FootprintBytes), verdict(tiny))
+}

@@ -1,0 +1,53 @@
+package vmcu_test
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu"
+)
+
+// Planning a layer answers the paper's core question: how much RAM does
+// this layer need when the output streams into freed input segments?
+func ExamplePlanPointwise() {
+	p := vmcu.PlanPointwise(80, 80, 16, 16)
+	fmt.Printf("vMCU: %.1f KB, tensor-level: %.1f KB\n",
+		vmcu.KB(p.FootprintBytes), vmcu.KB(p.InBytes+p.OutBytes))
+	// Output:
+	// vMCU: 102.4 KB, tensor-level: 204.8 KB
+}
+
+// The GEMM closed form of §4: max(MN, MK) + min(N, K) − 1 segments.
+// An expanding layer (N > K) needs empty segments ahead of the input so
+// the faster-growing output never catches up with unread input.
+func ExamplePlanFC() {
+	p := vmcu.PlanFC(4, 8, 16)
+	fmt.Printf("segments: %d (in %d + gap %d), %d bytes each\n",
+		p.FootprintBytes/p.SegBytes, p.InBytes/p.SegBytes, p.GapSegs, p.SegBytes)
+	// Output:
+	// segments: 8 (in 4 + gap 4), 8 bytes each
+}
+
+// Module plans identify a network's deployment bottleneck.
+func ExamplePlanModule() {
+	s1 := vmcu.VWW().Modules[0]
+	p := vmcu.PlanModule(s1)
+	fmt.Printf("S1 fused footprint: %.1f KB\n", vmcu.KB(p.FootprintBytes))
+	// Output:
+	// S1 fused footprint: 13.3 KB
+}
+
+// Chains place a whole sequence of layers in one circular pool: each
+// output becomes the next input with no copies.
+func ExamplePlanChain() {
+	chain, err := vmcu.PlanChain([]vmcu.Plan{
+		vmcu.PlanPointwise(10, 10, 16, 16),
+		vmcu.PlanPointwise(10, 10, 16, 16),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("two layers in %.1f KB (tensors alone: %.1f KB)\n",
+		vmcu.KB(chain.FootprintBytes), vmcu.KB(3*10*10*16))
+	// Output:
+	// two layers in 1.6 KB (tensors alone: 4.8 KB)
+}

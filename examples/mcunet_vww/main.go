@@ -1,0 +1,49 @@
+// Whole-backbone run: execute all eight inverted-bottleneck modules of
+// MCUNet-5fps-VWW (paper Table 2) with the fused §5.2 kernel on a
+// simulated STM32-F411RE, verifying every module bit-exactly and
+// reporting the per-module RAM and latency that Figures 9 and Table 3
+// are built from.
+//
+//	go run ./examples/mcunet_vww
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vmcu-project/vmcu"
+)
+
+func main() {
+	net := vmcu.VWW()
+	m4 := vmcu.CortexM4()
+	fmt.Printf("%s on %s\n\n", net.Name, m4.Name)
+	fmt.Printf("%-6s %10s %10s %10s %9s %9s %s\n",
+		"module", "plan KB", "peak KB", "MACs", "ms", "img/s", "verified")
+
+	var totalMS float64
+	bottleneck := 0
+	bottleneckName := ""
+	for i, cfg := range net.Modules {
+		res, err := vmcu.RunModule(m4, cfg, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.OutputOK || res.Violations != 0 {
+			log.Fatalf("%s: verification failed (ok=%v violations=%d)",
+				cfg.Name, res.OutputOK, res.Violations)
+		}
+		ms := res.Stats.LatencySeconds(m4) * 1e3
+		totalMS += ms
+		if res.Plan.FootprintBytes > bottleneck {
+			bottleneck = res.Plan.FootprintBytes
+			bottleneckName = cfg.Name
+		}
+		fmt.Printf("%-6s %10.1f %10.1f %10d %9.1f %9.1f %v\n",
+			cfg.Name, vmcu.KB(res.Plan.FootprintBytes), vmcu.KB(res.PeakBytes),
+			res.Stats.MACs, ms, 1000/ms, res.OutputOK)
+	}
+	fmt.Printf("\nnetwork memory bottleneck: %.1f KB (%s) — fits the 128 KB F411RE\n",
+		vmcu.KB(bottleneck), bottleneckName)
+	fmt.Printf("backbone latency (sum of modules): %.0f ms\n", totalMS)
+}

@@ -1,0 +1,61 @@
+// Single-layer deployment study (the paper's Figure 7 headline case):
+// a 80x80x16 -> 80x80x16 pointwise convolution needs 204.8 KB under
+// tensor-level management — it cannot be deployed on a 128 KB
+// STM32-F411RE. vMCU's segment overlap fits it in 102.4 KB and this
+// example actually runs it on the simulated board.
+//
+//	go run ./examples/single_layer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vmcu-project/vmcu"
+)
+
+func main() {
+	const h, c, k = 80, 16, 16
+	const limitKB = 128.0
+
+	p := vmcu.PlanPointwise(h, h, c, k)
+	tiny := p.InBytes + p.OutBytes
+
+	fmt.Printf("layer: pointwise conv %dx%d, C=%d -> K=%d (int8)\n\n", h, h, c, k)
+	fmt.Printf("TinyEngine (tensor-level): %6.1f KB  -> ", vmcu.KB(tiny))
+	if vmcu.KB(tiny) > limitKB {
+		fmt.Println("OUT OF MEMORY on the 128 KB F411RE")
+	} else {
+		fmt.Println("fits")
+	}
+	fmt.Printf("vMCU (segment-level)     : %6.1f KB  -> ", vmcu.KB(p.FootprintBytes))
+	if vmcu.KB(p.FootprintBytes) > limitKB {
+		fmt.Println("OUT OF MEMORY")
+	} else {
+		fmt.Println("fits the 128 KB F411RE")
+	}
+
+	fmt.Println("\nrunning the full layer on the simulated 128 KB device...")
+	res, err := vmcu.RunPointwise(vmcu.CortexM4(), h, c, k, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Verified || res.Violations != 0 {
+		log.Fatalf("verification failed: verified=%v violations=%d", res.Verified, res.Violations)
+	}
+	m4 := vmcu.CortexM4()
+	fmt.Printf("done: %d MACs, %.1f ms, %.2f mJ — output bit-exact, zero memory violations\n",
+		res.Stats.MACs, res.Stats.LatencySeconds(m4)*1e3, res.Stats.EnergyJoules(m4)*1e3)
+	fmt.Println("\nthe same layer with one fewer empty segment would silently corrupt")
+	fmt.Println("its own input; the simulator's shadow memory proves this plan is tight.")
+
+	// Occupancy timeline (downscaled 16x16 variant for a quick trace):
+	// the input drains while the output refills the freed segments, so
+	// live bytes stay pinned near the single-tensor plateau throughout.
+	trace, err := vmcu.MemoryProfile(vmcu.CortexM4(), 16, 16, 16, 7, 60, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlive pool bytes over kernel progress (16x16 variant):")
+	fmt.Print(trace)
+}

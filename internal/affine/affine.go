@@ -1,0 +1,289 @@
+// Package affine implements the polyhedral machinery of the paper's §4:
+// iteration domains as integer boxes, access functions u = A·i + V (the
+// "access matrices"), row-major mapping vectors L, and the composition
+// addr(i) = L·(A·i + V) + b used to reason about segment addresses. It
+// provides exact maximization of linear forms over boxes (vertex
+// evaluation), lexicographic enumeration, and the lexicographic
+// monotonicity test that justifies reducing the paper's
+// "∀ j ≤ i" constraint to a per-iteration constraint.
+package affine
+
+import "fmt"
+
+// Vec is an integer vector.
+type Vec []int64
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vec) int64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("affine: dot of mismatched lengths %d, %d", len(a), len(b)))
+	}
+	var s int64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Mat is a dense integer matrix (rows × cols).
+type Mat [][]int64
+
+// NewMat builds a rows×cols zero matrix.
+func NewMat(rows, cols int) Mat {
+	m := make(Mat, rows)
+	for i := range m {
+		m[i] = make([]int64, cols)
+	}
+	return m
+}
+
+// Apply computes m·v.
+func (m Mat) Apply(v Vec) Vec {
+	out := make(Vec, len(m))
+	for i, row := range m {
+		out[i] = Dot(Vec(row), v)
+	}
+	return out
+}
+
+// Box is the iteration domain {i : 0 ≤ i[l] < Ub[l]}. This is the concrete
+// instance of the paper's {S[i] : H·i + B < 0} for the rectangular loop
+// nests of DNN kernels.
+type Box struct {
+	Ub Vec
+}
+
+// NewBox builds a box domain from upper bounds.
+func NewBox(ub ...int64) Box { return Box{Ub: append(Vec(nil), ub...)} }
+
+// Rank returns the number of iteration variables.
+func (b Box) Rank() int { return len(b.Ub) }
+
+// Size returns the number of iteration instances.
+func (b Box) Size() int64 {
+	n := int64(1)
+	for _, u := range b.Ub {
+		if u <= 0 {
+			return 0
+		}
+		n *= u
+	}
+	return n
+}
+
+// Contains reports whether i lies inside the box.
+func (b Box) Contains(i Vec) bool {
+	if len(i) != len(b.Ub) {
+		return false
+	}
+	for l := range i {
+		if i[l] < 0 || i[l] >= b.Ub[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate visits every iteration instance in lexicographic order,
+// stopping early if fn returns false. The visited vector is reused;
+// callers must copy it if they retain it.
+func (b Box) Enumerate(fn func(i Vec) bool) {
+	if b.Size() == 0 {
+		return
+	}
+	i := make(Vec, b.Rank())
+	for {
+		if !fn(i) {
+			return
+		}
+		l := b.Rank() - 1
+		for l >= 0 {
+			i[l]++
+			if i[l] < b.Ub[l] {
+				break
+			}
+			i[l] = 0
+			l--
+		}
+		if l < 0 {
+			return
+		}
+	}
+}
+
+// LexLE reports a ≤ b in lexicographic order.
+func LexLE(a, b Vec) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return true
+}
+
+// Access is the paper's access function {S[i] → T[u] : u = A·i + V}.
+type Access struct {
+	A Mat
+	V Vec
+}
+
+// Apply evaluates the access function at iteration instance i.
+func (a Access) Apply(i Vec) Vec {
+	u := a.A.Apply(i)
+	if a.V != nil {
+		for k := range u {
+			u[k] += a.V[k]
+		}
+	}
+	return u
+}
+
+// LinForm is an affine address function addr(i) = C·i + K, the composition
+// of a mapping vector L with an access function: C = L·A, K = L·V.
+type LinForm struct {
+	C Vec
+	K int64
+}
+
+// Compose builds the address form addr(i) = L·(A·i + V) for the row-major
+// mapping vector L (the tensor's strides in segment units).
+func Compose(l Vec, acc Access) LinForm {
+	rows := len(acc.A)
+	if len(l) != rows {
+		panic(fmt.Sprintf("affine: mapping vector length %d != access rows %d", len(l), rows))
+	}
+	cols := 0
+	if rows > 0 {
+		cols = len(acc.A[0])
+	}
+	c := make(Vec, cols)
+	for j := 0; j < cols; j++ {
+		for r := 0; r < rows; r++ {
+			c[j] += l[r] * acc.A[r][j]
+		}
+	}
+	var k int64
+	if acc.V != nil {
+		k = Dot(l, acc.V)
+	}
+	return LinForm{C: c, K: k}
+}
+
+// Eval computes the address for iteration instance i.
+func (f LinForm) Eval(i Vec) int64 { return Dot(f.C, i) + f.K }
+
+// Sub returns f - g as a new linear form (same iteration space).
+func (f LinForm) Sub(g LinForm) LinForm {
+	if len(f.C) != len(g.C) {
+		panic("affine: Sub of mismatched forms")
+	}
+	c := make(Vec, len(f.C))
+	for i := range c {
+		c[i] = f.C[i] - g.C[i]
+	}
+	return LinForm{C: c, K: f.K - g.K}
+}
+
+// MaxOverBox returns the exact maximum of f over the (non-empty) box:
+// a linear form over a box attains its maximum at the vertex that picks
+// ub-1 for positive coefficients and 0 for negative ones.
+func (f LinForm) MaxOverBox(b Box) int64 {
+	if b.Size() == 0 {
+		panic("affine: MaxOverBox over empty box")
+	}
+	v := f.K
+	for l, c := range f.C {
+		if c > 0 {
+			v += c * (b.Ub[l] - 1)
+		}
+	}
+	return v
+}
+
+// MinOverBox returns the exact minimum of f over the (non-empty) box.
+func (f LinForm) MinOverBox(b Box) int64 {
+	if b.Size() == 0 {
+		panic("affine: MinOverBox over empty box")
+	}
+	v := f.K
+	for l, c := range f.C {
+		if c < 0 {
+			v += c * (b.Ub[l] - 1)
+		}
+	}
+	return v
+}
+
+// IsLexMonotone reports whether f is nondecreasing along lexicographic
+// successor steps within the box. A step from i to its successor increments
+// some level l and resets all deeper levels from their current values to 0,
+// so the worst-case change is C[l] - Σ_{m>l} max(C[m],0)·(Ub[m]-1); f is
+// lex-monotone iff that is ≥ 0 for every level with room to step.
+func (f LinForm) IsLexMonotone(b Box) bool {
+	n := len(f.C)
+	for l := 0; l < n; l++ {
+		if b.Ub[l] <= 1 {
+			continue // this level never steps
+		}
+		var loss int64
+		for m := l + 1; m < n; m++ {
+			if f.C[m] > 0 {
+				loss += f.C[m] * (b.Ub[m] - 1)
+			}
+		}
+		if f.C[l] < loss {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxWriteReadGap computes the paper's Eq. (1) right-hand side exactly:
+//
+//	D = max over i in box, j ≤ i (lex) of  write(j) − read(i)
+//
+// so that setting bIn − bOut = D satisfies
+// "read address of In at i ≥ every earlier write address of Out".
+// When write is lexicographically monotone (true for all row-major-aligned
+// kernels in the paper), the inner max over j is attained at j = i and the
+// computation collapses to the vertex evaluation of (write − read).
+// Otherwise it falls back to an exhaustive scan, tracking the running
+// maximum of write along the lexicographic order.
+func MaxWriteReadGap(write, read LinForm, b Box) int64 {
+	if b.Size() == 0 {
+		return 0
+	}
+	if write.IsLexMonotone(b) {
+		return write.Sub(read).MaxOverBox(b)
+	}
+	return maxWriteReadGapScan(write, read, b)
+}
+
+// maxWriteReadGapScan is the exhaustive oracle: it walks the domain in
+// lexicographic order maintaining the running max of write(j) for j ≤ i.
+func maxWriteReadGapScan(write, read LinForm, b Box) int64 {
+	first := true
+	var runMax, best int64
+	b.Enumerate(func(i Vec) bool {
+		w := write.Eval(i)
+		if first || w > runMax {
+			runMax = w
+		}
+		gap := runMax - read.Eval(i)
+		if first || gap > best {
+			best = gap
+		}
+		first = false
+		return true
+	})
+	return best
+}
+
+// MaxWriteReadGapScan exposes the exhaustive scan for cross-validation in
+// tests and for non-monotone access patterns.
+func MaxWriteReadGapScan(write, read LinForm, b Box) int64 {
+	if b.Size() == 0 {
+		return 0
+	}
+	return maxWriteReadGapScan(write, read, b)
+}

@@ -1,0 +1,264 @@
+package affine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot(Vec{1, 2, 3}, Vec{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %d, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot(Vec{1}, Vec{1, 2})
+}
+
+func TestMatApply(t *testing.T) {
+	m := Mat{{1, 0, 0}, {0, 0, 1}}
+	got := m.Apply(Vec{7, 8, 9})
+	if got[0] != 7 || got[1] != 9 {
+		t.Errorf("Apply = %v", got)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(2, 3)
+	if b.Size() != 6 || b.Rank() != 2 {
+		t.Errorf("box geometry wrong: %d %d", b.Size(), b.Rank())
+	}
+	if !b.Contains(Vec{1, 2}) || b.Contains(Vec{2, 0}) || b.Contains(Vec{0, -1}) {
+		t.Error("Contains wrong")
+	}
+	if NewBox(3, 0, 2).Size() != 0 {
+		t.Error("degenerate box should have size 0")
+	}
+}
+
+func TestEnumerateLexOrder(t *testing.T) {
+	b := NewBox(2, 3)
+	var visited []Vec
+	b.Enumerate(func(i Vec) bool {
+		visited = append(visited, append(Vec(nil), i...))
+		return true
+	})
+	if len(visited) != 6 {
+		t.Fatalf("visited %d, want 6", len(visited))
+	}
+	for k := 1; k < len(visited); k++ {
+		if !LexLE(visited[k-1], visited[k]) || LexLE(visited[k], visited[k-1]) {
+			t.Fatalf("not strictly increasing at %d: %v -> %v", k, visited[k-1], visited[k])
+		}
+	}
+	if visited[0][0] != 0 || visited[0][1] != 0 || visited[5][0] != 1 || visited[5][1] != 2 {
+		t.Errorf("endpoints wrong: %v ... %v", visited[0], visited[5])
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	b := NewBox(10, 10)
+	n := 0
+	b.Enumerate(func(i Vec) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d, want 5", n)
+	}
+}
+
+func TestLexLE(t *testing.T) {
+	if !LexLE(Vec{1, 2}, Vec{1, 2}) {
+		t.Error("equal vectors must satisfy LexLE")
+	}
+	if !LexLE(Vec{1, 2}, Vec{2, 0}) || LexLE(Vec{2, 0}, Vec{1, 2}) {
+		t.Error("lex comparison wrong")
+	}
+}
+
+// gemmForms builds the paper's Figure 3 GEMM formulation: read address of
+// In[m,k] with mapping [K,1], write address of Out[m,n] with mapping [N,1].
+func gemmForms(mM, nN, kK int64) (write, read LinForm, box Box) {
+	box = NewBox(mM, nN, kK)
+	inAcc := Access{A: Mat{{1, 0, 0}, {0, 0, 1}}}  // S[m,n,k] -> In[m,k]
+	outAcc := Access{A: Mat{{1, 0, 0}, {0, 1, 0}}} // S[m,n,k] -> Out[m,n]
+	read = Compose(Vec{kK, 1}, inAcc)
+	write = Compose(Vec{nN, 1}, outAcc)
+	return
+}
+
+func TestComposeGEMM(t *testing.T) {
+	write, read, _ := gemmForms(4, 2, 3)
+	// read(m,n,k) = m*K + k ; write(m,n,k) = m*N + n
+	if got := read.Eval(Vec{2, 1, 2}); got != 8 {
+		t.Errorf("read eval = %d, want 8", got)
+	}
+	if got := write.Eval(Vec{2, 1, 2}); got != 5 {
+		t.Errorf("write eval = %d, want 5", got)
+	}
+}
+
+func TestComposeWithOffsetVector(t *testing.T) {
+	acc := Access{A: Mat{{1, 0}, {0, 1}}, V: Vec{2, 3}}
+	f := Compose(Vec{10, 1}, acc)
+	// addr = 10*(i+2) + (j+3) = 10i + j + 23
+	if f.K != 23 || f.C[0] != 10 || f.C[1] != 1 {
+		t.Errorf("form = %+v", f)
+	}
+}
+
+func TestMaxMinOverBoxAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		rank := 1 + rng.Intn(3)
+		ub := make(Vec, rank)
+		c := make(Vec, rank)
+		for l := range ub {
+			ub[l] = int64(1 + rng.Intn(5))
+			c[l] = int64(rng.Intn(11) - 5)
+		}
+		f := LinForm{C: c, K: int64(rng.Intn(21) - 10)}
+		b := Box{Ub: ub}
+		var maxSeen, minSeen int64
+		first := true
+		b.Enumerate(func(i Vec) bool {
+			v := f.Eval(i)
+			if first || v > maxSeen {
+				maxSeen = v
+			}
+			if first || v < minSeen {
+				minSeen = v
+			}
+			first = false
+			return true
+		})
+		if got := f.MaxOverBox(b); got != maxSeen {
+			t.Fatalf("iter %d: MaxOverBox = %d, enumeration says %d (f=%+v ub=%v)", iter, got, maxSeen, ub, f)
+		}
+		if got := f.MinOverBox(b); got != minSeen {
+			t.Fatalf("iter %d: MinOverBox = %d, enumeration says %d", iter, got, minSeen)
+		}
+	}
+}
+
+func TestIsLexMonotoneAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		rank := 1 + rng.Intn(3)
+		ub := make(Vec, rank)
+		c := make(Vec, rank)
+		for l := range ub {
+			ub[l] = int64(1 + rng.Intn(4))
+			c[l] = int64(rng.Intn(9) - 3)
+		}
+		f := LinForm{C: c}
+		b := Box{Ub: ub}
+		// Oracle: walk and check every successor step.
+		monotone := true
+		var prev int64
+		first := true
+		b.Enumerate(func(i Vec) bool {
+			v := f.Eval(i)
+			if !first && v < prev {
+				monotone = false
+				return false
+			}
+			prev = v
+			first = false
+			return true
+		})
+		if got := f.IsLexMonotone(b); got != monotone {
+			t.Fatalf("iter %d: IsLexMonotone = %v, oracle %v (c=%v ub=%v)", iter, got, monotone, c, ub)
+		}
+	}
+}
+
+func TestGEMMGapMatchesPaperClosedForm(t *testing.T) {
+	// Paper §4: MinFootprint = max(MN, MK) + min(N,K) - 1, where the offset
+	// D = bIn - bOut satisfies footprint = max(D + MK, MN).
+	cases := []struct{ m, n, k int64 }{
+		{2, 2, 3}, // the Figure 1(c) example: D = N-1 = 1
+		{4, 3, 5}, {4, 5, 3}, {1, 1, 1}, {6, 2, 2}, {3, 7, 2}, {5, 2, 7},
+	}
+	for _, c := range cases {
+		write, read, box := gemmForms(c.m, c.n, c.k)
+		d := MaxWriteReadGap(write, read, box)
+		foot := d + c.m*c.k
+		if out := c.m * c.n; out > foot {
+			foot = out
+		}
+		min := c.n
+		if c.k < min {
+			min = c.k
+		}
+		want := c.m*c.n + min - 1
+		if mk := c.m * c.k; mk > c.m*c.n {
+			want = mk + min - 1
+		}
+		if foot != want {
+			t.Errorf("GEMM %dx%dx%d: footprint %d, paper closed form %d (D=%d)", c.m, c.n, c.k, foot, want, d)
+		}
+	}
+}
+
+func TestGapMonotoneFastPathEqualsScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 150; iter++ {
+		m := int64(1 + rng.Intn(4))
+		n := int64(1 + rng.Intn(4))
+		k := int64(1 + rng.Intn(4))
+		write, read, box := gemmForms(m, n, k)
+		fast := MaxWriteReadGap(write, read, box)
+		slow := MaxWriteReadGapScan(write, read, box)
+		if fast != slow {
+			t.Fatalf("iter %d (%d,%d,%d): fast %d != scan %d", iter, m, n, k, fast, slow)
+		}
+	}
+}
+
+func TestGapNonMonotoneFallsBackToScan(t *testing.T) {
+	// A write form that decreases along the lex order: W = -i.
+	b := NewBox(4)
+	write := LinForm{C: Vec{-1}, K: 10}
+	read := LinForm{C: Vec{1}}
+	if write.IsLexMonotone(b) {
+		t.Fatal("test premise: write must be non-monotone")
+	}
+	// max_{j<=i} W(j) = W(0) = 10; gap at i: 10 - i; max at i=0 -> 10.
+	if got := MaxWriteReadGap(write, read, b); got != 10 {
+		t.Errorf("non-monotone gap = %d, want 10", got)
+	}
+}
+
+func TestSub(t *testing.T) {
+	f := LinForm{C: Vec{3, 1}, K: 5}
+	g := LinForm{C: Vec{1, 1}, K: 2}
+	d := f.Sub(g)
+	if d.C[0] != 2 || d.C[1] != 0 || d.K != 3 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestQuickMaxGEMMFootprintAtLeastTensors(t *testing.T) {
+	// The planned footprint can never be smaller than either tensor alone.
+	f := func(a, b, c uint8) bool {
+		m, n, k := int64(a%5+1), int64(b%5+1), int64(c%5+1)
+		write, read, box := gemmForms(m, n, k)
+		d := MaxWriteReadGap(write, read, box)
+		foot := d + m*k
+		if mn := m * n; mn > foot {
+			foot = mn
+		}
+		return foot >= m*k && foot >= m*n && d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+var s1 = plan.Bottleneck{Name: "S1", H: 20, W: 20, Cin: 16, Cmid: 48, Cout: 16,
+	R: 3, S: 3, S1: 1, S2: 1, S3: 1}
+
+var b2 = plan.Bottleneck{Name: "B2", H: 88, W: 88, Cin: 8, Cmid: 24, Cout: 16,
+	R: 7, S: 7, S1: 1, S2: 2, S3: 1}
+
+func TestTinyEnginePointwiseRAMIsSumOfTensors(t *testing.T) {
+	// Figure 7 case 1: 80x80, C=16, K=16 -> 204.8 paper-KB, over the
+	// 128 KB budget (TinyEngine fails to deploy; vMCU fits).
+	got := TinyEnginePointwiseRAM(80, 80, 16, 16)
+	if got != 204800 {
+		t.Errorf("RAM = %d, want 204800", got)
+	}
+	if got <= 128*1000 {
+		t.Error("case 1 must exceed the F411RE budget for TinyEngine")
+	}
+}
+
+func TestTinyEngineDepthwiseInPlace(t *testing.T) {
+	if got := TinyEngineDepthwiseRAM(20, 20, 48, 3, 3, 1, 1); got != 19200 {
+		t.Errorf("in-place dw RAM = %d, want 19200 (max of in/out)", got)
+	}
+	// Stride 2 shrinks the output; the input dominates.
+	if got := TinyEngineDepthwiseRAM(20, 20, 48, 3, 3, 2, 1); got != 19200 {
+		t.Errorf("strided dw RAM = %d, want 19200", got)
+	}
+}
+
+func TestTinyEngineBottleneckRAMMatchesPaperB2(t *testing.T) {
+	// The paper pins TinyEngine's ImageNet bottleneck at B2 = 247.8 KB
+	// (= 247808 bytes with the paper's 10^3 convention): A + B at conv1.
+	got := TinyEngineBottleneckRAM(b2)
+	if got != 247808 {
+		t.Errorf("B2 TinyEngine RAM = %d, want 247808 (paper: 247.8KB)", got)
+	}
+}
+
+func TestTinyEngineBottleneckResidualPinsA(t *testing.T) {
+	got := TinyEngineBottleneckRAM(s1)
+	a, bb, _, d, _ := s1.TensorBytes()
+	want := a + bb + d // conv2 with residual pinned
+	if got != want {
+		t.Errorf("S1 TinyEngine RAM = %d, want %d", got, want)
+	}
+	// Paper reports 36.0 KB for S1 under TinyEngine; our tensor-level
+	// model must land within 15 %.
+	if f := float64(got); f < 36000*0.85 || f > 36000*1.15 {
+		t.Errorf("S1 TinyEngine RAM %v strays from paper 36.0KB", f)
+	}
+}
+
+func TestHMCOSBottleneckNoInplace(t *testing.T) {
+	got := HMCOSBottleneckRAM(s1)
+	a, bb, cc, _, _ := s1.TensorBytes()
+	want := a + bb + cc // depthwise holds B and C plus pinned A
+	if got != want {
+		t.Errorf("S1 HMCOS RAM = %d, want %d", got, want)
+	}
+	// Paper: 48.8 KB bottleneck for HMCOS on VWW; we land within 15 %.
+	if f := float64(got); f < 48800*0.80 || f > 48800*1.15 {
+		t.Errorf("S1 HMCOS RAM %v strays from paper 48.8KB", f)
+	}
+}
+
+func TestOrderingHMCOSWorstVMCUBest(t *testing.T) {
+	// The paper's Figure 9/10 ordering: vMCU < TinyEngine < HMCOS for
+	// every module with a meaningful expansion.
+	for _, b := range []plan.Bottleneck{s1, b2} {
+		v := plan.PlanBottleneckModule(b).FootprintBytes
+		te := TinyEngineBottleneckRAM(b)
+		hm := HMCOSBottleneckRAM(b)
+		if !(v < te && te <= hm) {
+			t.Errorf("%s: ordering broken: vMCU %d, TinyEngine %d, HMCOS %d", b.Name, v, te, hm)
+		}
+	}
+}
+
+func TestTinyEnginePointwiseExecCounts(t *testing.T) {
+	s := TinyEnginePointwiseExec(10, 10, 16, 8)
+	if s.MACs != 100*16*8 {
+		t.Errorf("MACs = %d, want %d", s.MACs, 100*16*8)
+	}
+	// The im2col pass must add a read+write of the full input.
+	if s.RAMWriteBytes < 100*16 {
+		t.Errorf("im2col write traffic missing: %d", s.RAMWriteBytes)
+	}
+	if s.Branches == 0 {
+		t.Error("unroll-16 back-edges missing")
+	}
+}
+
+func TestTinyEngineConvExecScalesWithTaps(t *testing.T) {
+	sp1 := plan.Conv2DSpec{H: 8, W: 8, C: 8, K: 8, R: 1, S: 1, Stride: 1, Pad: 0}
+	sp3 := plan.Conv2DSpec{H: 8, W: 8, C: 8, K: 8, R: 3, S: 3, Stride: 1, Pad: 1}
+	s1e := TinyEngineConv2DExec(sp1)
+	s3e := TinyEngineConv2DExec(sp3)
+	if s3e.MACs <= s1e.MACs || s3e.RAMReadBytes <= s1e.RAMReadBytes {
+		t.Error("3x3 conv must cost more than 1x1")
+	}
+}
+
+func TestTinyEngineBottleneckExecComposition(t *testing.T) {
+	s := TinyEngineBottleneckExec(s1)
+	if s.MACs != uint64(s1.MACs()) {
+		t.Errorf("module MACs = %d, want %d (no recompute in unfused execution)", s.MACs, s1.MACs())
+	}
+	if s.Calls < 4 {
+		t.Errorf("calls = %d, want >= 4 (one per layer)", s.Calls)
+	}
+	// Non-residual module skips the add.
+	s2 := TinyEngineBottleneckExec(b2)
+	if s2.Calls != 3 {
+		t.Errorf("B2 calls = %d, want 3", s2.Calls)
+	}
+}
+
+func TestBaselineEnergyExceedsBareCompute(t *testing.T) {
+	// TinyEngine's im2col traffic must make it cost more than the pure
+	// GEMM under the same profile (the paper's energy argument).
+	p := mcu.CortexM7()
+	bare := gemmStats(6400, 16, 16)
+	full := TinyEnginePointwiseExec(80, 80, 16, 16)
+	if full.EnergyJoules(p) <= bare.EnergyJoules(p) {
+		t.Error("im2col overhead not visible in the energy model")
+	}
+}
+
+func TestTinyEngineConv2DRAMIncludesColBuffer(t *testing.T) {
+	sp := plan.Conv2DSpec{H: 8, W: 8, C: 8, K: 8, R: 3, S: 3, Stride: 1, Pad: 1}
+	got := TinyEngineConv2DRAM(sp)
+	want := 8*8*8 + 8*8*8 + 2*3*3*8
+	if got != want {
+		t.Errorf("conv RAM = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// Serenity-style memory-aware scheduling (Ahn et al., MLSys 2020): find
+// the operator execution order of a DAG that minimizes peak tensor memory,
+// by dynamic programming over executed-set bitmasks. The paper's §8.4
+// point — and the reason vMCU matters — is that for *linear* structures
+// scheduling has no freedom and therefore no benefit; this implementation
+// lets the tests demonstrate exactly that, and cross-validates the HMCOS
+// closed forms on the module graphs.
+
+// OpNode is one operator in a scheduling graph. Each op produces exactly
+// one tensor of OutBytes; Deps lists producer op indices (-1 refers to
+// the graph input tensor).
+type OpNode struct {
+	Name     string
+	OutBytes int
+	Deps     []int
+}
+
+// ScheduleResult is the DP outcome.
+type ScheduleResult struct {
+	PeakBytes int
+	Order     []int // op indices in the optimal execution order
+}
+
+// maxScheduleOps bounds the bitmask DP.
+const maxScheduleOps = 20
+
+// SerenityMinPeak finds the execution order of ops minimizing peak memory.
+// inputBytes is the graph input tensor; it stays live until every op that
+// lists dep -1 has executed. An op's output stays live until all its
+// consumers have executed; the final op's output counts as live at the
+// end. During an op's execution its inputs and output are simultaneously
+// live (no in-place support, as in Serenity).
+func SerenityMinPeak(ops []OpNode, inputBytes int) (ScheduleResult, error) {
+	n := len(ops)
+	if n == 0 {
+		return ScheduleResult{}, fmt.Errorf("baseline: empty schedule graph")
+	}
+	if n > maxScheduleOps {
+		return ScheduleResult{}, fmt.Errorf("baseline: %d ops exceeds DP limit %d", n, maxScheduleOps)
+	}
+	// consumers[i] = ops that read op i's output; inputConsumers = ops
+	// reading the graph input.
+	consumers := make([][]int, n)
+	var inputConsumers []int
+	for i, op := range ops {
+		for _, d := range op.Deps {
+			switch {
+			case d == -1:
+				inputConsumers = append(inputConsumers, i)
+			case d >= 0 && d < n:
+				consumers[d] = append(consumers[d], i)
+			default:
+				return ScheduleResult{}, fmt.Errorf("baseline: op %d dep %d out of range", i, d)
+			}
+		}
+	}
+	full := (1 << n) - 1
+	// live(S): bytes live after exactly the ops in S have executed.
+	live := func(s int) int {
+		total := 0
+		inputLive := false
+		for _, c := range inputConsumers {
+			if s&(1<<c) == 0 {
+				inputLive = true
+				break
+			}
+		}
+		if len(inputConsumers) == 0 && s != full {
+			inputLive = true // unconsumed input stays resident
+		}
+		if inputLive {
+			total += inputBytes
+		}
+		for i := range ops {
+			if s&(1<<i) == 0 {
+				continue
+			}
+			needed := s == full && len(consumers[i]) == 0 // network output
+			for _, c := range consumers[i] {
+				if s&(1<<c) == 0 {
+					needed = true
+					break
+				}
+			}
+			if len(consumers[i]) == 0 {
+				needed = true // terminal tensors persist
+			}
+			if needed {
+				total += ops[i].OutBytes
+			}
+		}
+		return total
+	}
+	ready := func(s, i int) bool {
+		if s&(1<<i) != 0 {
+			return false
+		}
+		for _, d := range ops[i].Deps {
+			if d >= 0 && s&(1<<d) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	const inf = int(^uint(0) >> 1)
+	best := make([]int, 1<<n)
+	choice := make([]int8, 1<<n)
+	for s := range best {
+		best[s] = inf
+	}
+	best[0] = 0
+	// Forward DP in order of popcount.
+	masks := make([][]int, n+1)
+	for s := 0; s <= full; s++ {
+		pc := bits.OnesCount(uint(s))
+		masks[pc] = append(masks[pc], s)
+	}
+	for pc := 0; pc < n; pc++ {
+		for _, s := range masks[pc] {
+			if best[s] == inf {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if !ready(s, i) {
+					continue
+				}
+				ns := s | 1<<i
+				// During execution of i: everything live before plus i's
+				// inputs (already live) plus its output.
+				during := live(s) + ops[i].OutBytes
+				peak := best[s]
+				if during > peak {
+					peak = during
+				}
+				if after := live(ns); after > peak {
+					peak = after
+				}
+				if peak < best[ns] {
+					best[ns] = peak
+					choice[ns] = int8(i)
+				}
+			}
+		}
+	}
+	if best[full] == inf {
+		return ScheduleResult{}, fmt.Errorf("baseline: graph has no valid topological order")
+	}
+	order := make([]int, 0, n)
+	for s := full; s != 0; {
+		i := int(choice[s])
+		order = append(order, i)
+		s &^= 1 << i
+	}
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	return ScheduleResult{PeakBytes: best[full], Order: order}, nil
+}
+
+// BottleneckScheduleGraph builds the operator graph of an inverted
+// bottleneck for the scheduler: conv1, dw, conv2, and the residual add
+// when present. Dep -1 is the module input A.
+func BottleneckScheduleGraph(b plan.Bottleneck) ([]OpNode, int) {
+	_, bb, c, d, e := b.TensorBytes()
+	a := b.H * b.W * b.Cin
+	ops := []OpNode{
+		{Name: "conv1", OutBytes: bb, Deps: []int{-1}},
+		{Name: "dw", OutBytes: c, Deps: []int{0}},
+		{Name: "conv2", OutBytes: d, Deps: []int{1}},
+	}
+	if b.Residual() {
+		ops = append(ops, OpNode{Name: "add", OutBytes: e, Deps: []int{2, -1}})
+	}
+	return ops, a
+}

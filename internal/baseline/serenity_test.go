@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+func TestSerenityLinearChainHasNoFreedom(t *testing.T) {
+	// Paper §8.4: "For linear structure, there is little or no benefit
+	// from scheduling." A chain admits exactly one order; the DP optimum
+	// must equal the natural-order peak: in + the two largest neighbors.
+	ops := []OpNode{
+		{Name: "l0", OutBytes: 100, Deps: []int{-1}},
+		{Name: "l1", OutBytes: 300, Deps: []int{0}},
+		{Name: "l2", OutBytes: 50, Deps: []int{1}},
+	}
+	res, err := SerenityMinPeak(ops, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peaks: l0: 80+100; l1: 100+300 (input freed); l2: 300+50.
+	if res.PeakBytes != 400 {
+		t.Errorf("linear peak = %d, want 400", res.PeakBytes)
+	}
+	want := []int{0, 1, 2}
+	for i, o := range res.Order {
+		if o != want[i] {
+			t.Fatalf("order = %v, want %v", res.Order, want)
+		}
+	}
+}
+
+func TestSerenitySchedulingHelpsIrregularGraphs(t *testing.T) {
+	// A diamond where one branch is fat: executing the thin branch first
+	// and the fat one last lowers the peak — the case Serenity/HMCOS were
+	// built for (and the case tensor-level scheduling can actually win).
+	ops := []OpNode{
+		{Name: "thin", OutBytes: 10, Deps: []int{-1}},
+		{Name: "fat", OutBytes: 500, Deps: []int{-1}},
+		{Name: "join", OutBytes: 20, Deps: []int{0, 1}},
+	}
+	res, err := SerenityMinPeak(ops, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: thin (100+10=110), fat (100+10+500=610), join (10+500+20=530).
+	// Worst (fat first) has the same 610 here, so grow the asymmetry:
+	ops[1].OutBytes = 50
+	res, err = SerenityMinPeak(ops, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// thin first: max(110, 100+10+50=160, 10+50+20=80) = 160
+	// fat first:  max(150, 160, 80) = 160 — same; use consumed-input case:
+	if res.PeakBytes != 160 {
+		t.Errorf("diamond peak = %d, want 160", res.PeakBytes)
+	}
+	// A case where order genuinely matters: two independent producers of
+	// very different sizes feeding separate consumers.
+	ops = []OpNode{
+		{Name: "pBig", OutBytes: 400, Deps: []int{-1}},
+		{Name: "cBig", OutBytes: 10, Deps: []int{0}},
+		{Name: "pSmall", OutBytes: 30, Deps: []int{-1}},
+		{Name: "cSmall", OutBytes: 10, Deps: []int{2}},
+	}
+	res, err = SerenityMinPeak(ops, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: finish the big pair before producing the small one (or
+	// vice versa) so the two producers never coexist:
+	// pBig(450), cBig(460), pSmall(10+50+30=90*)... vs interleaving both
+	// producers: 400+30+50+10 = 490. DP must avoid 490.
+	if res.PeakBytes >= 490 {
+		t.Errorf("scheduler failed to separate producers: peak %d", res.PeakBytes)
+	}
+}
+
+func TestSerenityMatchesHMCOSOnModules(t *testing.T) {
+	// The closed-form HMCOS model must equal the exhaustive DP on the
+	// (linear) module graphs — the schedule has no freedom there, so the
+	// two independently-derived numbers cross-validate each other.
+	modules := []plan.Bottleneck{
+		s1, b2,
+		{Name: "S3", H: 10, W: 10, Cin: 24, Cmid: 144, Cout: 16, R: 3, S: 3, S1: 1, S2: 1, S3: 1},
+		{Name: "B1", H: 176, W: 176, Cin: 3, Cmid: 16, Cout: 8, R: 3, S: 3, S1: 2, S2: 1, S3: 1},
+		{Name: "B9", H: 22, W: 22, Cin: 24, Cmid: 120, Cout: 40, R: 3, S: 3, S1: 1, S2: 2, S3: 1},
+		{Name: "B16", H: 6, W: 6, Cin: 96, Cmid: 480, Cout: 96, R: 7, S: 7, S1: 1, S2: 1, S3: 1},
+	}
+	for _, m := range modules {
+		ops, in := BottleneckScheduleGraph(m)
+		res, err := SerenityMinPeak(ops, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.PeakBytes, HMCOSBottleneckRAM(m); got != want {
+			t.Errorf("%s: Serenity DP %d != HMCOS closed form %d", m.Name, got, want)
+		}
+	}
+}
+
+func TestSerenityRejectsBadGraphs(t *testing.T) {
+	if _, err := SerenityMinPeak(nil, 0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := SerenityMinPeak([]OpNode{{Deps: []int{5}}}, 0); err == nil {
+		t.Error("out-of-range dep accepted")
+	}
+	big := make([]OpNode, maxScheduleOps+1)
+	for i := range big {
+		big[i] = OpNode{OutBytes: 1}
+	}
+	if _, err := SerenityMinPeak(big, 0); err == nil {
+		t.Error("oversized graph accepted")
+	}
+	// A dependency cycle has no topological order.
+	cyc := []OpNode{
+		{Name: "a", OutBytes: 1, Deps: []int{1}},
+		{Name: "b", OutBytes: 1, Deps: []int{0}},
+	}
+	if _, err := SerenityMinPeak(cyc, 0); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}

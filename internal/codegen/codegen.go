@@ -1,0 +1,266 @@
+// Package codegen lowers ir.Program kernels to self-contained C for ARM
+// Cortex-M targets, the final stage of the paper's compiler support (§6.2):
+// circular-buffer addressing compiles to a modulo wrap, the Dot intrinsic
+// to an SXTB16/ROR/SMLAD sequence (guarded by __ARM_FEATURE_DSP with a
+// portable scalar fallback), Broadcast-style constants to PKHBT-equivalent
+// packing, and requantization to the CMSIS-NN fixed-point epilogue.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/vmcu-project/vmcu/internal/ir"
+)
+
+// Options configure emission.
+type Options struct {
+	PoolCapBytes int // circular pool capacity baked into the wrap macro
+}
+
+// EmitC renders the program as one compilable C translation unit.
+func EmitC(p *ir.Program, opt Options) string {
+	if opt.PoolCapBytes <= 0 {
+		opt.PoolCapBytes = 1 << 16
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* vMCU generated kernel %q — do not edit. */\n", p.Name)
+	b.WriteString(prelude(opt.PoolCapBytes))
+	emitFunc(&b, p)
+	return b.String()
+}
+
+// EmitLibrary packs several kernels into one translation unit with a
+// shared runtime prelude — the paper's §6.2 "light library for MCU".
+// Kernel names must be unique.
+func EmitLibrary(progs []*ir.Program, opt Options) (string, error) {
+	if len(progs) == 0 {
+		return "", fmt.Errorf("codegen: empty library")
+	}
+	if opt.PoolCapBytes <= 0 {
+		opt.PoolCapBytes = 1 << 16
+	}
+	seen := map[string]bool{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* vMCU generated kernel library (%d kernels) — do not edit. */\n", len(progs))
+	b.WriteString(prelude(opt.PoolCapBytes))
+	for _, p := range progs {
+		if seen[p.Name] {
+			return "", fmt.Errorf("codegen: duplicate kernel name %q", p.Name)
+		}
+		seen[p.Name] = true
+		emitFunc(&b, p)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// emitFunc renders one kernel function.
+func emitFunc(b *strings.Builder, p *ir.Program) {
+	b.WriteString(signature(p))
+	b.WriteString(" {\n")
+	declareRegisters(b, p.Body)
+	g := &emitter{b: b, indent: 1, loadBytes: map[string]int{}}
+	g.emitNodes(p.Body)
+	b.WriteString("}\n")
+}
+
+func prelude(capBytes int) string {
+	return fmt.Sprintf(`#include <stdint.h>
+#include <string.h>
+
+#define VMCU_POOL_CAP %d
+#define VMCU_WRAP(x) ((int32_t)((((x) %% VMCU_POOL_CAP) + VMCU_POOL_CAP) %% VMCU_POOL_CAP))
+
+/* Circular-buffer load/store with the boundary check of the paper's
+ * RAMLoad/RAMStore intrinsics: split at the pool end when wrapping. */
+static inline void vmcu_pool_read(const int8_t *pool, int32_t off, int8_t *dst, int32_t n) {
+    int32_t a = VMCU_WRAP(off);
+    int32_t first = (a + n <= VMCU_POOL_CAP) ? n : VMCU_POOL_CAP - a;
+    memcpy(dst, pool + a, (size_t)first);
+    if (first < n) memcpy(dst + first, pool, (size_t)(n - first));
+}
+
+static inline void vmcu_pool_write(int8_t *pool, int32_t off, const int8_t *src, int32_t n) {
+    int32_t a = VMCU_WRAP(off);
+    int32_t first = (a + n <= VMCU_POOL_CAP) ? n : VMCU_POOL_CAP - a;
+    memcpy(pool + a, src, (size_t)first);
+    if (first < n) memcpy(pool, src + first, (size_t)(n - first));
+}
+
+#if defined(__ARM_FEATURE_DSP)
+#include <arm_acle.h>
+/* Dot intrinsic: SXTB16/ROR widening + SMLAD dual MACs (2 per cycle). */
+static inline int32_t vmcu_dot_s8(const int8_t *a, const int8_t *b, int32_t n, int32_t acc) {
+    int32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        uint32_t va, vb;
+        memcpy(&va, a + i, 4);
+        memcpy(&vb, b + i, 4);
+        uint32_t a02 = __sxtb16(va), a13 = __sxtb16(__ror(va, 8));
+        uint32_t b02 = __sxtb16(vb), b13 = __sxtb16(__ror(vb, 8));
+        acc = __smlad(a02, b02, __smlad(a13, b13, acc));
+    }
+    for (; i < n; i++) acc += (int32_t)a[i] * (int32_t)b[i];
+    return acc;
+}
+#else
+static inline int32_t vmcu_dot_s8(const int8_t *a, const int8_t *b, int32_t n, int32_t acc) {
+    for (int32_t i = 0; i < n; i++) acc += (int32_t)a[i] * (int32_t)b[i];
+    return acc;
+}
+#endif
+
+/* CMSIS-NN style requantization: saturating doubling high multiply,
+ * rounding shift, zero-point add, SSAT to int8. */
+static inline int8_t vmcu_requant(int32_t acc, int32_t mult, int32_t shift, int32_t zp) {
+    int64_t ab = (int64_t)acc * (int64_t)mult;
+    int64_t nudge = ab >= 0 ? (1LL << 30) : (1LL - (1LL << 30));
+    int32_t v = (int32_t)((ab + nudge) >> 31);
+    if (shift < 0) {
+        int64_t half = 1LL << (-shift - 1);
+        int64_t x = v;
+        v = (int32_t)(x >= 0 ? (x + half) >> (-shift) : -((-x + half) >> (-shift)));
+    } else if (shift > 0) {
+        v <<= shift;
+    }
+    v += zp;
+    if (v > 127) v = 127;
+    if (v < -128) v = -128;
+    return (int8_t)v;
+}
+
+`, capBytes)
+}
+
+// signature builds the kernel's C prototype: the pool, one byte offset per
+// tensor, and one const pointer per Flash blob.
+func signature(p *ir.Program) string {
+	params := []string{"int8_t *pool"}
+	for _, t := range p.Tensors {
+		params = append(params, fmt.Sprintf("int32_t %s_off", strings.ToLower(t)))
+	}
+	for _, bl := range p.Blobs {
+		params = append(params, fmt.Sprintf("const int8_t *%s", strings.ToLower(bl)))
+	}
+	return fmt.Sprintf("void vmcu_%s(%s)", p.Name, strings.Join(params, ", "))
+}
+
+// regInfo collects register buffers and their maximum sizes.
+type regInfo struct {
+	i32 map[string]int
+	i8  map[string]int
+}
+
+func scanRegisters(nodes []ir.Node, info *regInfo) {
+	for _, n := range nodes {
+		switch v := n.(type) {
+		case ir.For:
+			scanRegisters(v.Body, info)
+		case ir.RegAlloc:
+			if v.Lanes > info.i32[v.Name] {
+				info.i32[v.Name] = v.Lanes
+			}
+		case ir.RAMLoad:
+			if v.Bytes > info.i8[v.Dst] {
+				info.i8[v.Dst] = v.Bytes
+			}
+		case ir.FlashLoad:
+			if v.Bytes > info.i8[v.Dst] {
+				info.i8[v.Dst] = v.Bytes
+			}
+		case ir.RequantStore:
+			if v.Lanes > info.i8["__q"] {
+				info.i8["__q"] = v.Lanes
+			}
+		}
+	}
+}
+
+func declareRegisters(b *strings.Builder, nodes []ir.Node) {
+	info := &regInfo{i32: map[string]int{}, i8: map[string]int{}}
+	scanRegisters(nodes, info)
+	for _, name := range sortedKeys(info.i32) {
+		fmt.Fprintf(b, "    int32_t %s[%d];\n", name, info.i32[name])
+	}
+	for _, name := range sortedKeys(info.i8) {
+		fmt.Fprintf(b, "    int8_t %s[%d];\n", name, info.i8[name])
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type emitter struct {
+	b      *strings.Builder
+	indent int
+	// loadBytes tracks the most recent load size of each int8 register, so
+	// Dot statements know their vector length (operands are always loaded
+	// immediately before use in the paper's kernels).
+	loadBytes map[string]int
+}
+
+func (g *emitter) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func cIndex(x ir.Index) string { return x.String() }
+
+func (g *emitter) emitNodes(nodes []ir.Node) {
+	for _, n := range nodes {
+		g.emitNode(n)
+	}
+}
+
+func (g *emitter) emitNode(n ir.Node) {
+	switch v := n.(type) {
+	case ir.For:
+		g.line("for (int32_t %s = 0; %s < %d; %s++) {", v.Var, v.Var, v.Extent, v.Var)
+		g.indent++
+		g.emitNodes(v.Body)
+		g.indent--
+		g.line("}")
+	case ir.RegAlloc:
+		g.line("memset(%s, 0, sizeof(int32_t) * %d);", v.Name, v.Lanes)
+	case ir.LoadBias:
+		g.line("memcpy(%s, (const int32_t *)%s + (%s), sizeof(int32_t) * %d);",
+			v.Acc, strings.ToLower(v.Blob), cIndex(v.Off), v.Lanes)
+	case ir.RAMLoad:
+		g.loadBytes[v.Dst] = v.Bytes
+		g.line("vmcu_pool_read(pool, %s_off + (%s), %s, %d);",
+			strings.ToLower(v.Tensor), cIndex(v.Off), v.Dst, v.Bytes)
+	case ir.FlashLoad:
+		g.loadBytes[v.Dst] = v.Bytes
+		g.line("memcpy(%s, %s + (%s), %d);",
+			v.Dst, strings.ToLower(v.Blob), cIndex(v.Off), v.Bytes)
+	case ir.Dot:
+		n := g.loadBytes[v.A]
+		if bn := g.loadBytes[v.B]; n == 0 || (bn > 0 && bn < n) {
+			n = bn
+		}
+		g.line("%s[%s] = vmcu_dot_s8(%s, %s, %d, %s[%s]);",
+			v.Acc, cIndex(v.Lane), v.A, v.B, n, v.Acc, cIndex(v.Lane))
+	case ir.RequantStore:
+		g.line("for (int32_t __i = 0; __i < %d; __i++) __q[__i] = vmcu_requant(%s[__i], %d, %d, %d);",
+			v.Lanes, v.Acc, v.Mult, v.Shift, v.ZP)
+		g.line("vmcu_pool_write(pool, %s_off + (%s), __q, %d);",
+			strings.ToLower(v.Tensor), cIndex(v.Off), v.Lanes)
+	case ir.RAMFree:
+		g.line("/* RAMFree %s + (%s), %d bytes: pool space recycled by the manager. */",
+			v.Tensor, cIndex(v.Off), v.Bytes)
+	default:
+		g.line("/* unhandled node %T */", n)
+	}
+}

@@ -1,0 +1,100 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/ir"
+	"github.com/vmcu-project/vmcu/internal/tensor"
+)
+
+func emitFC(t *testing.T) string {
+	t.Helper()
+	prog := ir.BuildFC(4, 16, 16, 16, tensor.NewRequant(0.02, 0))
+	return EmitC(prog, Options{PoolCapBytes: 4096})
+}
+
+func TestEmitCStructure(t *testing.T) {
+	c := emitFC(t)
+	for _, want := range []string{
+		"void vmcu_fc(int8_t *pool, int32_t in_off, int32_t out_off, const int8_t *weight, const int8_t *bias)",
+		"#define VMCU_POOL_CAP 4096",
+		"VMCU_WRAP",
+		"vmcu_pool_read(pool, in_off",
+		"vmcu_pool_write(pool, out_off",
+		"__smlad",
+		"__sxtb16",
+		"vmcu_requant",
+		"for (int32_t m = 0; m < 4; m++)",
+		"for (int32_t ks = 0; ks < 1; ks++)",
+		"RAMFree",
+	} {
+		if !strings.Contains(c, want) {
+			t.Errorf("generated C missing %q", want)
+		}
+	}
+}
+
+func TestEmitCDotLengths(t *testing.T) {
+	c := emitFC(t)
+	if !strings.Contains(c, "vmcu_dot_s8(va, vb, 16,") {
+		t.Error("Dot vector length not propagated from loads")
+	}
+}
+
+func TestEmitCBalancedBraces(t *testing.T) {
+	c := emitFC(t)
+	if strings.Count(c, "{") != strings.Count(c, "}") {
+		t.Errorf("unbalanced braces: %d open vs %d close",
+			strings.Count(c, "{"), strings.Count(c, "}"))
+	}
+}
+
+func TestEmitCDefaultPoolCap(t *testing.T) {
+	prog := ir.BuildFC(2, 8, 8, 8, tensor.NewRequant(0.5, 0))
+	c := EmitC(prog, Options{})
+	if !strings.Contains(c, "#define VMCU_POOL_CAP 65536") {
+		t.Error("default pool capacity not applied")
+	}
+}
+
+func TestEmitCIsDeterministic(t *testing.T) {
+	a := emitFC(t)
+	b := emitFC(t)
+	if a != b {
+		t.Error("emission not deterministic")
+	}
+}
+
+func TestEmitCFallbackPath(t *testing.T) {
+	c := emitFC(t)
+	if !strings.Contains(c, "#else") || !strings.Contains(c, "__ARM_FEATURE_DSP") {
+		t.Error("portable scalar fallback missing")
+	}
+}
+
+func TestEmitLibrarySharesPrelude(t *testing.T) {
+	fc1 := ir.BuildFC(4, 16, 16, 16, tensor.NewRequant(0.02, 0))
+	fc2 := ir.BuildFC(8, 32, 8, 8, tensor.NewRequant(0.04, 0))
+	fc2.Name = "fc_head"
+	lib, err := EmitLibrary([]*ir.Program{fc1, fc2}, Options{PoolCapBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(lib, "#define VMCU_POOL_CAP") != 1 {
+		t.Error("prelude not shared")
+	}
+	if !strings.Contains(lib, "void vmcu_fc(") || !strings.Contains(lib, "void vmcu_fc_head(") {
+		t.Error("missing kernel entry points")
+	}
+}
+
+func TestEmitLibraryRejectsDuplicates(t *testing.T) {
+	fc := ir.BuildFC(2, 8, 8, 8, tensor.NewRequant(0.5, 0))
+	if _, err := EmitLibrary([]*ir.Program{fc, fc}, Options{}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := EmitLibrary(nil, Options{}); err == nil {
+		t.Error("empty library accepted")
+	}
+}

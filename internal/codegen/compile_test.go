@@ -1,0 +1,57 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/ir"
+	"github.com/vmcu-project/vmcu/internal/tensor"
+)
+
+// TestEmittedCCompiles feeds the generated kernel to the host C compiler
+// (portable scalar path). Skipped when no compiler is installed.
+func TestEmittedCCompiles(t *testing.T) {
+	cc, err := exec.LookPath("cc")
+	if err != nil {
+		t.Skip("no host C compiler")
+	}
+	prog := ir.BuildFC(4, 16, 32, 16, tensor.NewRequant(0.011, -3))
+	src := EmitC(prog, Options{PoolCapBytes: 2048})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fc.c")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(cc, "-std=c99", "-Wall", "-Werror", "-c", path,
+		"-o", filepath.Join(dir, "fc.o")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cc failed: %v\n%s\n--- source ---\n%s", err, out, src)
+	}
+}
+
+// TestEmittedLibraryCompiles compiles a multi-kernel library.
+func TestEmittedLibraryCompiles(t *testing.T) {
+	cc, err := exec.LookPath("cc")
+	if err != nil {
+		t.Skip("no host C compiler")
+	}
+	fc1 := ir.BuildFC(4, 16, 16, 16, tensor.NewRequant(0.02, 0))
+	fc2 := ir.BuildFC(8, 32, 8, 8, tensor.NewRequant(0.04, -2))
+	fc2.Name = "fc_head"
+	lib, err := EmitLibrary([]*ir.Program{fc1, fc2}, Options{PoolCapBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lib.c")
+	if err := os.WriteFile(path, []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(cc, "-std=c99", "-Wall", "-Werror", "-c", path,
+		"-o", filepath.Join(dir, "lib.o")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cc failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// Ablations beyond the paper's figures, covering the design choices the
+// paper discusses in prose: the §5.3 segment-size trade-off and the §5.2
+// fusion decision.
+
+// SegSweepRow is one point of the segment-size trade-off study.
+type SegSweepRow struct {
+	SegBytes       int
+	FootprintBytes int
+	ModuloOps      int
+	// ModuloCyclesShare is the fraction of modeled kernel cycles spent on
+	// circular-buffer boundary checks at this segment size (M4 profile).
+	ModuloCyclesShare float64
+}
+
+// SegmentSizeSweep evaluates the §5.3 trade-off for one pointwise layer:
+// smaller segments lower the footprint bound but multiply the modulo
+// boundary checks; oversized segments pad the tensor rows. The paper's
+// default (min(C, K)) is the largest segment with zero padding waste.
+func SegmentSizeSweep(h, w, c, k int, segs []int) []SegSweepRow {
+	p := mcu.CortexM4()
+	macs := float64(h*w*c*k) * p.CyclesPerMAC
+	rows := make([]SegSweepRow, 0, len(segs))
+	for _, s := range segs {
+		pl := plan.PointwiseWithSeg(h, w, c, k, s)
+		ops := plan.PointwiseModuloOps(h, w, c, k, s)
+		modCycles := float64(ops) * p.CyclesPerDivMod
+		rows = append(rows, SegSweepRow{
+			SegBytes:          s,
+			FootprintBytes:    pl.FootprintBytes,
+			ModuloOps:         ops,
+			ModuloCyclesShare: modCycles / (modCycles + macs),
+		})
+	}
+	return rows
+}
+
+// RenderSegmentSweep formats the trade-off table.
+func RenderSegmentSweep(h, w, c, k int, rows []SegSweepRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.SegBytes),
+			fmt.Sprintf("%.1f", KB(r.FootprintBytes)),
+			fmt.Sprintf("%d", r.ModuloOps),
+			fmt.Sprintf("%.1f%%", 100*r.ModuloCyclesShare),
+		})
+	}
+	return fmt.Sprintf("Ablation: segment-size trade-off (pointwise %dx%d C=%d K=%d, §5.3)\n", h, w, c, k) +
+		Table([]string{"seg bytes", "footprint KB", "modulo ops", "modulo cycle share"}, out)
+}
+
+// FusionRow compares fused and unfused execution of one module.
+type FusionRow struct {
+	Name             string
+	FusedKB          float64
+	UnfusedKB        float64
+	FusedLatencyMS   float64
+	UnfusedLatencyMS float64
+	BothVerified     bool
+}
+
+// FusionAblation executes a non-residual module both ways on the M4
+// profile: the §5.2 fused kernel against the per-layer chain (Eq. 2
+// offsets, expansion tensor materialized).
+func FusionAblation(cfg plan.Bottleneck, seed int64) (FusionRow, error) {
+	profile := mcu.CortexM4()
+	fused, err := graph.RunModule(profile, cfg, seed)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	unfused, err := graph.RunModuleUnfused(profile, cfg, seed)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	return FusionRow{
+		Name:             cfg.Name,
+		FusedKB:          KB(fused.Plan.FootprintBytes),
+		UnfusedKB:        KB(unfused.Plan.FootprintBytes),
+		FusedLatencyMS:   fused.Stats.LatencySeconds(profile) * 1e3,
+		UnfusedLatencyMS: unfused.Stats.LatencySeconds(profile) * 1e3,
+		BothVerified: fused.OutputOK && fused.Violations == 0 &&
+			unfused.OutputOK && unfused.Violations == 0,
+	}, nil
+}
+
+// RenderFusionAblation formats the comparison.
+func RenderFusionAblation(rows []FusionRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%.1f", r.FusedKB),
+			fmt.Sprintf("%.1f", r.UnfusedKB),
+			fmt.Sprintf("%.1f", r.FusedLatencyMS),
+			fmt.Sprintf("%.1f", r.UnfusedLatencyMS),
+			fmt.Sprintf("%v", r.BothVerified),
+		})
+	}
+	return "Ablation: fused module (§5.2) vs per-layer chain (Eq. 2 offsets)\n" +
+		Table([]string{"module", "fused KB", "unfused KB", "fused ms", "unfused ms", "verified"}, out)
+}

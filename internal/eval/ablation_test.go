@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+)
+
+func TestSegmentSizeSweepTradeoff(t *testing.T) {
+	rows := SegmentSizeSweep(20, 20, 48, 24, []int{1, 3, 6, 12, 24, 96})
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	// Modulo cost strictly decreases as segments grow.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ModuloOps >= rows[i-1].ModuloOps {
+			t.Errorf("modulo ops not decreasing at seg %d", rows[i].SegBytes)
+		}
+		if rows[i].ModuloCyclesShare > rows[i-1].ModuloCyclesShare {
+			t.Errorf("modulo cycle share not decreasing at seg %d", rows[i].SegBytes)
+		}
+	}
+	// The oversized segment (96 > both C and K) pads the tensor rows and
+	// inflates the footprint relative to the paper's default.
+	def := rows[4]  // seg = 24 = min(C,K), the paper's rule
+	over := rows[5] // seg = 96
+	if over.FootprintBytes <= def.FootprintBytes {
+		t.Errorf("oversized segment footprint %d not above default %d",
+			over.FootprintBytes, def.FootprintBytes)
+	}
+	// At one-byte segments the modulo share must be substantial — the
+	// paper's argument for not using element-granularity segments.
+	if rows[0].ModuloCyclesShare < 0.2 {
+		t.Errorf("1-byte segment modulo share %.2f implausibly low", rows[0].ModuloCyclesShare)
+	}
+	if def.ModuloCyclesShare > 0.08 {
+		t.Errorf("default segment modulo share %.2f implausibly high", def.ModuloCyclesShare)
+	}
+}
+
+func TestFusionAblationS3(t *testing.T) {
+	row, err := FusionAblation(graph.VWW().Modules[2], 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.BothVerified {
+		t.Fatal("fusion ablation runs not verified")
+	}
+	// The fused kernel's whole point: several-fold less RAM, at the cost
+	// of the expansion recompute (latency within ~2.5x).
+	if row.FusedKB*2 >= row.UnfusedKB {
+		t.Errorf("fused %0.1f KB vs unfused %0.1f KB: fusion gain too small", row.FusedKB, row.UnfusedKB)
+	}
+	if row.FusedLatencyMS > 2.5*row.UnfusedLatencyMS {
+		t.Errorf("fused latency %0.1f ms implausibly above unfused %0.1f ms",
+			row.FusedLatencyMS, row.UnfusedLatencyMS)
+	}
+}
+
+func TestAblationRenderers(t *testing.T) {
+	s := RenderSegmentSweep(20, 20, 48, 24, SegmentSizeSweep(20, 20, 48, 24, []int{6, 24}))
+	if !strings.Contains(s, "modulo") {
+		t.Error("segment sweep rendering incomplete")
+	}
+	row, err := FusionAblation(graph.VWW().Modules[2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := RenderFusionAblation([]FusionRow{row})
+	if !strings.Contains(f, "S3") || !strings.Contains(f, "unfused") {
+		t.Error("fusion ablation rendering incomplete")
+	}
+}

@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+func mcuM4() mcu.Profile { return mcu.CortexM4() }
+
+func TestFigure7ReproducesPaperShape(t *testing.T) {
+	rows := Figure7()
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	// Paper: TinyEngine exceeds the 128 KB budget on cases 1, 2 and 4;
+	// vMCU deploys all nine.
+	oom := map[int]bool{0: true, 1: true, 3: true}
+	for i, r := range rows {
+		if r.TinyEngineFits == oom[i] {
+			t.Errorf("case %d (%s): TinyEngineFits = %v, want %v", i, r.Case.Name, r.TinyEngineFits, !oom[i])
+		}
+		if !r.VMCUFits {
+			t.Errorf("case %d (%s): vMCU must fit 128 KB, used %d", i, r.Case.Name, r.VMCU)
+		}
+		if r.ReductionPct < 10 || r.ReductionPct > 52 {
+			t.Errorf("case %d (%s): reduction %.2f%% outside the paper's 12-49.5%% band (±tolerance)",
+				i, r.Case.Name, r.ReductionPct)
+		}
+	}
+	// The first three cases (equal in/out activations) approach 50 %.
+	for i := 0; i < 3; i++ {
+		if rows[i].ReductionPct < 45 {
+			t.Errorf("case %d reduction %.2f%%, want ~50%%", i, rows[i].ReductionPct)
+		}
+	}
+}
+
+func TestFigure8VMCUWinsEnergyAndLatency(t *testing.T) {
+	rows, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OutputVerified || r.Violations != 0 {
+			t.Errorf("%s: execution not verified (ok=%v violations=%d)", r.Case.Name, r.OutputVerified, r.Violations)
+		}
+		if r.EnergyRedPct <= 0 {
+			t.Errorf("%s: vMCU energy not below TinyEngine (%.1f%%)", r.Case.Name, r.EnergyRedPct)
+		}
+		if r.LatencyRedPct <= 0 {
+			t.Errorf("%s: vMCU latency not below TinyEngine (%.1f%%)", r.Case.Name, r.LatencyRedPct)
+		}
+		if r.EnergyRedPct > 60 || r.LatencyRedPct > 60 {
+			t.Errorf("%s: implausibly large reduction (E %.1f%%, t %.1f%%)", r.Case.Name, r.EnergyRedPct, r.LatencyRedPct)
+		}
+	}
+}
+
+func TestFigure9Bottleneck(t *testing.T) {
+	rows, s := Figure9()
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	if s.VMCUName != "S1" || s.TinyName != "S1" {
+		t.Errorf("bottlenecks %s/%s, want S1/S1", s.VMCUName, s.TinyName)
+	}
+	// Paper: bottleneck reduced 61.5% (36.0 -> 13.9 KB). Our band: 45-70%.
+	if s.RedVsTiny < 45 || s.RedVsTiny > 70 {
+		t.Errorf("bottleneck reduction %.1f%%, want ~61.5%%", s.RedVsTiny)
+	}
+	if s.HMCOSKB < s.TinyKB {
+		t.Error("HMCOS bottleneck must be the largest")
+	}
+}
+
+func TestFigure10OnlyVMCUFits(t *testing.T) {
+	rows, s := Figure10()
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows, want 17", len(rows))
+	}
+	if s.TinyKB*1000 != 247808 {
+		t.Errorf("TinyEngine bottleneck = %.3f KB, paper: 247.808", s.TinyKB)
+	}
+	if s.VMCUKB > 128 {
+		t.Errorf("vMCU bottleneck %.1f KB does not fit the F411RE", s.VMCUKB)
+	}
+	if s.VMCUName != "B1" || s.TinyName != "B2" {
+		t.Errorf("bottleneck modules %s/%s, paper says B1/B2", s.VMCUName, s.TinyName)
+	}
+}
+
+func TestTable3LatencyComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module execution is slow under -short")
+	}
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OutputVerified {
+			t.Errorf("%s: not verified", r.Name)
+		}
+		// Paper: overall 1.03x of TinyEngine. Our substrate carries the
+		// full expansion recompute, so allow up to 2x but demand the same
+		// order of magnitude and no pathological slowdowns.
+		if r.RatioVMCUToTiny < 0.5 || r.RatioVMCUToTiny > 2.0 {
+			t.Errorf("%s: latency ratio %.2f outside [0.5, 2.0]", r.Name, r.RatioVMCUToTiny)
+		}
+		if r.VMCULatencyMS <= 0 || r.ThroughputIPS <= 0 {
+			t.Errorf("%s: nonsensical latency %v", r.Name, r.VMCULatencyMS)
+		}
+	}
+}
+
+func TestFigure11ImageScaling(t *testing.T) {
+	rows := Figure11()
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for i, r := range rows {
+		// Paper band: 1.29x - 2.58x. Our workspace-dominated tiny modules
+		// (S7, S8) cannot grow at all (see EXPERIMENTS.md); everything
+		// else must show headroom.
+		if r.Ratio < 1.0 || r.Ratio > 3.2 {
+			t.Errorf("%s: image ratio %.2f outside plausible band", r.Name, r.Ratio)
+		}
+		if i < 4 && r.Ratio < 1.25 {
+			t.Errorf("%s: large module must gain >=1.25x, got %.2f", r.Name, r.Ratio)
+		}
+	}
+}
+
+func TestFigure12ChannelScaling(t *testing.T) {
+	rows := Figure12()
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for i, r := range rows {
+		// Paper band: 1.26x - 3.17x. Our substrate gives expansion-heavy
+		// modules more channel headroom (S3 ~6x) and workspace-dominated
+		// tiny modules less (<1x); the large-module shape must hold.
+		if r.Ratio < 0.5 || r.Ratio > 6.5 {
+			t.Errorf("%s: channel ratio %.2f outside plausible band", r.Name, r.Ratio)
+		}
+		if i < 4 && r.Ratio < 1.25 {
+			t.Errorf("%s: large module must gain >=1.25x channels, got %.2f", r.Name, r.Ratio)
+		}
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	f7 := RenderFigure7(Figure7())
+	if !strings.Contains(f7, "H/W80,C16,K16") || !strings.Contains(f7, "OOM") {
+		t.Error("Figure 7 rendering incomplete")
+	}
+	rows, s := Figure9()
+	f9 := RenderModules("Figure 9", rows, s)
+	if !strings.Contains(f9, "bottleneck") || !strings.Contains(f9, "S1") {
+		t.Error("Figure 9 rendering incomplete")
+	}
+	if !strings.Contains(RenderTable1(), "F411RE") {
+		t.Error("Table 1 rendering incomplete")
+	}
+	if !strings.Contains(RenderTable2(), "B17") {
+		t.Error("Table 2 rendering incomplete")
+	}
+	f11 := RenderScaling("Figure 11", Figure11())
+	if !strings.Contains(f11, "S8") {
+		t.Error("Figure 11 rendering incomplete")
+	}
+}
+
+func TestKBConvention(t *testing.T) {
+	if KB(247808) != 247.808 {
+		t.Errorf("KB(247808) = %v, want 247.808 (paper convention)", KB(247808))
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	got := Table([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator not aligned with header")
+	}
+}
+
+func TestRenderMemoryProfile(t *testing.T) {
+	samples := []int{0, 100, 500, 1000, 900, 700, 1000, 200}
+	got := RenderMemoryProfile(samples, 8, 4)
+	if !strings.Contains(got, "#") || !strings.Contains(got, "1.0K") {
+		t.Errorf("profile rendering incomplete:\n%s", got)
+	}
+	if RenderMemoryProfile(nil, 8, 4) != "(no samples)\n" {
+		t.Error("empty samples not handled")
+	}
+	// Peaks must survive downsampling to fewer columns than samples.
+	wide := RenderMemoryProfile(samples, 3, 2)
+	if !strings.Contains(wide, "#") {
+		t.Error("downsampled profile lost all occupancy")
+	}
+}
+
+func TestPointwiseMemoryTraceShowsPlateau(t *testing.T) {
+	// An equal-channel layer keeps the pool near-full the whole way (the
+	// output steals segments as fast as the input frees them).
+	out, err := PointwiseMemoryTrace(mcuM4(), PointwiseCase{Name: "t", HW: 16, C: 16, K: 16}, 5, 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "kernel progress") {
+		t.Errorf("trace rendering incomplete:\n%s", out)
+	}
+}

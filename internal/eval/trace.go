@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderMemoryProfile draws an ASCII occupancy timeline from device trace
+// samples — the evolution of live pool bytes as a kernel streams output
+// segments into freed input segments (the dynamic the paper's Figure 1
+// illustrates step by step). width columns, height rows.
+func RenderMemoryProfile(samples []int, width, height int) string {
+	if len(samples) == 0 || width <= 0 || height <= 0 {
+		return "(no samples)\n"
+	}
+	// Downsample to width columns by max-pooling (peaks must survive).
+	cols := make([]int, width)
+	peak := 0
+	for c := 0; c < width; c++ {
+		lo := c * len(samples) / width
+		hi := (c + 1) * len(samples) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := 0
+		for _, v := range samples[lo:min(hi, len(samples))] {
+			if v > m {
+				m = v
+			}
+		}
+		cols[c] = m
+		if m > peak {
+			peak = m
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		threshold := peak * row / height
+		label := "       "
+		if row == height {
+			label = fmt.Sprintf("%6.1fK", float64(peak)/1000)
+		}
+		if row == 1 {
+			label = "      0"
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		for _, v := range cols {
+			if v >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "> kernel progress\n")
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package ilp
+
+import (
+	"errors"
+	"math/big"
+)
+
+// IntSolution is an optimal integer assignment.
+type IntSolution struct {
+	X   []int64
+	Obj int64
+}
+
+// maxBBNodes bounds the branch-and-bound search; planner instances are
+// tiny, so hitting this indicates a malformed problem.
+const maxBBNodes = 200000
+
+// SolveILP finds an exact integer optimum by branch and bound over the LP
+// relaxation. All variables must have finite bounds (guaranteed by
+// construction). Objective coefficients are integers, so the LP bound is
+// rounded up when pruning.
+func (p *Problem) SolveILP() (*IntSolution, error) {
+	var best *IntSolution
+	nodes := 0
+	lo := append([]int64(nil), p.Lo...)
+	hi := append([]int64(nil), p.Hi...)
+
+	var recurse func(lo, hi []int64) error
+	recurse = func(lo, hi []int64) error {
+		nodes++
+		if nodes > maxBBNodes {
+			return errors.New("ilp: branch-and-bound node limit exceeded")
+		}
+		sol, err := p.solveLPWithBounds(lo, hi)
+		if errors.Is(err, ErrInfeasible) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		// Prune: integer objective can't beat incumbent if ceil(LP) >= best.
+		if best != nil {
+			bound := ratCeil(sol.Obj)
+			if bound >= best.Obj {
+				return nil
+			}
+		}
+		frac := -1
+		for j, x := range sol.X {
+			if !x.IsInt() {
+				frac = j
+				break
+			}
+		}
+		if frac < 0 {
+			x := make([]int64, p.NumVars)
+			for j := range x {
+				x[j] = sol.X[j].Num().Int64()
+			}
+			obj := sol.Obj.Num().Int64()
+			if best == nil || obj < best.Obj {
+				best = &IntSolution{X: x, Obj: obj}
+			}
+			return nil
+		}
+		floorV := ratFloor(sol.X[frac])
+		// Down branch: x_frac <= floor.
+		hi2 := append([]int64(nil), hi...)
+		if floorV < hi2[frac] {
+			hi2[frac] = floorV
+		}
+		if lo[frac] <= hi2[frac] {
+			if err := recurse(lo, hi2); err != nil {
+				return err
+			}
+		}
+		// Up branch: x_frac >= floor+1.
+		lo2 := append([]int64(nil), lo...)
+		if floorV+1 > lo2[frac] {
+			lo2[frac] = floorV + 1
+		}
+		if lo2[frac] <= hi[frac] {
+			if err := recurse(lo2, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := recurse(lo, hi); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// ratFloor returns floor(r) as int64.
+func ratFloor(r *big.Rat) int64 {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	// big.Int Quo truncates toward zero; adjust for negatives.
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q.Int64()
+}
+
+// ratCeil returns ceil(r) as int64.
+func ratCeil(r *big.Rat) int64 {
+	f := ratFloor(r)
+	if r.IsInt() {
+		return f
+	}
+	return f + 1
+}

@@ -1,0 +1,118 @@
+package ilp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DiffSystem is a system of difference constraints v[a] − v[b] ≥ w, the
+// structure of the paper's multi-layer offset problem (Eq. 2): each
+// producer-consumer pair contributes one constraint between the tensors'
+// pool offsets, and the minimal feasible separation between two offsets
+// equals the longest constraint-path between them.
+type DiffSystem struct {
+	n     int
+	edges []diffEdge
+}
+
+type diffEdge struct {
+	from, to int // constraint v[to] - v[from] >= w, i.e. edge from -> to
+	w        int64
+}
+
+// NewDiffSystem creates a system over n variables.
+func NewDiffSystem(n int) *DiffSystem { return &DiffSystem{n: n} }
+
+// AddGE adds the constraint v[a] − v[b] ≥ w.
+func (s *DiffSystem) AddGE(a, b int, w int64) {
+	if a < 0 || a >= s.n || b < 0 || b >= s.n {
+		panic(fmt.Sprintf("ilp: diff constraint var out of range (%d, %d of %d)", a, b, s.n))
+	}
+	s.edges = append(s.edges, diffEdge{from: b, to: a, w: w})
+}
+
+// ErrPositiveCycle indicates the constraints are unsatisfiable (a cycle of
+// constraints whose weights sum to a positive value).
+var ErrPositiveCycle = errors.New("ilp: positive-weight constraint cycle (infeasible)")
+
+const negInf = int64(-1) << 62
+
+// LongestPathsFrom computes, for every node, the longest constraint-path
+// weight from src (Bellman-Ford on the ≥-edges). Unreachable nodes report
+// ok=false in the second slice. A positive cycle reachable from src is an
+// error: the system is infeasible.
+func (s *DiffSystem) LongestPathsFrom(src int) ([]int64, []bool, error) {
+	dist := make([]int64, s.n)
+	reach := make([]bool, s.n)
+	for i := range dist {
+		dist[i] = negInf
+	}
+	dist[src] = 0
+	reach[src] = true
+	for iter := 0; iter < s.n; iter++ {
+		changed := false
+		for _, e := range s.edges {
+			if !reach[e.from] {
+				continue
+			}
+			if cand := dist[e.from] + e.w; !reach[e.to] || cand > dist[e.to] {
+				dist[e.to] = cand
+				reach[e.to] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, reach, nil
+		}
+	}
+	// One more relaxation round detects a positive cycle.
+	for _, e := range s.edges {
+		if reach[e.from] && dist[e.from]+e.w > dist[e.to] {
+			return nil, nil, ErrPositiveCycle
+		}
+	}
+	return dist, reach, nil
+}
+
+// MinDiff returns the minimum feasible value of v[a] − v[b], which is the
+// longest constraint-path from b to a. ok=false means the difference is
+// unconstrained (no path), i.e. the minimum is −∞.
+func (s *DiffSystem) MinDiff(a, b int) (w int64, ok bool, err error) {
+	dist, reach, err := s.LongestPathsFrom(b)
+	if err != nil {
+		return 0, false, err
+	}
+	if !reach[a] {
+		return 0, false, nil
+	}
+	return dist[a], true, nil
+}
+
+// Feasible returns an assignment satisfying all constraints with every
+// value ≥ 0 and the source anchored, or ErrPositiveCycle. It runs
+// Bellman-Ford from a virtual source connected to every node with weight 0
+// (so unconstrained nodes sit at 0) and then shifts to nonnegative.
+func (s *DiffSystem) Feasible() ([]int64, error) {
+	ext := &DiffSystem{n: s.n + 1}
+	ext.edges = append(ext.edges, s.edges...)
+	src := s.n
+	for i := 0; i < s.n; i++ {
+		ext.edges = append(ext.edges, diffEdge{from: src, to: i, w: 0})
+	}
+	dist, _, err := ext.LongestPathsFrom(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, s.n)
+	var min int64
+	for i := 0; i < s.n; i++ {
+		out[i] = dist[i]
+		if dist[i] < min {
+			min = dist[i]
+		}
+	}
+	for i := range out {
+		out[i] -= min
+	}
+	return out, nil
+}

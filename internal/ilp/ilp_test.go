@@ -1,0 +1,385 @@
+package ilp
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/affine"
+)
+
+func TestSolveLPSimple(t *testing.T) {
+	// min -x - y s.t. x + y <= 4, x <= 3, y <= 3, x,y >= 0  -> obj -4.
+	p := NewProblem(2)
+	p.SetObjective(-1, -1)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 3)
+	p.AddConstraint([]int64{1, 1}, LE, 4)
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Obj.Cmp(big.NewRat(-4, 1)) != 0 {
+		t.Errorf("LP obj = %v, want -4", sol.Obj)
+	}
+}
+
+func TestSolveLPFractionalOptimum(t *testing.T) {
+	// min -x s.t. 2x <= 5, 0 <= x <= 10 -> x = 5/2.
+	p := NewProblem(1)
+	p.SetObjective(-1)
+	p.SetBounds(0, 0, 10)
+	p.AddConstraint([]int64{2}, LE, 5)
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0].Cmp(big.NewRat(5, 2)) != 0 {
+		t.Errorf("LP x = %v, want 5/2", sol.X[0])
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, 0, 10)
+	p.AddConstraint([]int64{1}, GE, 20)
+	if _, err := p.SolveLP(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveLPEqualityAndNegativeBounds(t *testing.T) {
+	// min x + y s.t. x - y = 3, -5 <= x,y <= 5 -> x=-2,y=-5 obj=-7.
+	p := NewProblem(2)
+	p.SetObjective(1, 1)
+	p.SetBounds(0, -5, 5)
+	p.SetBounds(1, -5, 5)
+	p.AddConstraint([]int64{1, -1}, EQ, 3)
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Obj.Cmp(big.NewRat(-7, 1)) != 0 {
+		t.Errorf("obj = %v, want -7", sol.Obj)
+	}
+}
+
+func TestSolveLPFixedVariable(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(1, 1)
+	p.SetBounds(0, 4, 4) // fixed
+	p.SetBounds(1, 0, 9)
+	p.AddConstraint([]int64{1, 1}, GE, 6)
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0].Cmp(big.NewRat(4, 1)) != 0 || sol.Obj.Cmp(big.NewRat(6, 1)) != 0 {
+		t.Errorf("x=%v obj=%v, want x0=4 obj=6", sol.X, sol.Obj)
+	}
+}
+
+func TestSolveILPRoundsCorrectly(t *testing.T) {
+	// min -x s.t. 2x <= 5, integer -> x = 2.
+	p := NewProblem(1)
+	p.SetObjective(-1)
+	p.SetBounds(0, 0, 10)
+	p.AddConstraint([]int64{2}, LE, 5)
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] != 2 || sol.Obj != -2 {
+		t.Errorf("ILP sol = %+v, want x=2 obj=-2", sol)
+	}
+}
+
+func TestSolveILPKnapsackLike(t *testing.T) {
+	// max 5a + 4b (min negative) s.t. 6a + 5b <= 17, a,b in [0,3].
+	p := NewProblem(2)
+	p.SetObjective(-5, -4)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 3)
+	p.AddConstraint([]int64{6, 5}, LE, 17)
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Obj != -14 { // a=2, b=1: 12+5=17 cap, value 14
+		t.Errorf("ILP obj = %d (x=%v), want -14", sol.Obj, sol.X)
+	}
+}
+
+func TestSolveILPInfeasible(t *testing.T) {
+	p := NewProblem(2)
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, 0, 1)
+	p.AddConstraint([]int64{1, 1}, GE, 5)
+	if _, err := p.SolveILP(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// bruteForceILP enumerates the integer box to find the true optimum.
+func bruteForceILP(p *Problem) (best int64, found bool) {
+	var rec func(j int, x []int64)
+	rec = func(j int, x []int64) {
+		if j == p.NumVars {
+			for _, c := range p.Cons {
+				var lhs int64
+				for k, v := range x {
+					lhs += c.Coef[k] * v
+				}
+				switch c.Rel {
+				case LE:
+					if lhs > c.RHS {
+						return
+					}
+				case GE:
+					if lhs < c.RHS {
+						return
+					}
+				case EQ:
+					if lhs != c.RHS {
+						return
+					}
+				}
+			}
+			var obj int64
+			for k, v := range x {
+				obj += p.Obj[k] * v
+			}
+			if !found || obj < best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for v := p.Lo[j]; v <= p.Hi[j]; v++ {
+			x[j] = v
+			rec(j+1, x)
+		}
+	}
+	rec(0, make([]int64, p.NumVars))
+	return best, found
+}
+
+func TestSolveILPMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rels := []Rel{LE, GE, EQ}
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(3)
+		p := NewProblem(n)
+		obj := make([]int64, n)
+		for j := range obj {
+			obj[j] = int64(rng.Intn(9) - 4)
+			p.SetBounds(j, int64(-rng.Intn(3)), int64(rng.Intn(3)+1))
+		}
+		p.SetObjective(obj...)
+		nc := rng.Intn(3)
+		for c := 0; c < nc; c++ {
+			coef := make([]int64, n)
+			for j := range coef {
+				coef[j] = int64(rng.Intn(7) - 3)
+			}
+			rel := rels[rng.Intn(2)] // LE/GE; EQ often makes everything infeasible
+			if rng.Intn(10) == 0 {
+				rel = EQ
+			}
+			p.AddConstraint(coef, rel, int64(rng.Intn(9)-4))
+		}
+		want, feasible := bruteForceILP(p)
+		sol, err := p.SolveILP()
+		if !feasible {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("iter %d: brute force infeasible but solver said %v %v", iter, sol, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: solver error %v on feasible problem", iter, err)
+		}
+		if sol.Obj != want {
+			t.Fatalf("iter %d: ILP obj %d != brute force %d (x=%v)", iter, sol.Obj, want, sol.X)
+		}
+	}
+}
+
+// TestILPMatchesAffineGapOnGEMM encodes the paper's Eq. (1) for GEMM
+// directly as an ILP over (bIn, bOut) and cross-validates the optimum
+// against the affine vertex solution.
+func TestILPMatchesAffineGapOnGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 25; iter++ {
+		m := int64(1 + rng.Intn(3))
+		n := int64(1 + rng.Intn(3))
+		k := int64(1 + rng.Intn(3))
+		box := affine.NewBox(m, n, k)
+		read := affine.Compose(affine.Vec{k, 1}, affine.Access{A: affine.Mat{{1, 0, 0}, {0, 0, 1}}})
+		write := affine.Compose(affine.Vec{n, 1}, affine.Access{A: affine.Mat{{1, 0, 0}, {0, 1, 0}}})
+		want := affine.MaxWriteReadGap(write, read, box)
+
+		// Vars: x0 = bIn, x1 = bOut. For every pair j <= i:
+		// read(i) + bIn >= write(j) + bOut.
+		p := NewProblem(2)
+		p.SetObjective(1, -1) // min bIn - bOut
+		p.SetBounds(0, 0, 4096)
+		p.SetBounds(1, 0, 4096)
+		var insts []affine.Vec
+		box.Enumerate(func(i affine.Vec) bool {
+			insts = append(insts, append(affine.Vec(nil), i...))
+			return true
+		})
+		for _, i := range insts {
+			for _, j := range insts {
+				if !affine.LexLE(j, i) {
+					continue
+				}
+				// bIn - bOut >= write(j) - read(i)
+				p.AddConstraint([]int64{1, -1}, GE, write.Eval(j)-read.Eval(i))
+			}
+		}
+		sol, err := p.SolveILP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Obj != want {
+			t.Fatalf("iter %d (%d,%d,%d): ILP gap %d != affine %d", iter, m, n, k, sol.Obj, want)
+		}
+	}
+}
+
+func TestDiffSystemChain(t *testing.T) {
+	// v0 - v1 >= 2, v1 - v2 >= 3 => min(v0 - v2) = 5.
+	s := NewDiffSystem(3)
+	s.AddGE(0, 1, 2)
+	s.AddGE(1, 2, 3)
+	w, ok, err := s.MinDiff(0, 2)
+	if err != nil || !ok || w != 5 {
+		t.Fatalf("MinDiff = %d,%v,%v, want 5,true,nil", w, ok, err)
+	}
+	if _, ok, _ := s.MinDiff(2, 0); ok {
+		t.Error("reverse direction must be unconstrained")
+	}
+}
+
+func TestDiffSystemTakesLongestPath(t *testing.T) {
+	// Two parallel paths 0->2: direct weight 1, via 1 weight 2+2=4.
+	s := NewDiffSystem(3)
+	s.AddGE(0, 2, 1)
+	s.AddGE(0, 1, 2)
+	s.AddGE(1, 2, 2)
+	w, ok, err := s.MinDiff(0, 2)
+	if err != nil || !ok || w != 4 {
+		t.Fatalf("MinDiff = %d,%v,%v, want 4 (longest path)", w, ok, err)
+	}
+}
+
+func TestDiffSystemPositiveCycle(t *testing.T) {
+	s := NewDiffSystem(2)
+	s.AddGE(0, 1, 1)
+	s.AddGE(1, 0, 1)
+	if _, _, err := s.MinDiff(0, 1); !errors.Is(err, ErrPositiveCycle) {
+		t.Errorf("err = %v, want ErrPositiveCycle", err)
+	}
+}
+
+func TestDiffSystemZeroCycleFeasible(t *testing.T) {
+	s := NewDiffSystem(2)
+	s.AddGE(0, 1, 1)
+	s.AddGE(1, 0, -1)
+	v, err := s.Feasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0]-v[1] < 1 {
+		t.Errorf("assignment %v violates v0-v1>=1", v)
+	}
+}
+
+func TestDiffSystemFeasibleSatisfiesAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + rng.Intn(5)
+		s := NewDiffSystem(n)
+		// Random DAG edges only (a < b constrained downward) => no cycles.
+		for e := 0; e < n; e++ {
+			a := rng.Intn(n - 1)
+			b := a + 1 + rng.Intn(n-a-1)
+			s.AddGE(a, b, int64(rng.Intn(7)-2))
+		}
+		v, err := s.Feasible()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range s.edges {
+			if v[e.to]-v[e.from] < e.w {
+				t.Fatalf("iter %d: assignment %v violates edge %+v", iter, v, e)
+			}
+		}
+		for _, x := range v {
+			if x < 0 {
+				t.Fatalf("iter %d: negative assignment %v", iter, v)
+			}
+		}
+	}
+}
+
+func TestMinDiffTightness(t *testing.T) {
+	// MinDiff must be achievable: build assignment anchored at b and check.
+	s := NewDiffSystem(4)
+	s.AddGE(3, 0, 2)
+	s.AddGE(3, 1, 1)
+	s.AddGE(1, 0, 4)
+	w, ok, err := s.MinDiff(3, 0)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if w != 5 { // 0->1 (4) then 1->3 (1)
+		t.Errorf("MinDiff(3,0) = %d, want 5", w)
+	}
+}
+
+func TestAddGEPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDiffSystem(2).AddGE(0, 5, 1)
+}
+
+func TestProblemValidationPanics(t *testing.T) {
+	p := NewProblem(2)
+	for name, f := range map[string]func(){
+		"objective": func() { p.SetObjective(1) },
+		"bounds":    func() { p.SetBounds(0, 3, 1) },
+		"coef":      func() { p.AddConstraint([]int64{1}, LE, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRatFloorCeil(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		fl, ce   int64
+	}{{7, 2, 3, 4}, {-7, 2, -4, -3}, {6, 2, 3, 3}, {-6, 2, -3, -3}, {0, 1, 0, 0}}
+	for _, c := range cases {
+		r := big.NewRat(c.num, c.den)
+		if got := ratFloor(r); got != c.fl {
+			t.Errorf("floor(%v) = %d, want %d", r, got, c.fl)
+		}
+		if got := ratCeil(r); got != c.ce {
+			t.Errorf("ceil(%v) = %d, want %d", r, got, c.ce)
+		}
+	}
+}

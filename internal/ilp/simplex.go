@@ -1,0 +1,363 @@
+// Package ilp provides the exact integer optimization machinery behind the
+// paper's memory-management formulation (Eq. 1 and Eq. 2): a rational
+// two-phase simplex, a branch-and-bound integer solver, and a
+// difference-constraint solver (longest paths) for chaining offsets across
+// multi-layer graphs. All arithmetic is exact (math/big.Rat), so planner
+// answers are deterministic and cross-validatable against closed forms.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is "≤ rhs".
+	LE Rel = iota
+	// GE is "≥ rhs".
+	GE
+	// EQ is "= rhs".
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is a linear constraint Σ Coef[j]·x[j] Rel RHS.
+type Constraint struct {
+	Coef []int64
+	Rel  Rel
+	RHS  int64
+}
+
+// Problem is a bounded linear/integer program: minimize Obj·x subject to
+// constraints and per-variable finite bounds Lo ≤ x ≤ Hi.
+type Problem struct {
+	NumVars int
+	Obj     []int64
+	Lo, Hi  []int64
+	Cons    []Constraint
+}
+
+// NewProblem creates a problem with n variables, default bounds [0, 1<<30]
+// and a zero objective.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		NumVars: n,
+		Obj:     make([]int64, n),
+		Lo:      make([]int64, n),
+		Hi:      make([]int64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.Hi[j] = 1 << 30
+	}
+	return p
+}
+
+// SetObjective sets the minimization objective coefficients.
+func (p *Problem) SetObjective(c ...int64) {
+	if len(c) != p.NumVars {
+		panic(fmt.Sprintf("ilp: objective length %d != vars %d", len(c), p.NumVars))
+	}
+	copy(p.Obj, c)
+}
+
+// SetBounds sets finite bounds for variable j.
+func (p *Problem) SetBounds(j int, lo, hi int64) {
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: bounds lo %d > hi %d for var %d", lo, hi, j))
+	}
+	p.Lo[j], p.Hi[j] = lo, hi
+}
+
+// AddConstraint appends Σ coef·x Rel rhs.
+func (p *Problem) AddConstraint(coef []int64, rel Rel, rhs int64) {
+	if len(coef) != p.NumVars {
+		panic(fmt.Sprintf("ilp: constraint length %d != vars %d", len(coef), p.NumVars))
+	}
+	p.Cons = append(p.Cons, Constraint{Coef: append([]int64(nil), coef...), Rel: rel, RHS: rhs})
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// ErrUnbounded is returned when the LP objective is unbounded below
+// (cannot occur with finite variable bounds).
+var ErrUnbounded = errors.New("ilp: unbounded")
+
+// LPSolution is an exact rational optimum.
+type LPSolution struct {
+	X   []*big.Rat
+	Obj *big.Rat
+}
+
+// rat builds a big.Rat from an int64.
+func rat(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }
+
+// SolveLP solves the LP relaxation exactly. Bounds are honored by shifting
+// (y = x − lo ≥ 0) and adding explicit upper-bound rows.
+func (p *Problem) SolveLP() (*LPSolution, error) {
+	return p.solveLPWithBounds(p.Lo, p.Hi)
+}
+
+func (p *Problem) solveLPWithBounds(lo, hi []int64) (*LPSolution, error) {
+	n := p.NumVars
+	for j := 0; j < n; j++ {
+		if lo[j] > hi[j] {
+			return nil, ErrInfeasible
+		}
+	}
+	// Build rows over shifted variables y = x - lo, y >= 0:
+	//   original: Σ a·x rel b  ->  Σ a·y rel b - Σ a·lo
+	//   bound:    y_j <= hi_j - lo_j
+	type row struct {
+		a   []*big.Rat
+		rel Rel
+		b   *big.Rat
+	}
+	var rows []row
+	for _, c := range p.Cons {
+		a := make([]*big.Rat, n)
+		shift := int64(0)
+		for j := 0; j < n; j++ {
+			a[j] = rat(c.Coef[j])
+			shift += c.Coef[j] * lo[j]
+		}
+		rows = append(rows, row{a: a, rel: c.Rel, b: rat(c.RHS - shift)})
+	}
+	for j := 0; j < n; j++ {
+		if hi[j]-lo[j] == 0 {
+			// Fixed variable: y_j = 0; encode as equality to keep basis sane.
+			a := make([]*big.Rat, n)
+			for k := range a {
+				a[k] = rat(0)
+			}
+			a[j] = rat(1)
+			rows = append(rows, row{a: a, rel: EQ, b: rat(0)})
+			continue
+		}
+		a := make([]*big.Rat, n)
+		for k := range a {
+			a[k] = rat(0)
+		}
+		a[j] = rat(1)
+		rows = append(rows, row{a: a, rel: LE, b: rat(hi[j] - lo[j])})
+	}
+
+	m := len(rows)
+	// Normalize b >= 0.
+	for i := range rows {
+		if rows[i].b.Sign() < 0 {
+			for j := range rows[i].a {
+				rows[i].a[j] = new(big.Rat).Neg(rows[i].a[j])
+			}
+			rows[i].b = new(big.Rat).Neg(rows[i].b)
+			switch rows[i].rel {
+			case LE:
+				rows[i].rel = GE
+			case GE:
+				rows[i].rel = LE
+			}
+		}
+	}
+	// Column layout: [ y_0..y_{n-1} | slacks | artificials ].
+	nSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows + 1 objective row; columns total + 1 (rhs).
+	t := make([][]*big.Rat, m+1)
+	for i := range t {
+		t[i] = make([]*big.Rat, total+1)
+		for j := range t[i] {
+			t[i][j] = rat(0)
+		}
+	}
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	artStart := artCol
+	for i, r := range rows {
+		for j := 0; j < n; j++ {
+			t[i][j].Set(r.a[j])
+		}
+		t[i][total].Set(r.b)
+		switch r.rel {
+		case LE:
+			t[i][slackCol] = rat(1)
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = rat(-1)
+			slackCol++
+			t[i][artCol] = rat(1)
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			t[i][artCol] = rat(1)
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimize sum of artificials.
+		obj := t[m]
+		for j := range obj {
+			obj[j] = rat(0)
+		}
+		for j := artStart; j < artStart+nArt; j++ {
+			obj[j] = rat(1)
+		}
+		priceOut(t, basis, m, total)
+		if err := pivotLoop(t, basis, m, total); err != nil {
+			return nil, err
+		}
+		if t[m][total].Sign() != 0 { // -obj value; phase-1 optimum must be 0
+			return nil, ErrInfeasible
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if t[i][j].Sign() != 0 {
+					pivot(t, basis, i, j, m, total)
+					pivoted = true
+					break
+				}
+			}
+			_ = pivoted // a redundant row keeps its zero-valued artificial
+		}
+	}
+
+	// Phase 2: original objective; artificial columns forbidden.
+	obj := t[m]
+	for j := range obj {
+		obj[j] = rat(0)
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = rat(p.Obj[j])
+	}
+	priceOut(t, basis, m, total)
+	if err := pivotLoopLimited(t, basis, m, total, artStart); err != nil {
+		return nil, err
+	}
+
+	y := make([]*big.Rat, n)
+	for j := range y {
+		y[j] = rat(0)
+	}
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			y[basis[i]] = new(big.Rat).Set(t[i][total])
+		}
+	}
+	x := make([]*big.Rat, n)
+	objVal := rat(0)
+	for j := 0; j < n; j++ {
+		x[j] = new(big.Rat).Add(y[j], rat(lo[j]))
+		objVal.Add(objVal, new(big.Rat).Mul(rat(p.Obj[j]), x[j]))
+	}
+	return &LPSolution{X: x, Obj: objVal}, nil
+}
+
+// priceOut zeroes the objective-row entries of all basic columns.
+func priceOut(t [][]*big.Rat, basis []int, m, total int) {
+	for i := 0; i < m; i++ {
+		c := t[m][basis[i]]
+		if c.Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(c)
+		for j := 0; j <= total; j++ {
+			t[m][j].Sub(t[m][j], new(big.Rat).Mul(factor, t[i][j]))
+		}
+	}
+}
+
+// pivotLoop runs Bland's-rule simplex until optimal.
+func pivotLoop(t [][]*big.Rat, basis []int, m, total int) error {
+	return pivotLoopLimited(t, basis, m, total, total)
+}
+
+// pivotLoopLimited is pivotLoop restricted to entering columns < colLimit
+// (used in phase 2 to bar the artificial columns).
+func pivotLoopLimited(t [][]*big.Rat, basis []int, m, total, colLimit int) error {
+	for iter := 0; ; iter++ {
+		if iter > 10000 {
+			return errors.New("ilp: simplex iteration limit exceeded")
+		}
+		// Bland: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < colLimit; j++ {
+			if t[m][j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Min-ratio leaving row; Bland tie-break on basis index.
+		leave := -1
+		var best *big.Rat
+		for i := 0; i < m; i++ {
+			if t[i][enter].Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(t[i][total], t[i][enter])
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && basis[i] < basis[leave]) {
+				leave = i
+				best = ratio
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, m, total)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(t [][]*big.Rat, basis []int, row, col, m, total int) {
+	pv := new(big.Rat).Set(t[row][col])
+	for j := 0; j <= total; j++ {
+		t[row][j].Quo(t[row][j], pv)
+	}
+	for i := 0; i <= m; i++ {
+		if i == row || t[i][col].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(t[i][col])
+		for j := 0; j <= total; j++ {
+			t[i][j].Sub(t[i][j], new(big.Rat).Mul(factor, t[row][j]))
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,167 @@
+// Package intrin implements the paper's kernel-programming intrinsics
+// (§6.1): RegAlloc, RAMLoad, FlashLoad, Dot, RAMStore, RAMFree, and
+// Broadcast, executed against the simulated MCU with exact operation
+// accounting. RAMLoad/RAMStore include the circular-buffer boundary check
+// (a modulo, charged by the pool) and a branch; Dot is the fixed-size
+// 2×2×16 int8 matrix multiply that lowers to SXTB16/SMLAD sequences on ARM.
+package intrin
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/seg"
+	"github.com/vmcu-project/vmcu/internal/tensor"
+)
+
+// Ctx bundles the device and the segment pool a kernel executes against.
+type Ctx struct {
+	Dev  *mcu.Device
+	Pool *seg.Pool
+
+	scratch []byte // reusable staging buffer for loads/stores
+}
+
+// NewCtx creates a kernel execution context.
+func NewCtx(dev *mcu.Device, pool *seg.Pool) *Ctx {
+	return &Ctx{Dev: dev, Pool: pool, scratch: make([]byte, 256)}
+}
+
+func (c *Ctx) stage(n int) []byte {
+	if cap(c.scratch) < n {
+		c.scratch = make([]byte, n)
+	}
+	return c.scratch[:n]
+}
+
+// RegAlloc allocates a register-file accumulator array of n int32 lanes
+// initialized to v, charging the zeroing/mov ALU ops.
+func (c *Ctx) RegAlloc(n int, v int32) []int32 {
+	c.Dev.CountALU(n)
+	r := make([]int32, n)
+	if v != 0 {
+		for i := range r {
+			r[i] = v
+		}
+	}
+	return r
+}
+
+// RAMLoad loads n bytes of tensor owner at logical pool byte offset off
+// (element offset elem0 within the tensor) into dst as int8. The access
+// pays the circular boundary check (modulo + branch) plus the RAM traffic.
+func (c *Ctx) RAMLoad(dst []int8, off int, owner mcu.TensorID, elem0 int) {
+	buf := c.stage(len(dst))
+	c.Pool.LoadBytes(off, buf, owner, elem0)
+	c.Dev.CountBranches(1)
+	for i, b := range buf {
+		dst[i] = int8(b)
+	}
+}
+
+// RAMStore writes src (int8) to logical pool byte offset off, claiming the
+// bytes for tensor owner at element offset elem0.
+func (c *Ctx) RAMStore(off int, src []int8, owner mcu.TensorID, elem0 int) {
+	buf := c.stage(len(src))
+	for i, v := range src {
+		buf[i] = byte(v)
+	}
+	c.Pool.StoreBytes(off, buf, owner, elem0)
+	c.Dev.CountBranches(1)
+}
+
+// RAMFree releases n bytes of tensor owner at logical pool byte offset off.
+func (c *Ctx) RAMFree(off, n int, owner mcu.TensorID) {
+	c.Pool.FreeBytes(off, n, owner)
+	c.Dev.CountBranches(1)
+}
+
+// FlashLoad reads n int8 weights from Flash at ref.Off+off into dst.
+func (c *Ctx) FlashLoad(dst []int8, ref mcu.FlashRef, off int) {
+	if off < 0 || off+len(dst) > ref.Len {
+		panic(fmt.Sprintf("intrin: flash load [%d,%d) outside blob of %d bytes", off, off+len(dst), ref.Len))
+	}
+	buf := c.stage(len(dst))
+	c.Dev.FlashRead(ref.Off+off, buf)
+	for i, b := range buf {
+		dst[i] = int8(b)
+	}
+}
+
+// FlashLoadInt32 reads n little-endian int32 values (bias vectors) from
+// Flash at ref.Off + 4*off.
+func (c *Ctx) FlashLoadInt32(dst []int32, ref mcu.FlashRef, off int) {
+	byteOff := 4 * off
+	n := 4 * len(dst)
+	if byteOff < 0 || byteOff+n > ref.Len {
+		panic(fmt.Sprintf("intrin: flash load32 [%d,%d) outside blob of %d bytes", byteOff, byteOff+n, ref.Len))
+	}
+	buf := c.stage(n)
+	c.Dev.FlashRead(ref.Off+byteOff, buf)
+	for i := range dst {
+		b := buf[4*i:]
+		dst[i] = int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	}
+}
+
+// Broadcast splats a 16-bit constant across both SIMD lanes (PKHBT).
+func (c *Ctx) Broadcast(v int16) uint32 {
+	c.Dev.CountALU(1)
+	return mcu.Broadcast16(v)
+}
+
+// DotVec accumulates the int8 dot product of a and b into *acc using the
+// packed SXTB16/SMLAD sequence in chunks of four (the scalar tail uses
+// single MACs). It charges 2 MACs per SMLAD plus the widening ALU ops.
+func (c *Ctx) DotVec(a, b []int8, acc *int32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("intrin: dot of mismatched lengths %d, %d", len(a), len(b)))
+	}
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		pa := mcu.PackBytes(a[i], a[i+1], a[i+2], a[i+3])
+		pb := mcu.PackBytes(b[i], b[i+1], b[i+2], b[i+3])
+		*acc = mcu.DotInt8x4(pa, pb, *acc)
+		c.Dev.CountMACs(4) // two SMLADs
+		c.Dev.CountALU(4)  // SXTB16 + ROR widening
+	}
+	for ; i < n; i++ {
+		*acc += int32(a[i]) * int32(b[i])
+		c.Dev.CountMACs(1)
+		c.Dev.CountALU(1)
+	}
+}
+
+// Dot is the paper's fixed-size 2×2×16 matrix-multiply intrinsic:
+// two int8 activation rows (16 deep) against two int8 weight rows
+// (16 deep), accumulating the four dot products into acc:
+//
+//	acc[0] += a0·b0   acc[1] += a0·b1
+//	acc[2] += a1·b0   acc[3] += a1·b1
+//
+// On ARM it lowers to a SADD16/SMLAD instruction sequence; here it charges
+// the equivalent 64 MACs plus widening ops.
+func (c *Ctx) Dot(a0, a1, b0, b1 []int8, acc *[4]int32) {
+	if len(a0) != 16 || len(a1) != 16 || len(b0) != 16 || len(b1) != 16 {
+		panic("intrin: Dot requires 16-element operands")
+	}
+	c.DotVec(a0, b0, &acc[0])
+	c.DotVec(a0, b1, &acc[1])
+	c.DotVec(a1, b0, &acc[2])
+	c.DotVec(a1, b1, &acc[3])
+}
+
+// Requantize converts an int32 accumulator to int8 output, charging the
+// fixed-point multiply/shift/saturate sequence (~4 ALU ops).
+func (c *Ctx) Requantize(acc int32, req tensor.Requant) int8 {
+	c.Dev.CountALU(4)
+	return req.Apply(acc)
+}
+
+// SatAddInt8 performs the saturating int8 addition used by residual add
+// layers, charging one ALU op (the ARM QADD8 lane op).
+func (c *Ctx) SatAddInt8(a, b int8) int8 {
+	c.Dev.CountALU(1)
+	return tensor.SaturateInt8(int32(a) + int32(b))
+}

@@ -1,0 +1,46 @@
+package ir
+
+import "github.com/vmcu-project/vmcu/internal/tensor"
+
+// BuildFC constructs the paper's Figure 4 fully connected kernel as an IR
+// program: two-level tiling with segment-sized outer tiles, RAMLoad of one
+// input segment per reduction step, FlashLoad of one weight row per output
+// lane, Dot accumulation, the requantize+RAMStore epilogue, and RAMFree of
+// each consumed input row. Offsets are relative to the tensor pointers;
+// the interpreter adds the pool placements (with "Out" sitting GapBytes
+// before "In", as the memory manager prescribes).
+func BuildFC(m, k, n, seg int, req tensor.Requant) *Program {
+	if k%seg != 0 || n%seg != 0 {
+		panic("ir: FC dims must be divisible by the segment size")
+	}
+	kSegs := k / seg
+	nSegs := n / seg
+	b := NewBuilder("fc")
+	b.DeclareTensor("In")
+	b.DeclareTensor("Out")
+	b.DeclareBlob("Weight") // [N][K] int8
+	b.DeclareBlob("Bias")   // [N] int32
+
+	b.For("m", m, func(mi Index) {
+		b.For("ns", nSegs, func(ns Index) {
+			b.RegAlloc("acc", seg)
+			b.LoadBias("acc", "Bias", Term("ns", seg), seg)
+			b.For("ks", kSegs, func(ks Index) {
+				// In[m, ks*seg : +seg]
+				b.RAMLoad("va", seg, "In", Term("m", k).PlusTerm("ks", seg))
+				b.For("ni", seg, func(ni Index) {
+					// Weight row (ns*seg + ni), columns ks*seg : +seg.
+					wOff := Term("ns", seg*k).PlusTerm("ni", k).PlusTerm("ks", seg)
+					b.FlashLoad("vb", seg, "Weight", wOff)
+					b.Dot("acc", Term("ni", 1), "va", "vb")
+				})
+			})
+			b.RequantStore("acc", seg, "Out",
+				Term("m", n).PlusTerm("ns", seg), req.Mult, req.Shift, req.ZeroPoint)
+		})
+		b.For("ks", kSegs, func(ks Index) {
+			b.RAMFree("In", Term("m", k).PlusTerm("ks", seg), seg)
+		})
+	})
+	return b.Build()
+}

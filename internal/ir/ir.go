@@ -1,0 +1,267 @@
+// Package ir implements the kernel intermediate representation behind the
+// paper's compiler support (§6): a loop-nest IR whose statements are the
+// paper's intrinsics (RegAlloc, RAMLoad, FlashLoad, Dot, RAMStore,
+// RAMFree), a fluent builder that plays the role of the Python
+// programming interface, an interpreter that executes programs against
+// the simulated MCU, and (in internal/codegen) a C backend that lowers
+// programs to ARM-intrinsic C.
+package ir
+
+import "fmt"
+
+// Index is an affine expression Σ coef·var + Const over loop variables —
+// the only index form the paper's kernels need.
+type Index struct {
+	Terms map[string]int
+	Const int
+}
+
+// Idx returns a constant index.
+func Idx(c int) Index { return Index{Const: c} }
+
+// Term returns coef·v.
+func Term(v string, coef int) Index {
+	return Index{Terms: map[string]int{v: coef}}
+}
+
+// Plus returns x + y.
+func (x Index) Plus(y Index) Index {
+	out := Index{Const: x.Const + y.Const, Terms: map[string]int{}}
+	for v, c := range x.Terms {
+		out.Terms[v] += c
+	}
+	for v, c := range y.Terms {
+		out.Terms[v] += c
+	}
+	return out
+}
+
+// PlusTerm returns x + coef·v.
+func (x Index) PlusTerm(v string, coef int) Index {
+	return x.Plus(Term(v, coef))
+}
+
+// Eval evaluates the index under the loop-variable environment.
+func (x Index) Eval(env map[string]int) (int, error) {
+	out := x.Const
+	for v, c := range x.Terms {
+		val, ok := env[v]
+		if !ok {
+			return 0, fmt.Errorf("ir: unbound loop variable %q", v)
+		}
+		out += c * val
+	}
+	return out, nil
+}
+
+// String renders the index as a C-like expression.
+func (x Index) String() string {
+	s := ""
+	for _, v := range sortedVars(x.Terms) {
+		c := x.Terms[v]
+		if c == 0 {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		if c == 1 {
+			s += v
+		} else {
+			s += fmt.Sprintf("%d*%s", c, v)
+		}
+	}
+	if s == "" || x.Const != 0 {
+		if s != "" {
+			s += " + "
+		}
+		s += fmt.Sprintf("%d", x.Const)
+	}
+	return s
+}
+
+func sortedVars(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Node is one IR statement.
+type Node interface{ node() }
+
+// For is a counted loop over [0, Extent).
+type For struct {
+	Var    string
+	Extent int
+	Body   []Node
+}
+
+// RegAlloc allocates an int32 accumulator register array (zeroed), the
+// paper's RegAlloc intrinsic.
+type RegAlloc struct {
+	Name  string
+	Lanes int
+}
+
+// LoadBias initializes an accumulator from an int32 Flash blob.
+type LoadBias struct {
+	Acc   string
+	Blob  string
+	Off   Index // element offset
+	Lanes int
+}
+
+// RAMLoad loads Bytes from the pool tensor at byte offset Off into an
+// int8 register buffer (the paper's RAMLoad, with the circular boundary
+// check inside).
+type RAMLoad struct {
+	Dst    string
+	Bytes  int
+	Tensor string
+	Off    Index
+}
+
+// FlashLoad loads Bytes from a Flash blob into an int8 register buffer.
+type FlashLoad struct {
+	Dst   string
+	Bytes int
+	Blob  string
+	Off   Index
+}
+
+// Dot accumulates the int8 dot product of registers A and B into lane
+// Lane of accumulator Acc (the paper's Dot intrinsic lane-wise form).
+type Dot struct {
+	Acc  string
+	Lane Index
+	A, B string
+}
+
+// RequantStore requantizes an accumulator to int8 and stores it to the
+// pool tensor at byte offset Off (the paper's RAMStore with the
+// quantization epilogue folded in, as real kernels do).
+type RequantStore struct {
+	Acc    string
+	Lanes  int
+	Tensor string
+	Off    Index
+	// Requantization constants (Q31 multiplier and shift, zero point).
+	Mult  int32
+	Shift int
+	ZP    int32
+}
+
+// RAMFree releases Bytes of the pool tensor at byte offset Off.
+type RAMFree struct {
+	Tensor string
+	Off    Index
+	Bytes  int
+}
+
+func (For) node()          {}
+func (RegAlloc) node()     {}
+func (LoadBias) node()     {}
+func (RAMLoad) node()      {}
+func (FlashLoad) node()    {}
+func (Dot) node()          {}
+func (RequantStore) node() {}
+func (RAMFree) node()      {}
+
+// Program is a complete kernel: a name, the tensor/blob interface, and
+// the statement body.
+type Program struct {
+	Name    string
+	Tensors []string // pool-resident activations (input, output)
+	Blobs   []string // Flash-resident constants (weights, bias)
+	Body    []Node
+}
+
+// Builder is the fluent construction API standing in for the paper's
+// Python interface.
+type Builder struct {
+	prog  *Program
+	stack []*[]Node
+}
+
+// NewBuilder starts a program.
+func NewBuilder(name string) *Builder {
+	p := &Program{Name: name}
+	b := &Builder{prog: p}
+	b.stack = []*[]Node{&p.Body}
+	return b
+}
+
+func (b *Builder) emit(n Node) {
+	top := b.stack[len(b.stack)-1]
+	*top = append(*top, n)
+}
+
+// DeclareTensor registers a pool-resident activation name.
+func (b *Builder) DeclareTensor(name string) {
+	b.prog.Tensors = append(b.prog.Tensors, name)
+}
+
+// DeclareBlob registers a Flash blob name.
+func (b *Builder) DeclareBlob(name string) {
+	b.prog.Blobs = append(b.prog.Blobs, name)
+}
+
+// For emits a loop; body statements are emitted inside the callback.
+func (b *Builder) For(v string, extent int, body func(i Index)) {
+	loop := For{Var: v, Extent: extent}
+	b.emit(loop)
+	top := b.stack[len(b.stack)-1]
+	idx := len(*top) - 1
+	b.stack = append(b.stack, &loop.Body)
+	body(Term(v, 1))
+	b.stack = b.stack[:len(b.stack)-1]
+	(*top)[idx] = loop
+}
+
+// RegAlloc emits an accumulator allocation.
+func (b *Builder) RegAlloc(name string, lanes int) { b.emit(RegAlloc{Name: name, Lanes: lanes}) }
+
+// LoadBias emits a bias initialization.
+func (b *Builder) LoadBias(acc, blob string, off Index, lanes int) {
+	b.emit(LoadBias{Acc: acc, Blob: blob, Off: off, Lanes: lanes})
+}
+
+// RAMLoad emits a pool load into a register buffer.
+func (b *Builder) RAMLoad(dst string, bytes int, tensor string, off Index) {
+	b.emit(RAMLoad{Dst: dst, Bytes: bytes, Tensor: tensor, Off: off})
+}
+
+// FlashLoad emits a Flash load into a register buffer.
+func (b *Builder) FlashLoad(dst string, bytes int, blob string, off Index) {
+	b.emit(FlashLoad{Dst: dst, Bytes: bytes, Blob: blob, Off: off})
+}
+
+// Dot emits a lane dot-product accumulation.
+func (b *Builder) Dot(acc string, lane Index, a, bReg string) {
+	b.emit(Dot{Acc: acc, Lane: lane, A: a, B: bReg})
+}
+
+// RequantStore emits the requantize-and-store epilogue.
+func (b *Builder) RequantStore(acc string, lanes int, tensor string, off Index, mult int32, shift int, zp int32) {
+	b.emit(RequantStore{Acc: acc, Lanes: lanes, Tensor: tensor, Off: off, Mult: mult, Shift: shift, ZP: zp})
+}
+
+// RAMFree emits a pool free.
+func (b *Builder) RAMFree(tensor string, off Index, bytes int) {
+	b.emit(RAMFree{Tensor: tensor, Off: off, Bytes: bytes})
+}
+
+// Build finalizes the program.
+func (b *Builder) Build() *Program {
+	if len(b.stack) != 1 {
+		panic("ir: unbalanced builder scopes")
+	}
+	return b.prog
+}

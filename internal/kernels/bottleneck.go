@@ -1,0 +1,301 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/intrin"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// Bottleneck is the fused inverted-bottleneck kernel of §5.2:
+//
+//	A --conv1x1(S1)--> B --dw RxS(S2)--> C --conv1x1(S3)--> D --(+A)--> E
+//
+// Tensors B, C and D never materialize: the kernel keeps a sliding window
+// of R·S B-pixels plus one C-pixel and one D-pixel in a small RAM
+// workspace (the paper's 11 segments for a 3×3 depthwise), streams output
+// pixels of E into the pool, and frees A rows once the depthwise window
+// and the residual add have passed them. The pointwise expansion is
+// recomputed once per output row a B-pixel participates in (the price of
+// the R·S-segment workspace, offset against TinyEngine's im2col traffic).
+//
+// Weight layouts in Flash: W1 [Cmid][Cin], Wd [R][S][Cmid], W2 [Cout][Cmid].
+type Bottleneck struct {
+	Cfg        plan.Bottleneck
+	Weights    BottleneckWeights
+	w1, wd, w2 mcu.FlashRef
+	b1, bd, b2 mcu.FlashRef
+	loaded     bool
+	scratch    []byte
+}
+
+// NewBottleneck packs the module weights into device Flash.
+func NewBottleneck(dev *mcu.Device, cfg plan.Bottleneck, wt BottleneckWeights) (*Bottleneck, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wantW1 := cfg.Cmid * cfg.Cin
+	wantWd := cfg.R * cfg.S * cfg.Cmid
+	wantW2 := cfg.Cout * cfg.Cmid
+	if len(wt.W1) != wantW1 || len(wt.Wd) != wantWd || len(wt.W2) != wantW2 {
+		return nil, fmt.Errorf("kernels: bottleneck %s weight sizes %d/%d/%d, want %d/%d/%d",
+			cfg.Name, len(wt.W1), len(wt.Wd), len(wt.W2), wantW1, wantWd, wantW2)
+	}
+	if len(wt.B1) != cfg.Cmid || len(wt.Bd) != cfg.Cmid || len(wt.B2) != cfg.Cout {
+		return nil, fmt.Errorf("kernels: bottleneck %s bias sizes %d/%d/%d, want %d/%d/%d",
+			cfg.Name, len(wt.B1), len(wt.Bd), len(wt.B2), cfg.Cmid, cfg.Cmid, cfg.Cout)
+	}
+	k := &Bottleneck{Cfg: cfg, Weights: wt}
+	var err error
+	if k.w1, err = PackInt8(dev, wt.W1); err != nil {
+		return nil, err
+	}
+	if k.b1, err = PackInt32(dev, wt.B1); err != nil {
+		return nil, err
+	}
+	if k.wd, err = PackInt8(dev, wt.Wd); err != nil {
+		return nil, err
+	}
+	if k.bd, err = PackInt32(dev, wt.Bd); err != nil {
+		return nil, err
+	}
+	if k.w2, err = PackInt8(dev, wt.W2); err != nil {
+		return nil, err
+	}
+	if k.b2, err = PackInt32(dev, wt.B2); err != nil {
+		return nil, err
+	}
+	k.loaded = true
+	return k, nil
+}
+
+// Plan returns the §5.2 fused memory plan.
+func (k *Bottleneck) Plan() plan.Plan { return plan.PlanBottleneckModule(k.Cfg) }
+
+// Run executes the fused module. wsBase is the RAM address of the
+// workspace region (outside the circular pool); it must provide
+// Cfg.WorkspaceBytes() bytes.
+func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (Placement, error) {
+	if !k.loaded {
+		return Placement{}, fmt.Errorf("kernels: bottleneck %s not initialized via NewBottleneck", k.Cfg.Name)
+	}
+	cfg := k.Cfg
+	if err := checkSize("bottleneck input", in.Bytes, cfg.H*cfg.W*cfg.Cin); err != nil {
+		return Placement{}, err
+	}
+	h1, w1, h2, _, h3, w3 := cfg.Grids()
+	pad := cfg.Pad()
+	residual := cfg.Residual()
+
+	wsID := c.Dev.NewTensorID("bottleneck.ws")
+	// Workspace layout: S column slots of R B-pixels, then the C pixel,
+	// then the D pixel.
+	colBytes := cfg.R * cfg.Cmid
+	cOff := cfg.S * colBytes
+	dOff := cOff + cfg.Cmid
+	c.Dev.ClaimRegion(wsBase, cfg.WorkspaceBytes(), wsID, 0)
+	defer c.Dev.FreeTagged(wsBase, cfg.WorkspaceBytes(), wsID)
+
+	outID := c.Dev.NewTensorID("bottleneck.out")
+	outOff := in.Off - p.GapBytes()
+	c.Dev.CountCalls(1)
+
+	// lastUseRow[h] = last output (E) row that still needs input row h.
+	lastUse := make([]int, cfg.H)
+	for h := 0; h < cfg.H; h++ {
+		last := -1
+		if h%cfg.S1 == 0 {
+			// Conv1 consumes row h for B row h/S1; the dw window reads B
+			// row bh for C rows up to (bh+pad)/S2, i.e. E rows /S3.
+			bh := h / cfg.S1
+			p2 := (bh + pad) / cfg.S2
+			if p2 > h2-1 {
+				p2 = h2 - 1
+			}
+			last = p2 / cfg.S3
+		}
+		if residual && h > last {
+			last = h // the add reads A row h at E row h
+		}
+		lastUse[h] = last
+	}
+
+	aBuf := make([]int8, cfg.Cin)
+	wBuf := make([]int8, maxIntK(cfg.Cin, cfg.Cmid))
+	bPix := make([]int8, cfg.Cmid)
+	cPix := make([]int8, cfg.Cmid)
+	dPix := make([]int8, cfg.Cout)
+	ePix := make([]int8, cfg.Cout)
+	bias1 := make([]int32, cfg.Cmid)
+	biasD := make([]int32, cfg.Cmid)
+	bias2 := make([]int32, cfg.Cout)
+	c.FlashLoadInt32(bias1, k.b1, 0)
+	c.FlashLoadInt32(biasD, k.bd, 0)
+	c.FlashLoadInt32(bias2, k.b2, 0)
+
+	// computeBPixel evaluates conv1 for one window cell (row r of slot),
+	// or writes zeros for padding cells.
+	computeBPixel := func(slot, r, bh, bw int) {
+		wsPix := wsBase + slot*colBytes + r*cfg.Cmid
+		if bh < 0 || bh >= h1 || bw < 0 || bw >= w1 {
+			for i := range bPix {
+				bPix[i] = 0
+			}
+			c.Dev.WriteTagged(wsPix, int8ToBytes(bPix), wsID, wsPix-wsBase)
+			return
+		}
+		ah, aw := bh*cfg.S1, bw*cfg.S1
+		elem := (ah*cfg.W + aw) * cfg.Cin
+		c.RAMLoad(aBuf, in.Off+elem, in.ID, elem)
+		for n := 0; n < cfg.Cmid; n++ {
+			acc := bias1[n]
+			c.FlashLoad(wBuf[:cfg.Cin], k.w1, n*cfg.Cin)
+			c.DotVec(aBuf, wBuf[:cfg.Cin], &acc)
+			bPix[n] = c.Requantize(acc, k.Weights.Req1)
+		}
+		c.Dev.WriteTagged(wsPix, int8ToBytes(bPix), wsID, wsPix-wsBase)
+	}
+
+	// ensureColumn brings window column bw at base row bh0 into its slot.
+	// If the slot already holds the same column from an earlier base row,
+	// the overlapping pixels are shifted down inside the workspace (cheap
+	// copies) and only the newly exposed rows are recomputed — this keeps
+	// the pointwise expansion at ~one compute per B pixel while the
+	// workspace stays at the paper's R·S segments.
+	type colMeta struct{ bw, bh0 int }
+	cache := make([]colMeta, cfg.S)
+	for i := range cache {
+		cache[i] = colMeta{bw: -1 << 30, bh0: -1 << 30}
+	}
+	shiftBuf := make([]byte, cfg.Cmid)
+	ensureColumn := func(slot, bh0, bw int) {
+		m := cache[slot]
+		if m.bw == bw && m.bh0 == bh0 {
+			return
+		}
+		fresh := 0 // rows [0, fresh) obtained by shifting
+		if m.bw == bw && m.bh0 < bh0 && bh0-m.bh0 < cfg.R {
+			d := bh0 - m.bh0
+			for r := 0; r+d < cfg.R; r++ {
+				src := wsBase + slot*colBytes + (r+d)*cfg.Cmid
+				dst := wsBase + slot*colBytes + r*cfg.Cmid
+				c.Dev.ReadTagged(src, shiftBuf, wsID, src-wsBase)
+				c.Dev.WriteTagged(dst, shiftBuf, wsID, dst-wsBase)
+			}
+			fresh = cfg.R - d
+		}
+		for r := fresh; r < cfg.R; r++ {
+			computeBPixel(slot, r, bh0+r, bw)
+		}
+		cache[slot] = colMeta{bw: bw, bh0: bh0}
+	}
+
+	freed := 0
+	for p3 := 0; p3 < h3; p3++ {
+		for q3 := 0; q3 < w3; q3++ {
+			// The C pixel this E pixel consumes.
+			p2, q2 := p3*cfg.S3, q3*cfg.S3
+			bh0 := p2*cfg.S2 - pad
+			// Ensure all S window columns are cached, sliding as q advances
+			// and shifting rows as p advances.
+			for s := 0; s < cfg.S; s++ {
+				bw := q2*cfg.S2 - pad + s
+				slot := ((bw % cfg.S) + cfg.S) % cfg.S
+				ensureColumn(slot, bh0, bw)
+			}
+			// Depthwise: accumulate over the window from the workspace.
+			accD := c.RegAlloc(cfg.Cmid, 0)
+			copy(accD, biasD)
+			for r := 0; r < cfg.R; r++ {
+				bh := bh0 + r
+				if bh < 0 || bh >= h1 {
+					continue
+				}
+				for s := 0; s < cfg.S; s++ {
+					bw := q2*cfg.S2 - pad + s
+					if bw < 0 || bw >= w1 {
+						continue
+					}
+					slot := ((bw % cfg.S) + cfg.S) % cfg.S
+					wsPix := wsBase + slot*colBytes + r*cfg.Cmid
+					c.Dev.ReadTagged(wsPix, k.scratchBytes(bPix), wsID, wsPix-wsBase)
+					bytesToInt8(k.scratchBytes(bPix), bPix)
+					c.FlashLoad(wBuf[:cfg.Cmid], k.wd, (r*cfg.S+s)*cfg.Cmid)
+					for cc := 0; cc < cfg.Cmid; cc++ {
+						accD[cc] += int32(bPix[cc]) * int32(wBuf[cc])
+					}
+					c.Dev.CountMACs(cfg.Cmid)
+				}
+			}
+			for i := range cPix {
+				cPix[i] = c.Requantize(accD[i], k.Weights.ReqD)
+			}
+			c.Dev.WriteTagged(wsBase+cOff, int8ToBytes(cPix), wsID, cOff)
+
+			// Second pointwise: C pixel -> D pixel.
+			c.Dev.ReadTagged(wsBase+cOff, k.scratchBytes(cPix), wsID, cOff)
+			bytesToInt8(k.scratchBytes(cPix), cPix)
+			for n := 0; n < cfg.Cout; n++ {
+				acc := bias2[n]
+				c.FlashLoad(wBuf[:cfg.Cmid], k.w2, n*cfg.Cmid)
+				c.DotVec(cPix, wBuf[:cfg.Cmid], &acc)
+				dPix[n] = c.Requantize(acc, k.Weights.Req2)
+			}
+			c.Dev.WriteTagged(wsBase+dOff, int8ToBytes(dPix), wsID, dOff)
+
+			// Residual add with the corresponding A pixel, then store E.
+			c.Dev.ReadTagged(wsBase+dOff, k.scratchBytes(dPix), wsID, dOff)
+			bytesToInt8(k.scratchBytes(dPix), dPix)
+			if residual {
+				elemA := (p3*cfg.W + q3) * cfg.Cin
+				c.RAMLoad(aBuf, in.Off+elemA, in.ID, elemA)
+				for i := range ePix {
+					ePix[i] = c.SatAddInt8(dPix[i], aBuf[i])
+				}
+			} else {
+				copy(ePix, dPix)
+			}
+			elemE := (p3*w3 + q3) * cfg.Cout
+			c.RAMStore(outOff+elemE, ePix, outID, elemE)
+		}
+		// Free A rows whose last use has passed.
+		for ; freed < cfg.H && lastUse[freed] <= p3; freed++ {
+			c.RAMFree(in.Off+freed*cfg.W*cfg.Cin, cfg.W*cfg.Cin, in.ID)
+		}
+	}
+	for ; freed < cfg.H; freed++ {
+		c.RAMFree(in.Off+freed*cfg.W*cfg.Cin, cfg.W*cfg.Cin, in.ID)
+	}
+	return Placement{ID: outID, Off: outOff, Bytes: h3 * w3 * cfg.Cout}, nil
+}
+
+// scratchBytes returns a byte view buffer sized like the int8 slice (the
+// workspace round-trips through tagged device accesses).
+func (k *Bottleneck) scratchBytes(ref []int8) []byte {
+	if k.scratch == nil || cap(k.scratch) < len(ref) {
+		k.scratch = make([]byte, len(ref))
+	}
+	return k.scratch[:len(ref)]
+}
+
+func int8ToBytes(src []int8) []byte {
+	out := make([]byte, len(src))
+	for i, v := range src {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func bytesToInt8(src []byte, dst []int8) {
+	for i, b := range src {
+		dst[i] = int8(b)
+	}
+}
+
+func maxIntK(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+// Package kernels implements the paper's segment-aware kernels (§5): fully
+// connected, pointwise and general 2-D convolution, depthwise convolution,
+// residual add, and the fused inverted-bottleneck module. Every kernel
+// follows the five-step structure of the paper — load segment, compute,
+// update output segment, free consumed input segments, boundary check —
+// against the simulated MCU, with the output tensor streamed into pool
+// space freed from the input at the offset solved by the planner.
+//
+// Golden (memory-unconstrained) reference implementations of every layer
+// live in golden.go; the test suite proves the pool kernels bit-exact
+// against them and proves the planner offsets are tight via the device's
+// shadow state.
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/intrin"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+// Placement locates an activation tensor inside the circular pool.
+type Placement struct {
+	ID    mcu.TensorID
+	Off   int // logical byte offset of element 0 in the pool
+	Bytes int
+}
+
+// PlaceInput materializes data in the pool at logical byte offset off and
+// claims it for a fresh tensor ID (the way a network input, or a previous
+// layer's output, enters a kernel).
+func PlaceInput(c *intrin.Ctx, name string, data []int8, off int) Placement {
+	id := c.Dev.NewTensorID(name)
+	buf := make([]byte, len(data))
+	for i, v := range data {
+		buf[i] = byte(v)
+	}
+	c.Pool.WriteRawBytes(off, buf)
+	c.Pool.ClaimBytes(off, len(buf), id, 0)
+	return Placement{ID: id, Off: off, Bytes: len(buf)}
+}
+
+// Extract copies a placed tensor's bytes out of the pool as int8 (no
+// traffic charged; harness-side readback).
+func Extract(c *intrin.Ctx, pl Placement) []int8 {
+	raw := c.Pool.ReadRawBytes(pl.Off, pl.Bytes)
+	out := make([]int8, len(raw))
+	for i, b := range raw {
+		out[i] = int8(b)
+	}
+	return out
+}
+
+// FreeAll releases the whole placement (e.g. dropping a network input).
+func FreeAll(c *intrin.Ctx, pl Placement) {
+	c.Pool.FreeBytes(pl.Off, pl.Bytes, pl.ID)
+}
+
+// PackInt8 stores int8 weights into Flash.
+func PackInt8(dev *mcu.Device, data []int8) (mcu.FlashRef, error) {
+	buf := make([]byte, len(data))
+	for i, v := range data {
+		buf[i] = byte(v)
+	}
+	return dev.FlashAlloc(buf)
+}
+
+// PackInt32 stores little-endian int32 values (bias vectors) into Flash.
+func PackInt32(dev *mcu.Device, data []int32) (mcu.FlashRef, error) {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return dev.FlashAlloc(buf)
+}
+
+func checkSize(what string, got, want int) error {
+	if got != want {
+		return fmt.Errorf("kernels: %s size %d, want %d", what, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// TestConv2DRandomBattery fuzzes the convolution kernel across random
+// geometry (window, stride, padding, channel widths) against the golden
+// reference, asserting correctness, planner safety, and watermark bounds
+// in one pass.
+func TestConv2DRandomBattery(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	channels := []int{4, 8, 12, 16}
+	for iter := 0; iter < 40; iter++ {
+		r := 1 + 2*rng.Intn(3) // 1, 3, 5
+		sp := plan.Conv2DSpec{
+			H: r + rng.Intn(8), W: r + rng.Intn(8),
+			C: channels[rng.Intn(len(channels))], K: channels[rng.Intn(len(channels))],
+			R: r, S: r,
+			Stride: 1 + rng.Intn(2),
+			Pad:    rng.Intn((r + 1) / 2),
+		}
+		if sp.Validate() != nil {
+			continue
+		}
+		kn := &Conv2D{Spec: sp, Req: req(0.02)}
+		p := kn.Plan()
+		c, _ := newRig(t, p, 0)
+		in := randInt8(rng, sp.H*sp.W*sp.C)
+		w := randInt8(rng, sp.K*sp.R*sp.S*sp.C)
+		kn.Weight, _ = PackInt8(c.Dev, w)
+		inPl := PlaceInput(c, "in", in, p.GapBytes())
+		out, err := kn.Run(c, p, inPl)
+		if err != nil {
+			t.Fatalf("iter %d %+v: %v", iter, sp, err)
+		}
+		if err := c.Dev.CheckFaults(); err != nil {
+			t.Fatalf("iter %d %+v: %v", iter, sp, err)
+		}
+		got := Extract(c, out)
+		want := GoldenConv2D(in, sp.H, sp.W, sp.C, sp.K, sp.R, sp.S, sp.Stride, sp.Pad, w, nil, req(0.02))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d %+v: out[%d] = %d, want %d", iter, sp, i, got[i], want[i])
+			}
+		}
+		if peak := c.Dev.PeakBytes(); peak > p.FootprintBytes {
+			t.Fatalf("iter %d %+v: peak %d > plan %d", iter, sp, peak, p.FootprintBytes)
+		}
+	}
+}
+
+// TestBottleneckRandomBattery fuzzes the fused module kernel across
+// random channel/stride/window combinations.
+func TestBottleneckRandomBattery(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for iter := 0; iter < 25; iter++ {
+		r := []int{3, 5}[rng.Intn(2)]
+		cfg := plan.Bottleneck{
+			Name: "fuzz",
+			H:    r + 2 + rng.Intn(6), W: r + 2 + rng.Intn(6),
+			Cin: 4 * (1 + rng.Intn(3)), Cmid: 8 * (1 + rng.Intn(3)), Cout: 4 * (1 + rng.Intn(3)),
+			R: r, S: r,
+			S1: 1 + rng.Intn(2), S2: 1 + rng.Intn(2), S3: 1 + rng.Intn(2),
+		}
+		if cfg.Validate() != nil {
+			continue
+		}
+		c, got, want := runBottleneck(t, cfg, 0)
+		if err := c.Dev.CheckFaults(); err != nil {
+			t.Fatalf("iter %d %+v: %v", iter, cfg, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d %+v: size %d want %d", iter, cfg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d %+v: out[%d] = %d, want %d", iter, cfg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFCRandomUnderAllocationAlwaysDetected: for any FC shape with a
+// positive gap, shrinking the gap by one segment must be caught by the
+// shadow state — the planner's bound is tight across the space, not just
+// for one example.
+func TestFCRandomUnderAllocationAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tested := 0
+	for iter := 0; iter < 60 && tested < 12; iter++ {
+		m := 2 + rng.Intn(5)
+		base := 4 * (1 + rng.Intn(3))
+		k, n := base, base*(2+rng.Intn(2)) // N > K forces a positive gap
+		p := plan.FC(m, k, n)
+		if p.GapSegs == 0 {
+			continue
+		}
+		tested++
+		under := p
+		under.GapSegs--
+		c, _ := newRig(t, p, 2)
+		w := randInt8(rng, n*k)
+		wRef, _ := PackInt8(c.Dev, w)
+		fc := &FC{M: m, K: k, N: n, Weight: wRef, Req: req(0.05)}
+		inPl := PlaceInput(c, "in", randInt8(rng, m*k), p.GapBytes())
+		if _, err := fc.Run(c, under, inPl); err != nil {
+			t.Fatal(err)
+		}
+		if _, nv := c.Dev.Violations(); nv == 0 {
+			t.Errorf("FC %dx%dx%d: gap-1 produced no violations (bound not tight)", m, k, n)
+		}
+	}
+	if tested < 8 {
+		t.Fatalf("only %d positive-gap shapes tested; generator too narrow", tested)
+	}
+}

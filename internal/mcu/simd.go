@@ -1,0 +1,95 @@
+package mcu
+
+// ARM DSP-extension SIMD semantics used by the paper's intrinsics (§6.1).
+// These are pure functions operating on packed 32-bit registers; cycle
+// accounting happens at the intrinsics layer that invokes them.
+
+// Lanes16 splits a packed 32-bit register into its two signed 16-bit lanes
+// (low, high).
+func Lanes16(x uint32) (int16, int16) {
+	return int16(x & 0xFFFF), int16(x >> 16)
+}
+
+// Pack16 packs two signed 16-bit lanes (low, high) into one register.
+func Pack16(lo, hi int16) uint32 {
+	return uint32(uint16(lo)) | uint32(uint16(hi))<<16
+}
+
+// SMLAD implements the ARM "signed multiply accumulate dual" instruction:
+// acc + x.lo*y.lo + x.hi*y.hi. One SMLAD performs two int16 MACs, which is
+// how CMSIS-NN and the paper's Dot intrinsic reach 2 MACs/cycle on M4.
+func SMLAD(x, y uint32, acc int32) int32 {
+	xl, xh := Lanes16(x)
+	yl, yh := Lanes16(y)
+	return acc + int32(xl)*int32(yl) + int32(xh)*int32(yh)
+}
+
+// SADD16 implements lane-wise signed 16-bit addition (modulo, no saturation,
+// matching the ARM instruction's GE-flag-free usage in kernels).
+func SADD16(x, y uint32) uint32 {
+	xl, xh := Lanes16(x)
+	yl, yh := Lanes16(y)
+	return Pack16(xl+yl, xh+yh)
+}
+
+// SSUB16 implements lane-wise signed 16-bit subtraction.
+func SSUB16(x, y uint32) uint32 {
+	xl, xh := Lanes16(x)
+	yl, yh := Lanes16(y)
+	return Pack16(xl-yl, xh-yh)
+}
+
+// PKHBT implements "pack halfword bottom-top": result.lo = x.lo,
+// result.hi = (y << shift).hi. The paper's Broadcast intrinsic lowers to
+// PKHBT to splat a quantization constant across both lanes.
+func PKHBT(x, y uint32, shift uint) uint32 {
+	lo := x & 0xFFFF
+	hi := (y << shift) & 0xFFFF0000
+	return lo | hi
+}
+
+// Broadcast16 splats one int16 across both lanes, the typical use of PKHBT
+// in quantization epilogues: PKHBT(v, v, 16).
+func Broadcast16(v int16) uint32 {
+	x := uint32(uint16(v))
+	return PKHBT(x, x, 16)
+}
+
+// SXTB16 sign-extends bytes 0 and 2 of x into the two 16-bit lanes,
+// the instruction CMSIS-NN uses to widen packed int8 pairs before SMLAD.
+func SXTB16(x uint32) uint32 {
+	lo := int16(int8(x))
+	hi := int16(int8(x >> 16))
+	return Pack16(lo, hi)
+}
+
+// ROR rotates x right by n bits (used with SXTB16 to reach bytes 1 and 3).
+func ROR(x uint32, n uint) uint32 {
+	n &= 31
+	if n == 0 {
+		return x
+	}
+	return x>>n | x<<(32-n)
+}
+
+// PackBytes packs four int8 values into one 32-bit register, little-endian.
+func PackBytes(b0, b1, b2, b3 int8) uint32 {
+	return uint32(uint8(b0)) | uint32(uint8(b1))<<8 |
+		uint32(uint8(b2))<<16 | uint32(uint8(b3))<<24
+}
+
+// DotInt8x4 computes the int32 dot product of two packed groups of four
+// int8 values using the SXTB16/ROR/SMLAD sequence a real kernel emits:
+//
+//	a02 = SXTB16(a)        b02 = SXTB16(b)
+//	a13 = SXTB16(ROR(a,8)) b13 = SXTB16(ROR(b,8))
+//	acc = SMLAD(a02, b02, SMLAD(a13, b13, acc))
+//
+// It is the building block of the paper's 2x2x16 Dot intrinsic.
+func DotInt8x4(a, b uint32, acc int32) int32 {
+	a02 := SXTB16(a)
+	b02 := SXTB16(b)
+	a13 := SXTB16(ROR(a, 8))
+	b13 := SXTB16(ROR(b, 8))
+	return SMLAD(a02, b02, SMLAD(a13, b13, acc))
+}

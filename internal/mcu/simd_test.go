@@ -1,0 +1,124 @@
+package mcu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLanesPackRoundTrip(t *testing.T) {
+	f := func(lo, hi int16) bool {
+		l, h := Lanes16(Pack16(lo, hi))
+		return l == lo && h == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMLAD(t *testing.T) {
+	x := Pack16(3, -4)
+	y := Pack16(5, 7)
+	if got := SMLAD(x, y, 100); got != 100+15-28 {
+		t.Errorf("SMLAD = %d, want %d", got, 100+15-28)
+	}
+}
+
+func TestSMLADMatchesScalar(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16, acc int32) bool {
+		got := SMLAD(Pack16(a0, a1), Pack16(b0, b1), acc)
+		want := acc + int32(a0)*int32(b0) + int32(a1)*int32(b1)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSADD16AndSSUB16(t *testing.T) {
+	x := Pack16(1000, -2000)
+	y := Pack16(234, 567)
+	lo, hi := Lanes16(SADD16(x, y))
+	if lo != 1234 || hi != -1433 {
+		t.Errorf("SADD16 lanes = %d,%d", lo, hi)
+	}
+	lo, hi = Lanes16(SSUB16(x, y))
+	if lo != 766 || hi != -2567 {
+		t.Errorf("SSUB16 lanes = %d,%d", lo, hi)
+	}
+}
+
+func TestSADD16WrapsModulo(t *testing.T) {
+	x := Pack16(32767, 0)
+	y := Pack16(1, 0)
+	lo, _ := Lanes16(SADD16(x, y))
+	if lo != -32768 {
+		t.Errorf("SADD16 overflow lane = %d, want wraparound -32768", lo)
+	}
+}
+
+func TestPKHBTAndBroadcast(t *testing.T) {
+	// PKHBT(x, y, 16): low half from x, high half = y<<16's high = y.lo.
+	got := PKHBT(0x00001234, 0x00005678, 16)
+	if got != 0x56781234 {
+		t.Errorf("PKHBT = %#x, want 0x56781234", got)
+	}
+	lo, hi := Lanes16(Broadcast16(-42))
+	if lo != -42 || hi != -42 {
+		t.Errorf("Broadcast16 lanes = %d,%d, want -42,-42", lo, hi)
+	}
+}
+
+func TestSXTB16(t *testing.T) {
+	// bytes: 0x80 (-128) at byte0, 0x7F (127) at byte2
+	x := PackBytes(-128, 99, 127, -1)
+	lo, hi := Lanes16(SXTB16(x))
+	if lo != -128 || hi != 127 {
+		t.Errorf("SXTB16 lanes = %d,%d, want -128,127", lo, hi)
+	}
+	lo, hi = Lanes16(SXTB16(ROR(x, 8)))
+	if lo != 99 || hi != -1 {
+		t.Errorf("SXTB16(ROR 8) lanes = %d,%d, want 99,-1", lo, hi)
+	}
+}
+
+func TestROR(t *testing.T) {
+	if ROR(0x80000001, 1) != 0xC0000000 {
+		t.Errorf("ROR(0x80000001,1) = %#x", ROR(0x80000001, 1))
+	}
+	if ROR(0x12345678, 0) != 0x12345678 {
+		t.Error("ROR by 0 must be identity")
+	}
+	if ROR(0x12345678, 32) != 0x12345678 {
+		t.Error("ROR by 32 must be identity")
+	}
+}
+
+func TestDotInt8x4MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		var a, b [4]int8
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		acc := int32(rng.Intn(1<<16) - 1<<15)
+		want := acc
+		for i := range a {
+			want += int32(a[i]) * int32(b[i])
+		}
+		got := DotInt8x4(
+			PackBytes(a[0], a[1], a[2], a[3]),
+			PackBytes(b[0], b[1], b[2], b[3]), acc)
+		if got != want {
+			t.Fatalf("iter %d: DotInt8x4 = %d, want %d (a=%v b=%v)", iter, got, want, a, b)
+		}
+	}
+}
+
+func TestPackBytesLayout(t *testing.T) {
+	x := PackBytes(1, 2, 3, 4)
+	if x != 0x04030201 {
+		t.Errorf("PackBytes = %#x, want 0x04030201", x)
+	}
+}

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/ilp"
+)
+
+// Chain planning (the general multi-layer problem of §5.2, Eq. 2, for
+// linear networks): a sequence of layers T0 → T1 → … → Tn where layer i
+// consumes tensor T(i-1) and produces Ti in the same circular pool. Each
+// per-layer plan contributes one difference constraint
+//
+//	off(T(i-1)) − off(Ti) ≥ GapBytes(i)
+//
+// and the minimal total footprint follows from the longest-path solution
+// of the difference system — for a linear chain that is the running sum
+// of gaps, but the solver handles any future non-linear extension and
+// cross-validates the closed form.
+
+// ChainPlan is the solved placement for a linear chain.
+type ChainPlan struct {
+	// Stages are the per-layer plans, in execution order.
+	Stages []Plan
+	// Offsets[i] is the pool byte offset of tensor Ti (Offsets[0] is the
+	// chain input); later tensors sit at lower offsets, wrapping into the
+	// circular pool when negative.
+	Offsets []int
+	// FootprintBytes is the peak pool requirement of the whole chain plus
+	// the maximum per-stage workspace.
+	FootprintBytes int
+}
+
+// PlanChain solves the placement of a linear chain from per-layer plans.
+// Stage i's InBytes must equal stage i-1's OutBytes (a connectable chain).
+func PlanChain(stages []Plan) (ChainPlan, error) {
+	if len(stages) == 0 {
+		return ChainPlan{}, fmt.Errorf("plan: empty chain")
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].InBytes != stages[i-1].OutBytes {
+			return ChainPlan{}, fmt.Errorf("plan: chain stage %d input %dB != stage %d output %dB",
+				i, stages[i].InBytes, i-1, stages[i-1].OutBytes)
+		}
+	}
+	n := len(stages)
+	// Difference system over tensor offsets v0..vn:
+	// v(i-1) - v(i) >= gapBytes(i).
+	sys := ilp.NewDiffSystem(n + 1)
+	for i, st := range stages {
+		sys.AddGE(i, i+1, int64(st.GapBytes()))
+	}
+	// Anchor the final output at 0 and derive every offset as the minimal
+	// feasible distance above it (longest constraint path).
+	offsets := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		w, ok, err := sys.MinDiff(i, n)
+		if err != nil {
+			return ChainPlan{}, err
+		}
+		if !ok {
+			w = 0 // unconstrained (can only happen for the output itself)
+		}
+		offsets[i] = int(w)
+	}
+	// Peak: every tensor's extent above the anchor, plus workspace.
+	foot := 0
+	ws := 0
+	for i, st := range stages {
+		if ext := offsets[i] + st.InBytes; ext > foot {
+			foot = ext
+		}
+		if ext := offsets[i+1] + st.OutBytes; ext > foot {
+			foot = ext
+		}
+		if st.WorkspaceBytes > ws {
+			ws = st.WorkspaceBytes
+		}
+	}
+	return ChainPlan{Stages: stages, Offsets: offsets, FootprintBytes: foot + ws}, nil
+}
+
+// PointwiseWithSeg plans a 1×1 convolution with an explicit segment size,
+// exposing the §5.3 trade-off: smaller segments track liveness more
+// precisely but pay more modulo boundary checks; larger segments round the
+// tensor rows up and waste the padding. The paper's default (min(C,K)) is
+// the largest size with zero padding waste.
+func PointwiseWithSeg(h, w, c, k, seg int) Plan {
+	if h <= 0 || w <= 0 || c <= 0 || k <= 0 || seg <= 0 {
+		panic(fmt.Sprintf("plan: pointwise dims must be positive (%d,%d,%d,%d,%d)", h, w, c, k, seg))
+	}
+	m := h * w
+	kSegs := ceilDiv(c, seg)
+	nSegs := ceilDiv(k, seg)
+	gap := gemmGapSegs(m, kSegs, nSegs)
+	return finalize(Plan{
+		SegBytes: seg,
+		InBytes:  m * kSegs * seg,
+		OutBytes: m * nSegs * seg,
+		GapSegs:  gap,
+		Note:     fmt.Sprintf("pointwise H/W=%d,%d C=%d K=%d seg=%d (explicit)", h, w, c, k, seg),
+	})
+}
+
+// PointwiseModuloOps returns the number of circular-buffer boundary
+// checks the pointwise kernel performs at segment size seg: one per
+// segment load (each input segment is re-read once per output block of
+// its row), store, and free — the latency side of the §5.3 trade-off.
+func PointwiseModuloOps(h, w, c, k, seg int) int {
+	m := h * w
+	kSegs := ceilDiv(c, seg)
+	nSegs := ceilDiv(k, seg)
+	return m * (nSegs*kSegs + nSegs + kSegs)
+}

@@ -1,0 +1,96 @@
+package plan
+
+import "testing"
+
+func TestPlanChainLinear(t *testing.T) {
+	// Three pointwise layers 16 -> 8 -> 8 -> 16 channels on a 6x6 image.
+	s1 := Pointwise(6, 6, 16, 8)
+	s2 := Pointwise(6, 6, 8, 8)
+	s3 := Pointwise(6, 6, 8, 16)
+	cp, err := PlanChain([]Plan{s1, s2, s3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Offsets) != 4 {
+		t.Fatalf("got %d offsets, want 4", len(cp.Offsets))
+	}
+	// Offsets must respect every per-layer gap and anchor the output at 0.
+	if cp.Offsets[3] != 0 {
+		t.Errorf("output offset = %d, want 0", cp.Offsets[3])
+	}
+	for i, st := range cp.Stages {
+		if d := cp.Offsets[i] - cp.Offsets[i+1]; d < st.GapBytes() {
+			t.Errorf("stage %d: offset gap %d below plan gap %d", i, d, st.GapBytes())
+		}
+	}
+	// Closed form for a linear chain: running sum of gaps.
+	want := s1.GapBytes() + s2.GapBytes() + s3.GapBytes()
+	if cp.Offsets[0] != want {
+		t.Errorf("input offset = %d, want %d", cp.Offsets[0], want)
+	}
+	// The chain must not need more than the worst single stage plus the
+	// accumulated gaps, and at least the largest tensor.
+	if cp.FootprintBytes < 6*6*16 {
+		t.Errorf("footprint %d below the largest tensor", cp.FootprintBytes)
+	}
+}
+
+func TestPlanChainFootprintBeatsDisjoint(t *testing.T) {
+	// A chain of equal-size layers reuses freed space; the footprint must
+	// be far below the sum of all tensors.
+	stages := []Plan{
+		Pointwise(10, 10, 16, 16),
+		Pointwise(10, 10, 16, 16),
+		Pointwise(10, 10, 16, 16),
+	}
+	cp, err := PlanChain(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := 4 * 10 * 10 * 16 // four tensors materialized disjointly
+	if cp.FootprintBytes >= all/2 {
+		t.Errorf("chain footprint %d shows no reuse (disjoint would be %d)", cp.FootprintBytes, all)
+	}
+}
+
+func TestPlanChainRejectsMismatch(t *testing.T) {
+	if _, err := PlanChain([]Plan{Pointwise(6, 6, 16, 8), Pointwise(6, 6, 16, 8)}); err == nil {
+		t.Error("mismatched chain accepted")
+	}
+	if _, err := PlanChain(nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestPointwiseWithSegTradeoff(t *testing.T) {
+	// §5.3: the default segment (min(C,K)) has zero padding waste; larger
+	// segments pad the rows; smaller segments cost more boundary checks.
+	const h, w, c, k = 20, 20, 48, 24
+	def := Pointwise(h, w, c, k)
+	if got := PointwiseWithSeg(h, w, c, k, def.SegBytes); got.FootprintBytes != def.FootprintBytes {
+		t.Errorf("explicit default seg footprint %d != default %d", got.FootprintBytes, def.FootprintBytes)
+	}
+	// Oversized segment pads the 24-channel output rows to 48 bytes.
+	big := PointwiseWithSeg(h, w, c, k, 48)
+	if big.OutBytes <= def.OutBytes {
+		t.Errorf("oversized segment did not pad: %d vs %d", big.OutBytes, def.OutBytes)
+	}
+	// Modulo cost strictly grows as segments shrink.
+	prev := -1
+	for _, seg := range []int{24, 12, 6, 3, 1} {
+		ops := PointwiseModuloOps(h, w, c, k, seg)
+		if prev >= 0 && ops <= prev {
+			t.Errorf("modulo ops not increasing at seg %d: %d <= %d", seg, ops, prev)
+		}
+		prev = ops
+	}
+}
+
+func TestPointwiseWithSegPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PointwiseWithSeg(4, 4, 8, 8, 0)
+}

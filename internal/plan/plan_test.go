@@ -1,0 +1,214 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/vmcu-project/vmcu/internal/affine"
+)
+
+func TestGEMMGapMatchesFigure1c(t *testing.T) {
+	// Figure 1(c): input 2x3 segments, output 2x2 segments -> one empty
+	// segment, 7 total instead of 10.
+	gap := gemmGapSegs(2, 3, 2)
+	if gap != 1 {
+		t.Fatalf("gap = %d, want 1", gap)
+	}
+	foot := 2*3 + gap // max(MK, MN) = 6
+	if foot != 7 {
+		t.Errorf("footprint = %d segments, want 7 (paper Figure 1c)", foot)
+	}
+}
+
+func TestFCMatchesPaperClosedForm(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		m := int(a%6) + 1
+		// Make the smaller of K,N the §5.3 segment so it divides both rows.
+		base := int(b%4) + 1
+		k, n := base, base*(int(c%4)+1)
+		if c%2 == 0 {
+			k, n = n, k
+		}
+		p := FC(m, k, n)
+		seg := p.SegBytes
+		kS, nS := k/seg, n/seg
+		minS := kS
+		if nS < minS {
+			minS = nS
+		}
+		maxT := m * kS
+		if m*nS > maxT {
+			maxT = m * nS
+		}
+		want := (maxT + minS - 1) * seg
+		return p.FootprintBytes == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFCSegmentRule(t *testing.T) {
+	p := FC(10, 48, 16)
+	if p.SegBytes != 16 {
+		t.Errorf("seg = %d, want min(K,N)=16", p.SegBytes)
+	}
+	if p.InBytes != 480 || p.OutBytes != 160 {
+		t.Errorf("tensor bytes wrong: in=%d out=%d", p.InBytes, p.OutBytes)
+	}
+}
+
+func TestPointwiseEqualChannelsHalvesRAM(t *testing.T) {
+	// Figure 7 case 1: H/W=80 C=16 K=16. TinyEngine needs In+Out = 200 KB
+	// (paper KB), vMCU needs max(In,Out) + (min-1 segs) ~ 100 KB: ~50 % cut
+	// (paper: 49.45 %).
+	p := Pointwise(80, 80, 16, 16)
+	if p.InBytes != 102400 || p.OutBytes != 102400 {
+		t.Fatalf("tensor sizes wrong: %+v", p)
+	}
+	if p.FootprintBytes != 102400 {
+		t.Errorf("footprint = %d, want 102400 (full overlap, gap 0)", p.FootprintBytes)
+	}
+	tiny := p.InBytes + p.OutBytes
+	red := 1 - float64(p.FootprintBytes)/float64(tiny)
+	if red < 0.49 || red > 0.51 {
+		t.Errorf("reduction = %.3f, want ~0.50", red)
+	}
+}
+
+func TestPointwiseShrinkingOutput(t *testing.T) {
+	// Figure 7 case 4: H/W=80 C=16 K=8 -> footprint = input alone (output
+	// fits in freed input), reduction vs In+Out = 1/3 (paper: -33.08%).
+	p := Pointwise(80, 80, 16, 8)
+	if p.FootprintBytes != p.InBytes {
+		t.Errorf("footprint = %d, want input size %d", p.FootprintBytes, p.InBytes)
+	}
+}
+
+func TestPointwiseGrowingOutput(t *testing.T) {
+	// Figure 7 case 7: H/W=24 C=16 K=32 -> footprint = output + (K-ish).
+	p := Pointwise(24, 24, 16, 32)
+	if p.FootprintBytes < p.OutBytes || p.FootprintBytes >= p.InBytes+p.OutBytes {
+		t.Errorf("footprint %d out of range (%d, %d)", p.FootprintBytes, p.OutBytes, p.InBytes+p.OutBytes)
+	}
+	// Closed form: max(MN,MK) + min(N,K) - 1 segments, seg = 16 bytes:
+	// M*nSegs + kSegs - 1 with kSegs = 1.
+	wantSegs := 24*24*2 + 1 - 1
+	if p.FootprintBytes != wantSegs*16 {
+		t.Errorf("footprint = %d, want %d", p.FootprintBytes, wantSegs*16)
+	}
+}
+
+func TestConv2DGapMatchesAffineForValidPad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 60; iter++ {
+		spec := Conv2DSpec{
+			H: 4 + rng.Intn(6), W: 4 + rng.Intn(6),
+			C: []int{4, 8, 16}[rng.Intn(3)], K: []int{4, 8, 16}[rng.Intn(3)],
+			R: 1 + rng.Intn(3), S: 1 + rng.Intn(3),
+			Stride: 1, Pad: 0,
+		}
+		if spec.R > spec.H || spec.S > spec.W {
+			continue
+		}
+		got := ConvGapScanFull(spec)
+
+		seg := spec.C
+		if spec.K < seg {
+			seg = spec.K
+		}
+		cS, kS := spec.C/seg, spec.K/seg
+		p, q := spec.OutDims()
+		box := affine.NewBox(int64(p), int64(q), int64(kS), int64(spec.R), int64(spec.S), int64(cS))
+		write := affine.LinForm{C: affine.Vec{int64(q * kS), int64(kS), 1, 0, 0, 0}}
+		read := affine.LinForm{C: affine.Vec{int64(spec.W * cS), int64(cS), 0, int64(spec.W * cS), int64(cS), 1}}
+		want := int(affine.MaxWriteReadGap(write, read, box))
+		if got != want {
+			t.Fatalf("iter %d %+v: scan gap %d != affine %d", iter, spec, got, want)
+		}
+	}
+}
+
+func TestConv2DOutDims(t *testing.T) {
+	s := Conv2DSpec{H: 56, W: 56, C: 16, K: 16, R: 3, S: 3, Stride: 2, Pad: 1}
+	p, q := s.OutDims()
+	if p != 28 || q != 28 {
+		t.Errorf("OutDims = %d,%d, want 28,28", p, q)
+	}
+	s = Conv2DSpec{H: 6, W: 6, C: 96, K: 96, R: 7, S: 7, Stride: 1, Pad: 3}
+	p, q = s.OutDims()
+	if p != 6 || q != 6 {
+		t.Errorf("same-pad 7x7 on 6x6: OutDims = %d,%d, want 6,6", p, q)
+	}
+}
+
+func TestConv2DFootprintInvariants(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		spec := Conv2DSpec{
+			H: int(a%8) + 3, W: int(b%8) + 3,
+			C: 4 * (int(c%3) + 1), K: 4 * (int(d%3) + 1),
+			R: 3, S: 3, Stride: 1 + int(a%2), Pad: 1,
+		}
+		p := Conv2D(spec)
+		return p.GapSegs >= 0 &&
+			p.FootprintBytes >= p.InBytes &&
+			p.FootprintBytes >= p.OutBytes &&
+			p.FootprintBytes <= p.InBytes+p.OutBytes+p.SegBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthwiseNearInPlace(t *testing.T) {
+	// 3x3 stride-1 same-pad depthwise needs only ~one row of guard over
+	// pure in-place, reproducing the paper's claim of parity with
+	// TinyEngine's in-place optimization.
+	p := Depthwise(20, 20, 48, 3, 3, 1, 1)
+	if p.InBytes != 19200 || p.OutBytes != 19200 {
+		t.Fatalf("tensor sizes wrong: %+v", p)
+	}
+	guard := p.FootprintBytes - p.InBytes
+	if guard < 0 || guard > 2*20*48 {
+		t.Errorf("guard = %d bytes, want within two rows (%d)", guard, 2*20*48)
+	}
+}
+
+func TestDepthwiseStride2Shrinks(t *testing.T) {
+	p := Depthwise(20, 20, 48, 3, 3, 2, 1)
+	if p.OutBytes != 10*10*48 {
+		t.Errorf("out = %d, want %d", p.OutBytes, 10*10*48)
+	}
+	if p.FootprintBytes > p.InBytes+p.SegBytes*p.GapSegs+1 {
+		t.Errorf("footprint %d exceeds in+gap", p.FootprintBytes)
+	}
+}
+
+func TestPlanPanicsOnBadDims(t *testing.T) {
+	for name, f := range map[string]func(){
+		"fc":   func() { FC(0, 1, 1) },
+		"pw":   func() { Pointwise(1, 1, 0, 1) },
+		"conv": func() { Conv2D(Conv2DSpec{H: 1, W: 1, C: 1, K: 1, R: 3, S: 3, Stride: 1, Pad: 0}) },
+		"dw":   func() { Depthwise(5, 5, 8, 3, 3, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGapBytesAndString(t *testing.T) {
+	p := FC(4, 8, 8)
+	if p.GapBytes() != p.GapSegs*p.SegBytes {
+		t.Error("GapBytes inconsistent")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,176 @@
+// Package seg implements the paper's segment-level memory pool (§4):
+// RAM virtualized as a circular buffer Pool[MemCap/Seg] of fixed-size
+// segments, addressed modulo the pool length. Kernels manipulate tensors
+// through segment-granular pointers; the pool performs the boundary check
+// ("addr = addr % (MemCap/Seg)") and charges the modulo operation to the
+// device's cycle model, which is exactly the latency cost the paper's
+// segment-size selection rule (§5.3) trades against footprint.
+package seg
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+// Pool is a circular buffer of segments carved out of device RAM.
+type Pool struct {
+	dev     *mcu.Device
+	base    int // RAM address of segment 0
+	segSize int // bytes per segment
+	nSegs   int
+}
+
+// NewPool carves a circular segment pool out of [base, base+capBytes) of
+// device RAM. capBytes must be a positive multiple of segSize.
+func NewPool(dev *mcu.Device, base, capBytes, segSize int) (*Pool, error) {
+	if segSize <= 0 {
+		return nil, fmt.Errorf("seg: segment size %d must be positive", segSize)
+	}
+	if capBytes <= 0 || capBytes%segSize != 0 {
+		return nil, fmt.Errorf("seg: capacity %d must be a positive multiple of segment size %d", capBytes, segSize)
+	}
+	if base < 0 || base+capBytes > dev.RAMSize() {
+		return nil, fmt.Errorf("seg: pool [%d,%d) exceeds RAM size %d", base, base+capBytes, dev.RAMSize())
+	}
+	return &Pool{dev: dev, base: base, segSize: segSize, nSegs: capBytes / segSize}, nil
+}
+
+// SegSize returns the segment size in bytes.
+func (p *Pool) SegSize() int { return p.segSize }
+
+// NumSegs returns the number of segments in the pool.
+func (p *Pool) NumSegs() int { return p.nSegs }
+
+// CapBytes returns the pool capacity in bytes.
+func (p *Pool) CapBytes() int { return p.nSegs * p.segSize }
+
+// Device returns the underlying device.
+func (p *Pool) Device() *mcu.Device { return p.dev }
+
+// wrap maps a logical segment index into [0, nSegs), counting the modulo
+// operation that real kernels pay for circular addressing.
+func (p *Pool) wrap(seg int) int {
+	p.dev.CountDivMod(1)
+	m := seg % p.nSegs
+	if m < 0 {
+		m += p.nSegs
+	}
+	return m
+}
+
+// Addr resolves a logical segment index to a RAM byte address.
+func (p *Pool) Addr(seg int) int {
+	return p.base + p.wrap(seg)*p.segSize
+}
+
+// Load reads len(dst) bytes from the start of logical segment seg into dst,
+// asserting via the shadow state that the bytes still belong to tensor
+// owner at element offset elem0. len(dst) must not exceed the segment size.
+func (p *Pool) Load(seg int, dst []byte, owner mcu.TensorID, elem0 int) {
+	if len(dst) > p.segSize {
+		panic(fmt.Sprintf("seg: load of %d bytes exceeds segment size %d", len(dst), p.segSize))
+	}
+	p.dev.ReadTagged(p.Addr(seg), dst, owner, elem0)
+}
+
+// Store writes src at the start of logical segment seg, claiming the bytes
+// for tensor owner at element offset elem0. Overwriting another tensor's
+// bytes is legal; that tensor's later reads will be flagged.
+func (p *Pool) Store(seg int, src []byte, owner mcu.TensorID, elem0 int) {
+	if len(src) > p.segSize {
+		panic(fmt.Sprintf("seg: store of %d bytes exceeds segment size %d", len(src), p.segSize))
+	}
+	p.dev.WriteTagged(p.Addr(seg), src, owner, elem0)
+}
+
+// Free releases n bytes at the start of logical segment seg owned by owner.
+func (p *Pool) Free(seg, n int, owner mcu.TensorID) {
+	if n > p.segSize {
+		panic(fmt.Sprintf("seg: free of %d bytes exceeds segment size %d", n, p.segSize))
+	}
+	p.dev.FreeTagged(p.Addr(seg), n, owner)
+}
+
+// Claim tags nBytes starting at logical segment seg as owned by owner with
+// element indices from elem0, without traffic. Used to place a tensor that
+// is already materialized (e.g. the network input, or the previous layer's
+// output) into the pool's address space. nBytes may span many segments; the
+// range must not wrap past the pool end more than once.
+func (p *Pool) Claim(seg, nBytes int, owner mcu.TensorID, elem0 int) {
+	off := 0
+	for off < nBytes {
+		n := p.segSize
+		if nBytes-off < n {
+			n = nBytes - off
+		}
+		p.dev.ClaimRegion(p.Addr(seg), n, owner, elem0+off)
+		seg++
+		off += n
+	}
+}
+
+// WriteRaw materializes data at logical segment seg without tagging or
+// traffic accounting (test/setup helper).
+func (p *Pool) WriteRaw(seg int, data []byte) {
+	off := 0
+	for off < len(data) {
+		n := p.segSize
+		if len(data)-off < n {
+			n = len(data) - off
+		}
+		a := p.base + ((seg%p.nSegs)+p.nSegs)%p.nSegs*p.segSize
+		p.dev.WriteRaw(a, data[off:off+n])
+		seg++
+		off += n
+	}
+}
+
+// ReadRaw copies nBytes starting at logical segment seg without tag checks
+// (used to extract results after a kernel finishes).
+func (p *Pool) ReadRaw(seg, nBytes int) []byte {
+	out := make([]byte, 0, nBytes)
+	buf := make([]byte, p.segSize)
+	for len(out) < nBytes {
+		n := p.segSize
+		if rem := nBytes - len(out); rem < n {
+			n = rem
+		}
+		a := p.base + ((seg%p.nSegs)+p.nSegs)%p.nSegs*p.segSize
+		p.dev.ReadRaw(a, buf[:n])
+		out = append(out, buf[:n]...)
+		seg++
+	}
+	return out
+}
+
+// Ptr is a segment-granular cursor into the pool, the runtime analogue of
+// the paper's input/output tensor start pointers.
+type Ptr struct {
+	pool *Pool
+	seg  int // logical (unwrapped) segment index
+}
+
+// PtrAt creates a cursor at logical segment index seg.
+func (p *Pool) PtrAt(seg int) *Ptr { return &Ptr{pool: p, seg: seg} }
+
+// Seg returns the cursor's logical segment index.
+func (q *Ptr) Seg() int { return q.seg }
+
+// Advance moves the cursor forward by n segments (n may be negative).
+func (q *Ptr) Advance(n int) { q.seg += n }
+
+// Load reads from the cursor's current segment.
+func (q *Ptr) Load(dst []byte, owner mcu.TensorID, elem0 int) {
+	q.pool.Load(q.seg, dst, owner, elem0)
+}
+
+// Store writes at the cursor's current segment.
+func (q *Ptr) Store(src []byte, owner mcu.TensorID, elem0 int) {
+	q.pool.Store(q.seg, src, owner, elem0)
+}
+
+// Free releases n bytes at the cursor's current segment.
+func (q *Ptr) Free(n int, owner mcu.TensorID) {
+	q.pool.Free(q.seg, n, owner)
+}

@@ -1,0 +1,219 @@
+package seg
+
+import (
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+func newPool(t *testing.T, capBytes, segSize int) (*mcu.Device, *Pool) {
+	t.Helper()
+	dev := mcu.New(mcu.CortexM4(), 1<<16)
+	p, err := NewPool(dev, 0, capBytes, segSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	dev := mcu.New(mcu.CortexM4(), 0)
+	if _, err := NewPool(dev, 0, 100, 0); err == nil {
+		t.Error("segSize 0 accepted")
+	}
+	if _, err := NewPool(dev, 0, 100, 7); err == nil {
+		t.Error("non-multiple capacity accepted")
+	}
+	if _, err := NewPool(dev, 0, dev.RAMSize()+64, 64); err == nil {
+		t.Error("oversized pool accepted")
+	}
+	if _, err := NewPool(dev, -1, 64, 64); err == nil {
+		t.Error("negative base accepted")
+	}
+	p, err := NewPool(dev, 128, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSegs() != 4 || p.SegSize() != 64 || p.CapBytes() != 256 {
+		t.Errorf("pool geometry wrong: %d segs of %d", p.NumSegs(), p.SegSize())
+	}
+}
+
+func TestAddrWrapsCircularly(t *testing.T) {
+	_, p := newPool(t, 4*16, 16)
+	if p.Addr(0) != 0 || p.Addr(3) != 48 {
+		t.Errorf("plain addresses wrong: %d %d", p.Addr(0), p.Addr(3))
+	}
+	if p.Addr(4) != 0 || p.Addr(5) != 16 {
+		t.Errorf("wrapped addresses wrong: %d %d", p.Addr(4), p.Addr(5))
+	}
+	if p.Addr(-1) != 48 {
+		t.Errorf("negative index wrap wrong: %d", p.Addr(-1))
+	}
+}
+
+func TestAddrCountsModuloOps(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	before := dev.Stats.DivModOps
+	p.Addr(7)
+	p.Addr(2)
+	if dev.Stats.DivModOps != before+2 {
+		t.Errorf("modulo ops = %d, want %d", dev.Stats.DivModOps, before+2)
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	id := dev.NewTensorID("x")
+	src := []byte{1, 2, 3, 4}
+	p.Store(2, src, id, 100)
+	dst := make([]byte, 4)
+	p.Load(2, dst, id, 100)
+	if err := dev.CheckFaults(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip mismatch: %v vs %v", dst, src)
+		}
+	}
+}
+
+func TestStoreLoadAcrossWrap(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	id := dev.NewTensorID("x")
+	// Logical segment 9 wraps to physical segment 1.
+	p.Store(9, []byte{42}, id, 0)
+	dst := make([]byte, 1)
+	p.Load(1, dst, id, 0) // same physical segment
+	if err := dev.CheckFaults(); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 42 {
+		t.Errorf("wrapped store not visible: %d", dst[0])
+	}
+}
+
+func TestOversizedAccessPanics(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	id := dev.NewTensorID("x")
+	for name, f := range map[string]func(){
+		"load":  func() { p.Load(0, make([]byte, 17), id, 0) },
+		"store": func() { p.Store(0, make([]byte, 17), id, 0) },
+		"free":  func() { p.Free(0, 17, id) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of more than a segment did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFreeThenReuse(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	in := dev.NewTensorID("in")
+	out := dev.NewTensorID("out")
+	p.Store(0, []byte{1, 2, 3}, in, 0)
+	p.Free(0, 3, in)
+	p.Store(0, []byte{9, 9, 9}, out, 0)
+	dst := make([]byte, 3)
+	p.Load(0, dst, out, 0)
+	if err := dev.CheckFaults(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClaimSpansSegments(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	id := dev.NewTensorID("input")
+	data := make([]byte, 40) // 2.5 segments
+	for i := range data {
+		data[i] = byte(i)
+	}
+	p.WriteRaw(1, data)
+	p.Claim(1, 40, id, 0)
+	// Read element range [16,32) = segment 2.
+	dst := make([]byte, 16)
+	p.Load(2, dst, id, 16)
+	if err := dev.CheckFaults(); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 16 || dst[15] != 31 {
+		t.Errorf("claimed segment content wrong: %v", dst)
+	}
+}
+
+func TestReadRawAcrossWrap(t *testing.T) {
+	_, p := newPool(t, 64, 16)
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	p.WriteRaw(3, data) // spans segments 3 and 0 (wrap)
+	got := p.ReadRaw(3, 32)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("ReadRaw mismatch at %d: %d != %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestPtrCursor(t *testing.T) {
+	dev, p := newPool(t, 64, 16)
+	id := dev.NewTensorID("x")
+	q := p.PtrAt(2)
+	q.Store([]byte{7}, id, 0)
+	q.Advance(4) // wraps to physical segment 2 again
+	dst := make([]byte, 1)
+	// The cursor logically points at element 64 of the tensor now; the
+	// physical segment still holds element 0, so the read must be flagged.
+	q.Load(dst, id, 64)
+	if err := dev.CheckFaults(); err == nil {
+		t.Fatal("expected wrong-elem fault reading a recycled segment")
+	}
+	dev.ResetViolations()
+	q.Advance(-4)
+	q.Load(dst, id, 0)
+	if err := dev.CheckFaults(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Seg() != 2 || dst[0] != 7 {
+		t.Errorf("cursor state wrong: seg=%d val=%d", q.Seg(), dst[0])
+	}
+	q.Free(1, id)
+	if dev.LiveBytes() != 0 {
+		t.Errorf("live bytes after free = %d", dev.LiveBytes())
+	}
+}
+
+func TestPeakTracksOverlapSavings(t *testing.T) {
+	// The core paper mechanism: storing output into freed input segments
+	// must not raise the watermark beyond the planned footprint.
+	dev, p := newPool(t, 160, 16)
+	in := dev.NewTensorID("in")
+	out := dev.NewTensorID("out")
+	// 6 input segments at logical 1..6 (the Figure 1c layout).
+	for s := 0; s < 6; s++ {
+		p.Store(1+s, make([]byte, 16), in, s*16)
+	}
+	dev.ResetPeak()
+	// Produce 4 output segments at logical 0..3; free input after each step
+	// like the motivating example: out[0] lands in an empty segment, then
+	// each subsequent output reuses a freed input segment.
+	for s := 0; s < 4; s++ {
+		p.Store(s, make([]byte, 16), out, s*16)
+		p.Free(1+s, 16, in)
+	}
+	if err := dev.CheckFaults(); err != nil {
+		t.Fatal(err)
+	}
+	// Peak: 6 input + 1 output empty segment = 7 segments = 112 bytes,
+	// exactly the paper's "7 segments instead of 10".
+	if got := dev.PeakBytes(); got != 7*16 {
+		t.Errorf("peak = %d bytes, want %d (7 segments)", got, 7*16)
+	}
+}

@@ -1,0 +1,219 @@
+// Package tensor provides the quantized tensor representation used across
+// vMCU: dense int8 activations/weights in row-major (NHWC) layout with
+// int32 accumulators and per-tensor affine quantization, mirroring the
+// data model of CMSIS-NN and TinyEngine that the paper builds on.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DType identifies the element type of a Tensor.
+type DType int
+
+const (
+	// Int8 is the quantized activation/weight type used on MCUs.
+	Int8 DType = iota
+	// Int32 is the accumulator/bias type.
+	Int32
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Int8:
+		return 1
+	case Int32:
+		return 4
+	}
+	panic(fmt.Sprintf("tensor: unknown dtype %d", int(d)))
+}
+
+func (d DType) String() string {
+	switch d {
+	case Int8:
+		return "int8"
+	case Int32:
+		return "int32"
+	}
+	return fmt.Sprintf("dtype(%d)", int(d))
+}
+
+// Shape is a row-major tensor shape. The last axis is contiguous,
+// matching the paper's row-major segment arrangement assumption.
+type Shape []int
+
+// Elems returns the total number of elements, or 0 for an empty shape.
+func (s Shape) Elems() int {
+	if len(s) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range s {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dim in shape %v", []int(s)))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Strides returns row-major strides in elements. These are exactly the
+// paper's "mapping vectors" L for a row-major tensor.
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string { return fmt.Sprint([]int(s)) }
+
+// QuantParams holds per-tensor affine quantization parameters:
+// real = Scale * (q - ZeroPoint).
+type QuantParams struct {
+	Scale     float64
+	ZeroPoint int32
+}
+
+// Identity is the no-op quantization (scale 1, zero point 0).
+var Identity = QuantParams{Scale: 1, ZeroPoint: 0}
+
+// Tensor is a dense int8 tensor in row-major layout.
+// Bias/accumulator data uses Int32Tensor instead.
+type Tensor struct {
+	Name  string
+	Shape Shape
+	Data  []int8
+	Quant QuantParams
+}
+
+// New allocates a zero-filled int8 tensor of the given shape.
+func New(name string, shape Shape) *Tensor {
+	return &Tensor{
+		Name:  name,
+		Shape: append(Shape(nil), shape...),
+		Data:  make([]int8, shape.Elems()),
+		Quant: Identity,
+	}
+}
+
+// Bytes returns the storage footprint of the tensor in bytes.
+func (t *Tensor) Bytes() int { return len(t.Data) }
+
+// Index computes the linear element offset of multi-dimensional index idx.
+func (t *Tensor) Index(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor %s: index rank %d != shape rank %d", t.Name, len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor %s: index %v out of range for shape %v", t.Name, idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the multi-dimensional index.
+func (t *Tensor) At(idx ...int) int8 { return t.Data[t.Index(idx...)] }
+
+// Set stores v at the multi-dimensional index.
+func (t *Tensor) Set(v int8, idx ...int) { t.Data[t.Index(idx...)] = v }
+
+// FillRandom fills the tensor with deterministic pseudo-random int8 values
+// drawn from [-127, 127] using the given seed.
+func (t *Tensor) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = int8(rng.Intn(255) - 127)
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v int8) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Name, t.Shape)
+	copy(c.Data, t.Data)
+	c.Quant = t.Quant
+	return c
+}
+
+// Equal reports whether two tensors have the same shape and data.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.Shape.Equal(o.Shape) {
+		return false
+	}
+	for i := range t.Data {
+		if t.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of elements that differ between t and o.
+// The tensors must have identical shapes.
+func (t *Tensor) DiffCount(o *Tensor) int {
+	if !t.Shape.Equal(o.Shape) {
+		panic(fmt.Sprintf("tensor: DiffCount shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	n := 0
+	for i := range t.Data {
+		if t.Data[i] != o.Data[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Int32Tensor is a dense int32 tensor (bias vectors, reference accumulators).
+type Int32Tensor struct {
+	Name  string
+	Shape Shape
+	Data  []int32
+}
+
+// NewInt32 allocates a zero-filled int32 tensor.
+func NewInt32(name string, shape Shape) *Int32Tensor {
+	return &Int32Tensor{
+		Name:  name,
+		Shape: append(Shape(nil), shape...),
+		Data:  make([]int32, shape.Elems()),
+	}
+}
+
+// Bytes returns the storage footprint in bytes.
+func (t *Int32Tensor) Bytes() int { return 4 * len(t.Data) }
+
+// FillRandom fills with deterministic pseudo-random values in [-2^20, 2^20].
+func (t *Int32Tensor) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = int32(rng.Intn(1<<21) - 1<<20)
+	}
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 0},
+		{Shape{5}, 5},
+		{Shape{2, 3}, 6},
+		{Shape{1, 4, 4, 8}, 128},
+		{Shape{3, 0, 2}, 0},
+	}
+	for _, c := range cases {
+		if got := c.shape.Elems(); got != c.want {
+			t.Errorf("Elems(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestShapeStrides(t *testing.T) {
+	s := Shape{2, 3, 4}
+	st := s.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("Strides(%v) = %v, want %v", s, st, want)
+		}
+	}
+}
+
+func TestShapeStridesMatchIndex(t *testing.T) {
+	tr := New("x", Shape{3, 4, 5})
+	st := tr.Shape.Strides()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				lin := i*st[0] + j*st[1] + k*st[2]
+				if got := tr.Index(i, j, k); got != lin {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d", i, j, k, got, lin)
+				}
+			}
+		}
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	if !(Shape{1, 2}).Equal(Shape{1, 2}) {
+		t.Error("equal shapes reported unequal")
+	}
+	if (Shape{1, 2}).Equal(Shape{2, 1}) {
+		t.Error("unequal shapes reported equal")
+	}
+	if (Shape{1, 2}).Equal(Shape{1, 2, 3}) {
+		t.Error("different rank shapes reported equal")
+	}
+}
+
+func TestTensorSetAt(t *testing.T) {
+	tr := New("x", Shape{2, 2, 3})
+	tr.Set(42, 1, 0, 2)
+	if got := tr.At(1, 0, 2); got != 42 {
+		t.Errorf("At after Set = %d, want 42", got)
+	}
+	if got := tr.At(0, 0, 0); got != 0 {
+		t.Errorf("untouched element = %d, want 0", got)
+	}
+}
+
+func TestTensorIndexPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range index")
+		}
+	}()
+	New("x", Shape{2, 2}).Index(2, 0)
+}
+
+func TestTensorIndexPanicsRankMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on rank mismatch")
+		}
+	}()
+	New("x", Shape{2, 2}).Index(0)
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := New("a", Shape{64})
+	b := New("b", Shape{64})
+	a.FillRandom(7)
+	b.FillRandom(7)
+	if !a.Equal(b) {
+		t.Error("same seed produced different data")
+	}
+	b.FillRandom(8)
+	if a.Equal(b) {
+		t.Error("different seeds produced identical data (unlikely)")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New("a", Shape{4})
+	a.FillRandom(1)
+	c := a.Clone()
+	c.Data[0]++
+	if a.Data[0] == c.Data[0] {
+		t.Error("Clone shares backing data")
+	}
+}
+
+func TestDiffCount(t *testing.T) {
+	a := New("a", Shape{8})
+	b := New("b", Shape{8})
+	a.FillRandom(3)
+	b.Data = append([]int8(nil), a.Data...)
+	if n := a.DiffCount(b); n != 0 {
+		t.Fatalf("identical tensors DiffCount = %d", n)
+	}
+	b.Data[2]++
+	b.Data[5]++
+	if n := a.DiffCount(b); n != 2 {
+		t.Fatalf("DiffCount = %d, want 2", n)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New("a", Shape{3, 5}).Bytes(); got != 15 {
+		t.Errorf("int8 Bytes = %d, want 15", got)
+	}
+	if got := NewInt32("b", Shape{3, 5}).Bytes(); got != 60 {
+		t.Errorf("int32 Bytes = %d, want 60", got)
+	}
+}
+
+func TestDTypeSize(t *testing.T) {
+	if Int8.Size() != 1 || Int32.Size() != 4 {
+		t.Errorf("dtype sizes wrong: %d %d", Int8.Size(), Int32.Size())
+	}
+	if Int8.String() != "int8" || Int32.String() != "int32" {
+		t.Errorf("dtype strings wrong: %s %s", Int8, Int32)
+	}
+}
+
+func TestStridesPropertyLastIsOne(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		s := Shape{int(a%7 + 1), int(b%7 + 1), int(c%7 + 1)}
+		st := s.Strides()
+		return st[len(st)-1] == 1 && st[0] == s[1]*s[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

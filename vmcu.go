@@ -1,0 +1,153 @@
+// Package vmcu is the public API of the vMCU reproduction: coordinated
+// segment-level memory management and kernel execution for DNN inference
+// on microcontrollers (Zheng et al., MLSys 2024), on a simulated
+// Cortex-M substrate.
+//
+// The package exposes three layers:
+//
+//  1. Planning — solve the paper's Eq. (1)/(2) offset problem for a layer
+//     or fused inverted-bottleneck module and obtain its peak RAM:
+//     PlanPointwise, PlanFC, PlanConv2D, PlanDepthwise, PlanModule.
+//  2. Execution — run the segment-aware kernels on a simulated
+//     STM32-F411RE (Cortex-M4) or STM32-F767ZI (Cortex-M7), with
+//     bit-exact verification against golden references and shadow-state
+//     memory-safety checking: RunPointwise, RunModule, networks VWW and
+//     ImageNet.
+//  3. Compilation — build kernels through the loop-nest IR and lower them
+//     to ARM-intrinsic C: GenerateFCKernelC.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured evaluation.
+package vmcu
+
+import (
+	"github.com/vmcu-project/vmcu/internal/codegen"
+	"github.com/vmcu-project/vmcu/internal/eval"
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/ir"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+	"github.com/vmcu-project/vmcu/internal/tensor"
+)
+
+// Profile describes a simulated MCU (clock, cycle costs, energy model).
+type Profile = mcu.Profile
+
+// CortexM4 is the STM32-F411RE profile (128 KB RAM, 100 MHz).
+func CortexM4() Profile { return mcu.CortexM4() }
+
+// CortexM7 is the STM32-F767ZI profile (512 KB RAM, 216 MHz).
+func CortexM7() Profile { return mcu.CortexM7() }
+
+// Stats are operation counts with cycle/latency/energy evaluation.
+type Stats = mcu.Stats
+
+// Plan is a solved segment-level memory plan (§4): segment size, the
+// bIn−bOut pointer gap, workspace, and the resulting peak footprint.
+type Plan = plan.Plan
+
+// Bottleneck describes an inverted-bottleneck module (Table 2 row).
+type Bottleneck = plan.Bottleneck
+
+// Conv2DSpec describes a dense 2-D convolution layer.
+type Conv2DSpec = plan.Conv2DSpec
+
+// PlanFC plans a fully connected layer In[M,K]·W[K,N] → Out[M,N].
+func PlanFC(m, k, n int) Plan { return plan.FC(m, k, n) }
+
+// PlanPointwise plans a 1×1 convolution over an H×W×C image with K
+// output channels.
+func PlanPointwise(h, w, c, k int) Plan { return plan.Pointwise(h, w, c, k) }
+
+// PlanConv2D plans a general 2-D convolution.
+func PlanConv2D(spec Conv2DSpec) Plan { return plan.Conv2D(spec) }
+
+// PlanDepthwise plans a depthwise convolution (near in-place).
+func PlanDepthwise(h, w, c, r, s, stride, pad int) Plan {
+	return plan.Depthwise(h, w, c, r, s, stride, pad)
+}
+
+// PlanModule plans a fused inverted-bottleneck module (§5.2).
+func PlanModule(b Bottleneck) Plan { return plan.PlanBottleneckModule(b) }
+
+// Network is a stack of inverted-bottleneck modules.
+type Network = graph.Network
+
+// ModuleReport compares vMCU/TinyEngine/HMCOS peak RAM for one module.
+type ModuleReport = graph.ModuleReport
+
+// ExecResult reports an executed module: stats, peak RAM, verification.
+type ExecResult = graph.ExecResult
+
+// VWW returns the MCUNet-5fps-VWW backbone (Table 2, S1–S8).
+func VWW() Network { return graph.VWW() }
+
+// ImageNet returns the MCUNet-320KB-ImageNet backbone (Table 2, B1–B17).
+func ImageNet() Network { return graph.ImageNet() }
+
+// RunModule plans and executes one module on a simulated device with
+// deterministic random weights, verifying the fused kernel bit-exactly
+// against the golden layer composition.
+func RunModule(profile Profile, cfg Bottleneck, seed int64) (ExecResult, error) {
+	return graph.RunModule(profile, cfg, seed)
+}
+
+// LayerResult reports an executed single layer.
+type LayerResult struct {
+	Plan       Plan
+	Stats      Stats
+	Verified   bool
+	Violations int
+}
+
+// RunPointwise executes a 1×1 convolution with the segment-aware kernel
+// on the simulated profile, returning measured stats and verification.
+func RunPointwise(profile Profile, h, c, k int, seed int64) (LayerResult, error) {
+	st, ok, nViol, err := eval.RunVMCUPointwise(profile,
+		eval.PointwiseCase{Name: "user", HW: h, C: c, K: k}, seed)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	return LayerResult{
+		Plan:       plan.Pointwise(h, h, c, k),
+		Stats:      st,
+		Verified:   ok,
+		Violations: nViol,
+	}, nil
+}
+
+// GenerateFCKernelC builds the paper's Figure-4 fully connected kernel in
+// the loop-nest IR and lowers it to ARM-intrinsic C. scale is the
+// combined requantization scale; poolCapBytes sizes the circular pool in
+// the generated wrap macro.
+func GenerateFCKernelC(m, k, n int, scale float64, poolCapBytes int) string {
+	p := plan.FC(m, k, n)
+	prog := ir.BuildFC(m, k, n, p.SegBytes, tensor.NewRequant(scale, 0))
+	return codegen.EmitC(prog, codegen.Options{PoolCapBytes: poolCapBytes})
+}
+
+// KB converts bytes to the paper's 10^3-byte kilobytes.
+func KB(bytes int) float64 { return eval.KB(bytes) }
+
+// ChainPlan is the solved placement of a linear layer chain in one
+// circular pool (Eq. 2 difference constraints).
+type ChainPlan = plan.ChainPlan
+
+// PlanChain places a linear sequence of per-layer plans in one circular
+// pool: each layer's output becomes the next layer's input with the
+// paper's solved pointer gaps, so no inter-layer copies are needed.
+func PlanChain(stages []Plan) (ChainPlan, error) { return plan.PlanChain(stages) }
+
+// RunModuleUnfused executes a non-residual stride-1 module as a
+// per-layer chain instead of the fused kernel — the fusion ablation.
+func RunModuleUnfused(profile Profile, cfg Bottleneck, seed int64) (ExecResult, error) {
+	return graph.RunModuleUnfused(profile, cfg, seed)
+}
+
+// MemoryProfile executes a pointwise layer with occupancy tracing and
+// renders an ASCII timeline of live pool bytes — the input draining while
+// the output refills the freed segments, as in the paper's Figure 1.
+func MemoryProfile(profile Profile, h, c, k int, seed int64, width, height int) (string, error) {
+	return eval.PointwiseMemoryTrace(profile,
+		eval.PointwiseCase{Name: "trace", HW: h, C: c, K: k}, seed, width, height)
+}

@@ -1,0 +1,76 @@
+package vmcu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicPlanners(t *testing.T) {
+	p := PlanPointwise(80, 80, 16, 16)
+	if p.FootprintBytes != 102400 {
+		t.Errorf("pointwise footprint = %d, want 102400", p.FootprintBytes)
+	}
+	if PlanFC(4, 8, 16).GapSegs <= 0 {
+		t.Error("FC with expanding output must need empty segments")
+	}
+	if PlanDepthwise(10, 10, 8, 3, 3, 1, 1).FootprintBytes > 10*10*8+2*10*8 {
+		t.Error("depthwise plan should be near in-place")
+	}
+	c := PlanConv2D(Conv2DSpec{H: 8, W: 8, C: 8, K: 8, R: 3, S: 3, Stride: 1, Pad: 1})
+	if c.FootprintBytes < 8*8*8 {
+		t.Error("conv plan below input size")
+	}
+}
+
+func TestPublicModulePlan(t *testing.T) {
+	s1 := VWW().Modules[0]
+	p := PlanModule(s1)
+	if KB(p.FootprintBytes) > 15 {
+		t.Errorf("S1 plan %.1f KB, expected ~13.3", KB(p.FootprintBytes))
+	}
+}
+
+func TestPublicNetworks(t *testing.T) {
+	if len(VWW().Modules) != 8 || len(ImageNet().Modules) != 17 {
+		t.Error("model zoo sizes wrong")
+	}
+}
+
+func TestPublicRunPointwise(t *testing.T) {
+	r, err := RunPointwise(CortexM4(), 12, 16, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified || r.Violations != 0 {
+		t.Errorf("run not verified: %+v", r)
+	}
+	if r.Stats.MACs != 12*12*16*16 {
+		t.Errorf("MACs = %d, want %d", r.Stats.MACs, 12*12*16*16)
+	}
+	if r.Stats.LatencySeconds(CortexM4()) <= 0 {
+		t.Error("latency must be positive")
+	}
+}
+
+func TestPublicRunModule(t *testing.T) {
+	r, err := RunModule(CortexM4(), VWW().Modules[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputOK || r.Violations != 0 {
+		t.Errorf("module run failed: %+v", r)
+	}
+}
+
+func TestPublicCodegen(t *testing.T) {
+	c := GenerateFCKernelC(4, 16, 16, 0.02, 4096)
+	if !strings.Contains(c, "vmcu_fc") || !strings.Contains(c, "__smlad") {
+		t.Error("generated C incomplete")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	if CortexM4().RAMBytes() != 128*1024 || CortexM7().RAMBytes() != 512*1024 {
+		t.Error("profile RAM sizes wrong")
+	}
+}
