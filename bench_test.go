@@ -15,6 +15,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/ilp"
 	"github.com/vmcu-project/vmcu/internal/intrin"
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/netplan"
 	"github.com/vmcu-project/vmcu/internal/plan"
 	"github.com/vmcu-project/vmcu/internal/seg"
 )
@@ -193,6 +194,39 @@ func BenchmarkFusedBottleneckKernel(b *testing.B) {
 		}
 		if !r.OutputOK {
 			b.Fatal("output mismatch")
+		}
+	}
+}
+
+// BenchmarkPlanNetwork measures a cold whole-network schedule solve for
+// the ImageNet backbone (17 modules, policy search + offset solve per
+// iteration). Metric: scheduled one-pool network peak in KB.
+func BenchmarkPlanNetwork(b *testing.B) {
+	net := ImageNet()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		np, err := netplan.Plan(net, netplan.Options{BudgetBytes: 512 * 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = eval.KB(np.PeakBytes)
+	}
+	b.ReportMetric(peak, "net-peak-KB")
+}
+
+// BenchmarkPlanNetworkCached measures the memoized path: every iteration
+// after the first hits the plan cache instead of re-running the solve.
+func BenchmarkPlanNetworkCached(b *testing.B) {
+	net := ImageNet()
+	c := netplan.NewCache()
+	opts := netplan.Options{BudgetBytes: 512 * 1024}
+	if _, _, err := c.Plan(net, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := c.Plan(net, opts); err != nil || !hit {
+			b.Fatalf("cache miss on warmed key (hit=%v err=%v)", hit, err)
 		}
 	}
 }

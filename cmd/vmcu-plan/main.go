@@ -1,6 +1,6 @@
-// Command vmcu-plan solves the segment-level memory plan for a layer or
-// an inverted-bottleneck module and compares it with TinyEngine's
-// tensor-level footprint.
+// Command vmcu-plan solves the segment-level memory plan for a layer, an
+// inverted-bottleneck module, or a whole network, and compares it with
+// TinyEngine's tensor-level footprint.
 //
 // Usage:
 //
@@ -9,6 +9,8 @@
 //	vmcu-plan -layer conv -hw 28 -c 16 -k 32 -r 3 -stride 2 -pad 1
 //	vmcu-plan -layer dw -hw 20 -c 48 -r 3 -stride 1 -pad 1
 //	vmcu-plan -layer module -hw 20 -c 16 -cmid 48 -k 16 -r 3
+//	vmcu-plan -network vww
+//	vmcu-plan -network imagenet -budget 524288
 package main
 
 import (
@@ -18,11 +20,14 @@ import (
 
 	"github.com/vmcu-project/vmcu/internal/baseline"
 	"github.com/vmcu-project/vmcu/internal/eval"
+	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
 func main() {
 	layer := flag.String("layer", "pointwise", "layer kind: pointwise, fc, conv, dw, module")
+	network := flag.String("network", "", "schedule a whole network into one pool: vww or imagenet")
+	budget := flag.Int("budget", 128*1024, "device RAM budget in bytes for -network")
 	hw := flag.Int("hw", 80, "image height/width (pointwise, conv, dw, module)")
 	m := flag.Int("m", 1, "rows (fc)")
 	c := flag.Int("c", 16, "input channels / fc reduction dim")
@@ -35,6 +40,26 @@ func main() {
 	s2 := flag.Int("s2", 1, "module stride of the depthwise")
 	s3 := flag.Int("s3", 1, "module stride of conv2")
 	flag.Parse()
+
+	if *network != "" {
+		var net graph.Network
+		switch *network {
+		case "vww":
+			net = graph.VWW()
+		case "imagenet":
+			net = graph.ImageNet()
+		default:
+			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown network %q (want vww or imagenet)\n", *network)
+			os.Exit(1)
+		}
+		rows, s, err := eval.NetworkSchedule(net, *budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmcu-plan: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(eval.RenderNetworkSchedule(rows, s, *budget))
+		return
+	}
 
 	var p plan.Plan
 	var tiny int

@@ -1,0 +1,3 @@
+module github.com/vmcu-project/vmcu
+
+go 1.24

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/netplan"
+)
+
+// SchedRow is one module of the whole-network schedule comparison: the
+// policy the scheduler chose and the module's window in the shared pool
+// against the footprint per-module planning (Network.Report) would charge.
+type SchedRow struct {
+	Name      string
+	Policy    string
+	WindowKB  float64 // contribution to the one-pool network peak
+	FusedKB   float64 // per-module fused footprint (Report's vMCU column)
+	Residual  bool
+	Connected bool // input arrives in-pool from the previous module
+}
+
+// SchedSummary compares the scheduled network against per-module planning.
+type SchedSummary struct {
+	Network        string
+	PeakKB         float64 // lifetime-aware one-pool network peak
+	PerModuleMaxKB float64 // max per-module fused footprint (Report max)
+	SavedKB        float64 // PerModuleMaxKB − PeakKB (≥ 0 by construction)
+	Steps          int
+	Tensors        int
+	Handoffs       int
+	FitsBudget     bool
+}
+
+// NetworkSchedule plans the whole network into one circular pool and
+// reports, per module, the chosen policy and window, plus the
+// network-level peak comparison. Unlike netplan.Plan, an over-budget
+// schedule is not an error here: the report still renders, with
+// FitsBudget false — the eval surface exists to show exactly that case.
+func NetworkSchedule(net graph.Network, budgetBytes int) ([]SchedRow, SchedSummary, error) {
+	np, err := netplan.Plan(net, netplan.Options{})
+	if err != nil {
+		return nil, SchedSummary{}, err
+	}
+	rows := make([]SchedRow, 0, len(np.Modules))
+	for i, ms := range np.Modules {
+		cfg := net.Modules[i]
+		connected := i > 0 && netplan.Connects(net.Modules[i-1], cfg)
+		rows = append(rows, SchedRow{
+			Name:      ms.Name,
+			Policy:    ms.Policy.String(),
+			WindowKB:  KB(ms.WindowBytes),
+			FusedKB:   KB(ms.FusedBytes),
+			Residual:  cfg.Residual(),
+			Connected: connected,
+		})
+	}
+	s := SchedSummary{
+		Network:        np.Network,
+		PeakKB:         KB(np.PeakBytes),
+		PerModuleMaxKB: KB(np.PerModuleMaxBytes),
+		SavedKB:        KB(np.PerModuleMaxBytes - np.PeakBytes),
+		Steps:          len(np.Steps),
+		Tensors:        len(np.Tensors),
+		Handoffs:       np.Handoffs,
+		FitsBudget:     budgetBytes <= 0 || np.PeakBytes <= budgetBytes,
+	}
+	return rows, s, nil
+}
+
+// RenderNetworkSchedule formats the whole-network schedule comparison.
+func RenderNetworkSchedule(rows []SchedRow, s SchedSummary, budgetBytes int) string {
+	out := [][]string{}
+	flag := func(b bool, yes string) string {
+		if b {
+			return yes
+		}
+		return "-"
+	}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			r.Policy,
+			fmt.Sprintf("%.1f", r.WindowKB),
+			fmt.Sprintf("%.1f", r.FusedKB),
+			flag(r.Residual, "res"),
+			flag(r.Connected, "in-pool"),
+		})
+	}
+	return fmt.Sprintf("Whole-network schedule: %s in one circular pool (budget %.1f KB)\n", s.Network, KB(budgetBytes)) +
+		Table([]string{"module", "policy", "window KB", "per-module KB", "residual", "input"}, out) +
+		fmt.Sprintf("network peak %.1f KB over %d steps / %d tensors (%d handoffs); per-module planning needs %.1f KB; fits budget: %v\n",
+			s.PeakKB, s.Steps, s.Tensors, s.Handoffs, s.PerModuleMaxKB, s.FitsBudget)
+}

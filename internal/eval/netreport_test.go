@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+)
+
+func TestNetworkScheduleVWW(t *testing.T) {
+	rows, s, err := NetworkSchedule(graph.VWW(), F411RELimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	if s.PeakKB > s.PerModuleMaxKB {
+		t.Errorf("one-pool peak %.1f KB exceeds per-module max %.1f KB", s.PeakKB, s.PerModuleMaxKB)
+	}
+	if s.SavedKB < 0 {
+		t.Errorf("negative saving %.1f KB", s.SavedKB)
+	}
+	if !s.FitsBudget {
+		t.Error("VWW must fit the F411RE budget")
+	}
+	if s.Handoffs != 5 {
+		t.Errorf("handoffs = %d, want 5", s.Handoffs)
+	}
+	// S2's output stays in-pool for... S1->S2 connects, so S2 is in-pool.
+	if !rows[1].Connected || rows[2].Connected {
+		t.Errorf("connectivity flags wrong: S2=%v S3=%v", rows[1].Connected, rows[2].Connected)
+	}
+}
+
+func TestNetworkScheduleImageNet(t *testing.T) {
+	rows, s, err := NetworkSchedule(graph.ImageNet(), 512*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows, want 17", len(rows))
+	}
+	if s.PeakKB > s.PerModuleMaxKB {
+		t.Errorf("one-pool peak %.1f KB exceeds per-module max %.1f KB", s.PeakKB, s.PerModuleMaxKB)
+	}
+	// B5->B6 (channel mismatch) and B12->B13 (spatial mismatch) are the
+	// two Table-2 seams whose shapes do not chain.
+	if s.Handoffs != 2 {
+		t.Errorf("handoffs = %d, want 2", s.Handoffs)
+	}
+}
+
+func TestRenderNetworkSchedule(t *testing.T) {
+	rows, s, err := NetworkSchedule(graph.VWW(), F411RELimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := RenderNetworkSchedule(rows, s, F411RELimit)
+	for _, want := range []string{"S1", "S8", "fused", "network peak", "handoffs"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("rendered schedule missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestNetworkScheduleOverBudget(t *testing.T) {
+	// The eval report renders over-budget schedules instead of erroring:
+	// that is the case it exists to show.
+	rows, s, err := NetworkSchedule(graph.VWW(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	if s.FitsBudget {
+		t.Error("13.3 KB network reported as fitting a 1 KB budget")
+	}
+	txt := RenderNetworkSchedule(rows, s, 1024)
+	if !strings.Contains(txt, "fits budget: false") {
+		t.Errorf("rendered report does not flag the over-budget schedule:\n%s", txt)
+	}
+}

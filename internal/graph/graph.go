@@ -142,7 +142,15 @@ type ExecResult struct {
 // deterministic random weights and input, verifying the fused kernel's
 // output against the golden composition.
 func RunModule(profile mcu.Profile, cfg plan.Bottleneck, seed int64) (ExecResult, error) {
-	p := plan.PlanBottleneckModule(cfg)
+	return RunModuleWithPlan(profile, cfg, plan.PlanBottleneckModule(cfg), seed)
+}
+
+// RunModuleWithPlan executes one module under an explicit memory plan —
+// the minimal solved plan, or a scheduler-chosen variant such as the
+// disjoint baseline placement (netplan.PolicyBaseline). The plan's gap may
+// exceed the solved minimum (wider separations are strictly safer) but the
+// shadow-state checker still proves no live segment is clobbered.
+func RunModuleWithPlan(profile mcu.Profile, cfg plan.Bottleneck, p plan.Plan, seed int64) (ExecResult, error) {
 	segsz := p.SegBytes
 	poolBytes := (p.FootprintBytes - p.WorkspaceBytes + segsz - 1) / segsz * segsz
 	if poolBytes+p.WorkspaceBytes > profile.RAMBytes() {

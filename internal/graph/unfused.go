@@ -30,13 +30,9 @@ func RunModuleUnfused(profile mcu.Profile, cfg plan.Bottleneck, seed int64) (Exe
 	p1 := plan.Pointwise(cfg.H, cfg.W, cfg.Cin, cfg.Cmid)
 	pd := plan.Depthwise(h1, w1, cfg.Cmid, cfg.R, cfg.S, cfg.S2, pad)
 	p2 := plan.Pointwise(h2, w2, cfg.Cmid, cfg.Cout)
-	chain, err := plan.PlanChain([]plan.Plan{p1, pd, p2})
+	chain, err := plan.PlanChainWithin([]plan.Plan{p1, pd, p2}, profile.RAMBytes())
 	if err != nil {
-		return ExecResult{}, err
-	}
-	if chain.FootprintBytes > profile.RAMBytes() {
-		return ExecResult{}, fmt.Errorf("graph: unfused %s needs %d bytes, device has %d",
-			cfg.Name, chain.FootprintBytes, profile.RAMBytes())
+		return ExecResult{}, fmt.Errorf("graph: unfused %s: %w", cfg.Name, err)
 	}
 
 	rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,116 @@
+package netplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+)
+
+// Cache memoizes solved network plans by a deterministic key over the
+// network topology and scheduler options, so repeated plan/run requests do
+// not re-run the difference-constraint solve. It is safe for concurrent
+// use; the solve for a given key runs at most once (per-key single-flight,
+// so solves for different keys never serialize each other), and every hit
+// returns the identical *NetworkPlan (callers must treat plans as
+// read-only).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// cacheEntry is one in-flight or completed solve; ready closes when np/err
+// are set.
+type cacheEntry struct {
+	ready chan struct{}
+	np    *NetworkPlan
+	err   error
+}
+
+// NewCache returns an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Default is the package-level cache used by the public vmcu API.
+var Default = NewCache()
+
+// Key builds the deterministic cache key for a network/options pair.
+func Key(net graph.Network, opts Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|budget=%d", net.Name, opts.BudgetBytes)
+	for _, m := range net.Modules {
+		fmt.Fprintf(&b, "|%+v", m)
+	}
+	if len(opts.Force) > 0 {
+		names := make([]string, 0, len(opts.Force))
+		for n := range opts.Force {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "|force:%s=%v", n, opts.Force[n])
+		}
+	}
+	return b.String()
+}
+
+// Plan returns the memoized plan for the network/options pair, solving and
+// storing it on the first request. The second return reports a cache hit
+// (callers that merely waited on another goroutine's in-flight solve count
+// as hits — they did not solve). Failed solves are not cached; later
+// requests for the same key retry.
+func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error) {
+	key := Key(net, opts)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e.np, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.np, e.err = Plan(net, opts)
+	close(e.ready)
+	c.mu.Lock()
+	if e.err != nil {
+		// Drop the failed entry so the next request re-attempts (unless a
+		// Reset already replaced the map).
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, false, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+	return e.np, false, nil
+}
+
+// Stats reports the cache's lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops every cached plan and zeroes the counters. In-flight solves
+// complete against the old map and are not re-inserted.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,85 @@
+package netplan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// RunResult reports a whole-network execution: the memoized plan plus one
+// verified ExecResult per module, in network order.
+type RunResult struct {
+	Plan    *NetworkPlan
+	Modules []graph.ExecResult
+	// AllVerified is true when every module's output matched its golden
+	// composition bit-exactly.
+	AllVerified bool
+	// Violations totals the shadow-state memory-safety violations across
+	// all modules (0 proves the schedule's offsets are safe).
+	Violations int
+}
+
+// Run plans the network through the cache and executes every module's
+// verification under its scheduled policy. Module verifications are
+// independent (each builds its own simulated device with deterministic
+// per-module seeds, exactly like graph.Network.Run), so they run
+// concurrently on a bounded worker pool; results keep network order.
+func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache *Cache) (*RunResult, error) {
+	if cache == nil {
+		cache = Default
+	}
+	np, _, err := cache.Plan(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]graph.ExecResult, len(net.Modules))
+	errs := make([]error, len(net.Modules))
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(net.Modules) {
+		workers = len(net.Modules)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = runModule(profile, net.Modules[i], np.Modules[i], seed+int64(i))
+			}
+		}()
+	}
+	for i := range net.Modules {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("netplan: %s: %w", net.Modules[i].Name, err)
+		}
+	}
+	out := &RunResult{Plan: np, Modules: results, AllVerified: true}
+	for _, r := range results {
+		if !r.OutputOK {
+			out.AllVerified = false
+		}
+		out.Violations += r.Violations
+	}
+	return out, nil
+}
+
+func runModule(profile mcu.Profile, cfg plan.Bottleneck, ms ModuleSchedule, seed int64) (graph.ExecResult, error) {
+	switch ms.Policy {
+	case PolicyUnfused:
+		return graph.RunModuleUnfused(profile, cfg, seed)
+	default:
+		// Fused and baseline both execute the fused kernel; baseline just
+		// runs it under the wider disjoint placement.
+		return graph.RunModuleWithPlan(profile, cfg, ms.Plans[0], seed)
+	}
+}

@@ -1,0 +1,105 @@
+package netplan
+
+import (
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+// TestRunNetworkVWW executes the whole VWW backbone through the concurrent
+// executor: every module must verify bit-exactly with zero shadow-state
+// violations, in network order.
+func TestRunNetworkVWW(t *testing.T) {
+	res, err := Run(mcu.CortexM4(), graph.VWW(), 7, Options{BudgetBytes: mcu.CortexM4().RAMBytes()}, NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllVerified || res.Violations != 0 {
+		t.Fatalf("network run failed verification: verified=%v violations=%d", res.AllVerified, res.Violations)
+	}
+	if len(res.Modules) != 8 {
+		t.Fatalf("got %d module results, want 8", len(res.Modules))
+	}
+	for i, r := range res.Modules {
+		want := graph.VWW().Modules[i].Name
+		if r.Name != want {
+			t.Errorf("result %d is %q, want %q (order lost in concurrency)", i, r.Name, want)
+		}
+	}
+	if res.Plan == nil || res.Plan.PeakBytes <= 0 {
+		t.Error("run result missing its network plan")
+	}
+}
+
+// TestRunNetworkMatchesSerial compares the concurrent executor against the
+// seed's serial graph.Network.Run on the same seeds: stats and verification
+// must agree module for module.
+func TestRunNetworkMatchesSerial(t *testing.T) {
+	profile := mcu.CortexM4()
+	net := graph.VWW()
+	const seed = 42
+	conc, err := Run(profile, net, seed, Options{}, NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := net.Run(profile, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		c, s := conc.Modules[i], serial[i]
+		if c.Name != s.Name || c.Stats != s.Stats || c.PeakBytes != s.PeakBytes ||
+			c.OutputOK != s.OutputOK || c.Violations != s.Violations {
+			t.Errorf("module %s: concurrent %+v != serial %+v", s.Name, c, s)
+		}
+	}
+}
+
+// TestRunNetworkForcedPolicies executes S3 unfused and S8 under the
+// disjoint baseline placement — both paths must still verify bit-exactly,
+// proving the kernels are correct under scheduler-chosen non-minimal plans.
+func TestRunNetworkForcedPolicies(t *testing.T) {
+	net := graph.VWW()
+	res, err := Run(mcu.CortexM4(), net, 3, Options{
+		Force: map[string]Policy{"S3": PolicyUnfused, "S8": PolicyBaseline},
+	}, NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllVerified || res.Violations != 0 {
+		t.Fatalf("forced-policy run failed: verified=%v violations=%d", res.AllVerified, res.Violations)
+	}
+	if got := res.Modules[2].Name; got != "S3-unfused" {
+		t.Errorf("S3 result name %q, want S3-unfused", got)
+	}
+}
+
+// TestRunNetworkUsesCache runs twice against one cache and checks the
+// second run reuses the solved plan.
+func TestRunNetworkUsesCache(t *testing.T) {
+	c := NewCache()
+	net := graph.VWW()
+	r1, err := Run(mcu.CortexM4(), net, 1, Options{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mcu.CortexM4(), net, 2, Options{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Plan != r2.Plan {
+		t.Error("second run did not reuse the cached plan")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestRunNetworkInfeasibleBudget propagates the planner's infeasible-pool
+// error through the executor.
+func TestRunNetworkInfeasibleBudget(t *testing.T) {
+	if _, err := Run(mcu.CortexM4(), graph.VWW(), 1, Options{BudgetBytes: 1024}, NewCache()); err == nil {
+		t.Error("1 KB budget accepted")
+	}
+}

@@ -1,0 +1,435 @@
+// Package netplan schedules an entire network — every inverted-bottleneck
+// module of a Table-2 backbone — into one circular segment pool end to end.
+//
+// The per-module planner (internal/plan) solves each module in isolation,
+// which implicitly assumes the pool resets between modules. This package
+// removes that assumption: it computes per-activation live ranges across
+// module boundaries, extends the Eq. (2) difference-constraint system from
+// single chains (plan.PlanChain) to the whole module graph, and searches
+// over per-module scheduling policies (fused kernel, per-layer unfused
+// chain, or a disjoint baseline fallback) to minimize the network's peak
+// RAM under a device budget.
+//
+// Two kinds of module boundary occur in the Table-2 backbones:
+//
+//   - Connectable: module i's output shape equals module i+1's input shape.
+//     The two modules share one tensor, and the solved pointer gaps carry
+//     straight through — no copy, no reset.
+//   - Handoff: the shapes differ (the published tables elide the glue
+//     layers between stages). The scheduler inserts an explicit handoff
+//     step during which both activations are live and disjoint, modeling
+//     the elided glue op reading one while writing the other.
+//
+// The solved placement is lifetime-aware: the network peak is the maximum
+// over execution steps of the live-byte window (highest live extent minus
+// lowest live offset, plus that step's kernel workspace), not the sum of
+// all virtual offsets — dead tensors are reclaimed by the circular pool's
+// wrap-around exactly as in the single-module case.
+package netplan
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/ilp"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// Policy selects how one module is scheduled within the network pool.
+type Policy int
+
+const (
+	// PolicyFused runs the §5.2 fused kernel with the minimal solved
+	// pointer gap: output segments overlap segments freed from the input.
+	PolicyFused Policy = iota
+	// PolicyUnfused runs the module as a per-layer chain with Eq. (2)
+	// offsets: the expansion tensor materializes in full, but no fused
+	// workspace is needed.
+	PolicyUnfused
+	// PolicyBaseline runs the fused kernel with a fully disjoint
+	// input/output placement — the TinyEngine-style fallback that never
+	// reuses freed input segments.
+	PolicyBaseline
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFused:
+		return "fused"
+	case PolicyUnfused:
+		return "unfused"
+	case PolicyBaseline:
+		return "baseline"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Tensor is one activation in the whole-network schedule.
+type Tensor struct {
+	// Name identifies the activation, e.g. "input", "S3.B", "S4.out".
+	Name string
+	// Bytes is the raw int8 activation size.
+	Bytes int
+	// Offset is the solved virtual pool offset; the final network output
+	// anchors at 0 and earlier tensors sit at higher offsets.
+	Offset int
+	// Birth and Death are the first and last step indices (inclusive) at
+	// which the tensor is live.
+	Birth, Death int
+}
+
+// Step is one unit of the network execution timeline: a module kernel
+// invocation, one layer of an unfused chain, or an inter-module handoff.
+type Step struct {
+	// Name describes the step, e.g. "S1(fused)", "S3.conv1", "S2>S3 handoff".
+	Name string
+	// Module is the index of the module this step belongs to, -1 for
+	// inter-module handoffs.
+	Module int
+	// WorkspaceBytes is the kernel workspace live during this step only.
+	WorkspaceBytes int
+	// Live lists the indices (into NetworkPlan.Tensors) of the activations
+	// live during the step.
+	Live []int
+	// WindowBytes is the step's solved instantaneous RAM requirement:
+	// highest live extent minus lowest live offset, plus workspace.
+	WindowBytes int
+}
+
+// Constraint is one difference constraint Offset[Hi] − Offset[Lo] ≥ Gap of
+// the network-wide Eq. (2) system, kept for introspection and testing.
+type Constraint struct {
+	Hi, Lo int // tensor indices
+	Gap    int // bytes
+}
+
+// ModuleSchedule reports the policy chosen for one module.
+type ModuleSchedule struct {
+	Name   string
+	Policy Policy
+	// Plans holds the per-kernel plans: one for fused/baseline, three
+	// (conv1, depthwise, conv2) for unfused.
+	Plans []plan.Plan
+	// WindowBytes is the module's own contribution to the network peak
+	// under the chosen policy: the fused/baseline footprint, or the whole
+	// chain footprint (what the unfused executor allocates) for unfused.
+	WindowBytes int
+	// FusedBytes is what the per-module fused plan (graph.Network.Report's
+	// vMCU column) would need — the comparison baseline.
+	FusedBytes int
+}
+
+// NetworkPlan is the solved whole-network placement.
+type NetworkPlan struct {
+	Network     string
+	BudgetBytes int // 0 means unlimited
+	Modules     []ModuleSchedule
+	Tensors     []Tensor
+	Steps       []Step
+	Constraints []Constraint
+	// PeakBytes is the lifetime-aware network peak: the largest step
+	// window (including that step's workspace), lower-bounded by each
+	// module's executable pool requirement under its chosen policy, so a
+	// feasible plan is always executable.
+	PeakBytes int
+	// PerModuleMaxBytes is the maximum per-module fused footprint — the
+	// peak graph.Network.Report() implies when every module gets a fresh
+	// pool. The scheduler guarantees PeakBytes ≤ PerModuleMaxBytes
+	// whenever no handoff dominates.
+	PerModuleMaxBytes int
+	// Handoffs counts the inter-module boundaries that required an
+	// explicit live-range overlap because the Table-2 shapes don't chain.
+	Handoffs int
+}
+
+// Options configure the scheduler.
+type Options struct {
+	// BudgetBytes is the device RAM budget; 0 disables the check.
+	BudgetBytes int
+	// Force pins named modules to a policy instead of searching. Forcing a
+	// policy the module does not support is an error.
+	Force map[string]Policy
+}
+
+// Plan schedules the network into one pool. It does not consult any cache;
+// use Cache.Plan (or the package-level Default cache) for memoized solves.
+func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
+	if len(net.Modules) == 0 {
+		return nil, fmt.Errorf("netplan: network %q has no modules", net.Name)
+	}
+	for _, cfg := range net.Modules {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("netplan: %w", err)
+		}
+	}
+	for name := range opts.Force {
+		known := false
+		for _, cfg := range net.Modules {
+			if cfg.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("netplan: forced policy names unknown module %q", name)
+		}
+	}
+	np := &NetworkPlan{Network: net.Name, BudgetBytes: opts.BudgetBytes}
+
+	first := net.Modules[0]
+	np.Tensors = []Tensor{{Name: "input", Bytes: first.H * first.W * first.Cin}}
+	cur := 0 // index of the tensor currently holding the live activation
+
+	addTensor := func(name string, bytes int) int {
+		np.Tensors = append(np.Tensors, Tensor{Name: name, Bytes: bytes})
+		return len(np.Tensors) - 1
+	}
+	addStep := func(name string, module, ws int, live ...int) {
+		np.Steps = append(np.Steps, Step{Name: name, Module: module, WorkspaceBytes: ws, Live: live})
+	}
+	constrain := func(hi, lo, gap int) {
+		np.Constraints = append(np.Constraints, Constraint{Hi: hi, Lo: lo, Gap: gap})
+	}
+
+	for mi, cfg := range net.Modules {
+		forced, hasForce := opts.Force[cfg.Name]
+		ms, err := scheduleModule(cfg, forced, hasForce)
+		if err != nil {
+			return nil, err
+		}
+		switch ms.Policy {
+		case PolicyFused, PolicyBaseline:
+			p := ms.Plans[0]
+			out := addTensor(cfg.Name+".out", p.OutBytes)
+			constrain(cur, out, p.GapBytes())
+			addStep(fmt.Sprintf("%s(%s)", cfg.Name, ms.Policy), mi, p.WorkspaceBytes, cur, out)
+			cur = out
+		case PolicyUnfused:
+			names := [3]string{".B", ".C", ".out"}
+			kinds := [3]string{".conv1", ".dw", ".conv2"}
+			for si, sp := range ms.Plans {
+				out := addTensor(cfg.Name+names[si], sp.OutBytes)
+				constrain(cur, out, sp.GapBytes())
+				addStep(cfg.Name+kinds[si], mi, sp.WorkspaceBytes, cur, out)
+				cur = out
+			}
+		}
+		np.Modules = append(np.Modules, ms)
+		if f := ms.FusedBytes; f > np.PerModuleMaxBytes {
+			np.PerModuleMaxBytes = f
+		}
+
+		if mi+1 < len(net.Modules) {
+			next := net.Modules[mi+1]
+			inBytes := next.H * next.W * next.Cin
+			if Connects(cfg, next) {
+				// Connectable boundary: the output tensor is the next
+				// module's input; sizes must agree exactly.
+				if np.Tensors[cur].Bytes != inBytes {
+					return nil, fmt.Errorf("netplan: %s output %dB does not match %s input %dB",
+						cfg.Name, np.Tensors[cur].Bytes, next.Name, inBytes)
+				}
+				continue
+			}
+			// Handoff: the elided glue op reads the old activation while
+			// writing the new one — both live, fully disjoint.
+			in := addTensor(next.Name+".in", inBytes)
+			constrain(cur, in, inBytes)
+			addStep(fmt.Sprintf("%s>%s handoff", cfg.Name, next.Name), -1, 0, cur, in)
+			np.Handoffs++
+			cur = in
+		}
+	}
+
+	if err := np.solveOffsets(cur); err != nil {
+		return nil, err
+	}
+	np.computeWindows()
+	if opts.BudgetBytes > 0 && np.PeakBytes > opts.BudgetBytes {
+		return nil, fmt.Errorf("netplan: network %s needs %d bytes, budget is %d (infeasible pool)",
+			net.Name, np.PeakBytes, opts.BudgetBytes)
+	}
+	return np, nil
+}
+
+// solveOffsets runs one longest-path pass of the difference system from the
+// final tensor (anchored at offset 0), assigning every activation its
+// minimal feasible virtual offset.
+func (np *NetworkPlan) solveOffsets(anchor int) error {
+	sys := ilp.NewDiffSystem(len(np.Tensors))
+	for _, c := range np.Constraints {
+		sys.AddGE(c.Hi, c.Lo, int64(c.Gap))
+	}
+	dist, reach, err := sys.LongestPathsFrom(anchor)
+	if err != nil {
+		return fmt.Errorf("netplan: %w", err)
+	}
+	for i := range np.Tensors {
+		if reach[i] {
+			np.Tensors[i].Offset = int(dist[i])
+		}
+	}
+	return nil
+}
+
+// computeWindows derives per-step live windows, per-tensor live ranges, and
+// the network peak from the solved offsets.
+func (np *NetworkPlan) computeWindows() {
+	for i := range np.Tensors {
+		np.Tensors[i].Birth = -1
+		np.Tensors[i].Death = -1
+	}
+	np.PeakBytes = 0
+	for si := range np.Steps {
+		st := &np.Steps[si]
+		lo, hi := 0, 0
+		for li, ti := range st.Live {
+			t := &np.Tensors[ti]
+			if t.Birth < 0 {
+				t.Birth = si
+			}
+			t.Death = si
+			if li == 0 || t.Offset < lo {
+				lo = t.Offset
+			}
+			if li == 0 || t.Offset+t.Bytes > hi {
+				hi = t.Offset + t.Bytes
+			}
+		}
+		st.WindowBytes = hi - lo + st.WorkspaceBytes
+		if st.WindowBytes > np.PeakBytes {
+			np.PeakBytes = st.WindowBytes
+		}
+	}
+	// Each module's executor allocates its policy's own pool requirement
+	// (e.g. the whole chain footprint for unfused modules), which can
+	// exceed the per-step windows; the network peak must cover it so that
+	// a plan accepted under the budget always runs.
+	for _, ms := range np.Modules {
+		if ms.WindowBytes > np.PeakBytes {
+			np.PeakBytes = ms.WindowBytes
+		}
+	}
+}
+
+// Connects reports whether module a's output shape equals module b's input
+// shape, so the two can share one activation in the pool.
+func Connects(a, b plan.Bottleneck) bool {
+	_, _, _, _, h3, w3 := a.Grids()
+	return a.Cout == b.Cin && h3 == b.H && w3 == b.W
+}
+
+type candidate struct {
+	policy Policy
+	plans  []plan.Plan
+	window int
+}
+
+// scheduleModule enumerates the valid policies for one module and picks the
+// one minimizing the module's pool window (fused wins ties).
+func scheduleModule(cfg plan.Bottleneck, forced Policy, hasForce bool) (ModuleSchedule, error) {
+	fused := plan.PlanBottleneckModule(cfg)
+	cands := []candidate{{PolicyFused, []plan.Plan{fused}, executableFused(fused)}}
+	if stages, ok := UnfusedStages(cfg); ok {
+		// The unfused window is the chain's one-pool footprint — exactly
+		// what graph.RunModuleUnfused allocates — so plan-time feasibility
+		// implies run-time feasibility.
+		if cp, err := plan.PlanChain(stages); err == nil {
+			cands = append(cands, candidate{PolicyUnfused, stages, executableUnfused(cp)})
+		}
+	}
+	if hasForce && forced == PolicyBaseline {
+		// The disjoint baseline can never beat the minimal-gap fused plan,
+		// so it only enters the candidate set when pinned explicitly.
+		base := baselineFrom(fused, cfg.Name)
+		cands = append(cands, candidate{PolicyBaseline, []plan.Plan{base}, executableFused(base)})
+	}
+
+	best := cands[0]
+	if hasForce {
+		found := false
+		for _, c := range cands {
+			if c.policy == forced {
+				best, found = c, true
+				break
+			}
+		}
+		if !found {
+			return ModuleSchedule{}, fmt.Errorf("netplan: module %s does not support forced policy %v", cfg.Name, forced)
+		}
+	} else {
+		for _, c := range cands[1:] {
+			if c.window < best.window {
+				best = c
+			}
+		}
+	}
+	return ModuleSchedule{
+		Name:        cfg.Name,
+		Policy:      best.policy,
+		Plans:       best.plans,
+		WindowBytes: best.window,
+		FusedBytes:  fused.FootprintBytes,
+	}, nil
+}
+
+// UnfusedStages returns the three per-layer plans (conv1, depthwise, conv2)
+// of the module if per-layer execution is supported: non-residual, stride-1
+// pointwise convs, and stages whose segment layouts connect with the raw
+// tensor sizes (no segment padding at any seam).
+func UnfusedStages(cfg plan.Bottleneck) ([]plan.Plan, bool) {
+	if cfg.Residual() || cfg.S1 != 1 || cfg.S3 != 1 {
+		return nil, false
+	}
+	h1, w1, h2, w2, _, _ := cfg.Grids()
+	p1 := plan.Pointwise(cfg.H, cfg.W, cfg.Cin, cfg.Cmid)
+	pd := plan.Depthwise(h1, w1, cfg.Cmid, cfg.R, cfg.S, cfg.S2, cfg.Pad())
+	p2 := plan.Pointwise(h2, w2, cfg.Cmid, cfg.Cout)
+	a, bb, c, d, _ := cfg.TensorBytes()
+	if p1.InBytes != a || p1.OutBytes != bb || pd.InBytes != bb ||
+		pd.OutBytes != c || p2.InBytes != c || p2.OutBytes != d {
+		return nil, false
+	}
+	return []plan.Plan{p1, pd, p2}, true
+}
+
+// BaselinePlan is the disjoint fallback placement: the fused kernel with a
+// pointer gap wide enough that the output never reuses freed input
+// segments, mirroring TinyEngine's separate input/output buffers.
+func BaselinePlan(cfg plan.Bottleneck) plan.Plan {
+	return baselineFrom(plan.PlanBottleneckModule(cfg), cfg.Name)
+}
+
+// baselineFrom widens an already-solved fused plan to the disjoint
+// placement without re-running the module solve.
+func baselineFrom(fused plan.Plan, name string) plan.Plan {
+	p := plan.WithGapSegs(fused, (fused.OutBytes+fused.SegBytes-1)/fused.SegBytes)
+	p.Note = fmt.Sprintf("bottleneck %s (baseline: disjoint A and E)", name)
+	return p
+}
+
+// executableFused is the RAM graph.RunModuleWithPlan actually allocates for
+// a fused/baseline plan: the activation span rounded up to a whole number
+// of segments, plus the workspace. It can exceed FootprintBytes by up to
+// SegBytes−1 when the span is not segment-aligned (never on the Table-2
+// backbones, but the feasibility guarantee must not depend on that).
+func executableFused(p plan.Plan) int {
+	pool := (p.FootprintBytes - p.WorkspaceBytes + p.SegBytes - 1) / p.SegBytes * p.SegBytes
+	return pool + p.WorkspaceBytes
+}
+
+// unfusedPoolGran mirrors the byte-wise pool granularity of
+// graph.RunModuleUnfused (its segGran constant).
+const unfusedPoolGran = 4
+
+// executableUnfused is the RAM graph.RunModuleUnfused actually allocates:
+// the whole chain footprint rounded up to the pool granularity.
+func executableUnfused(cp plan.ChainPlan) int {
+	return (cp.FootprintBytes + unfusedPoolGran - 1) / unfusedPoolGran * unfusedPoolGran
+}
+
+// Fingerprint returns a deterministic serialization of the whole plan,
+// used to prove cache hits are byte-identical to cold solves.
+func (np *NetworkPlan) Fingerprint() string {
+	return fmt.Sprintf("%+v", *np)
+}

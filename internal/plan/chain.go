@@ -51,17 +51,18 @@ func PlanChain(stages []Plan) (ChainPlan, error) {
 		sys.AddGE(i, i+1, int64(st.GapBytes()))
 	}
 	// Anchor the final output at 0 and derive every offset as the minimal
-	// feasible distance above it (longest constraint path).
+	// feasible distance above it: one longest-constraint-path pass from the
+	// anchor reaches every tensor (Bellman-Ford, shared with the
+	// whole-network scheduler in internal/netplan).
+	dist, reach, err := sys.LongestPathsFrom(n)
+	if err != nil {
+		return ChainPlan{}, err
+	}
 	offsets := make([]int, n+1)
 	for i := 0; i <= n; i++ {
-		w, ok, err := sys.MinDiff(i, n)
-		if err != nil {
-			return ChainPlan{}, err
+		if reach[i] {
+			offsets[i] = int(dist[i])
 		}
-		if !ok {
-			w = 0 // unconstrained (can only happen for the output itself)
-		}
-		offsets[i] = int(w)
 	}
 	// Peak: every tensor's extent above the anchor, plus workspace.
 	foot := 0
@@ -78,6 +79,20 @@ func PlanChain(stages []Plan) (ChainPlan, error) {
 		}
 	}
 	return ChainPlan{Stages: stages, Offsets: offsets, FootprintBytes: foot + ws}, nil
+}
+
+// PlanChainWithin solves the chain placement and verifies it fits a pool of
+// capBytes, reporting an infeasible-pool error otherwise.
+func PlanChainWithin(stages []Plan, capBytes int) (ChainPlan, error) {
+	cp, err := PlanChain(stages)
+	if err != nil {
+		return ChainPlan{}, err
+	}
+	if cp.FootprintBytes > capBytes {
+		return ChainPlan{}, fmt.Errorf("plan: chain needs %d bytes, pool has %d (infeasible)",
+			cp.FootprintBytes, capBytes)
+	}
+	return cp, nil
 }
 
 // PointwiseWithSeg plans a 1×1 convolution with an explicit segment size,

@@ -60,6 +60,38 @@ func TestPlanChainRejectsMismatch(t *testing.T) {
 	if _, err := PlanChain(nil); err == nil {
 		t.Error("empty chain accepted")
 	}
+	if _, err := PlanChain([]Plan{}); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+}
+
+func TestPlanChainWithin(t *testing.T) {
+	stages := []Plan{Pointwise(6, 6, 16, 8), Pointwise(6, 6, 8, 16)}
+	cp, err := PlanChain(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the footprint: feasible.
+	if _, err := PlanChainWithin(stages, cp.FootprintBytes); err != nil {
+		t.Errorf("pool == footprint rejected: %v", err)
+	}
+	// One byte short: infeasible pool.
+	if _, err := PlanChainWithin(stages, cp.FootprintBytes-1); err == nil {
+		t.Error("undersized pool accepted")
+	}
+	// Construction errors propagate.
+	if _, err := PlanChainWithin(nil, 1<<20); err == nil {
+		t.Error("empty chain accepted by PlanChainWithin")
+	}
+}
+
+func TestWithGapSegs(t *testing.T) {
+	p := Pointwise(6, 6, 16, 16)
+	wide := WithGapSegs(p, p.GapSegs+4)
+	if wide.FootprintBytes != p.FootprintBytes+4*p.SegBytes {
+		t.Errorf("footprint %d after widening gap by 4 segs, want %d",
+			wide.FootprintBytes, p.FootprintBytes+4*p.SegBytes)
+	}
 }
 
 func TestPointwiseWithSegTradeoff(t *testing.T) {

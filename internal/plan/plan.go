@@ -40,6 +40,14 @@ func (p Plan) String() string {
 		p.SegBytes, p.InBytes, p.OutBytes, p.GapSegs, p.WorkspaceBytes, p.FootprintBytes)
 }
 
+// WithGapSegs returns p with its pointer gap replaced and the footprint
+// recomputed. Schedulers use it to explore non-minimal placements, e.g. a
+// disjoint TinyEngine-style fallback that never overlaps input and output.
+func WithGapSegs(p Plan, gapSegs int) Plan {
+	p.GapSegs = gapSegs
+	return finalize(p)
+}
+
 // finalize computes the footprint from the solved quantities.
 func finalize(p Plan) Plan {
 	span := p.InBytes + p.GapSegs*p.SegBytes

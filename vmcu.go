@@ -16,8 +16,14 @@
 //  3. Compilation — build kernels through the loop-nest IR and lower them
 //     to ARM-intrinsic C: GenerateFCKernelC.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured evaluation.
+// Above the single-module layer sits the whole-network scheduler
+// (internal/netplan): PlanNetwork places every module of a backbone into
+// one circular pool with lifetime-aware cross-module offsets and a
+// per-module policy search, and RunNetwork verifies the scheduled network
+// on a concurrent executor, memoizing solved plans in a process-wide
+// cache.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
 package vmcu
 
 import (
@@ -26,6 +32,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/ir"
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/netplan"
 	"github.com/vmcu-project/vmcu/internal/plan"
 	"github.com/vmcu-project/vmcu/internal/tensor"
 )
@@ -142,6 +149,45 @@ func PlanChain(stages []Plan) (ChainPlan, error) { return plan.PlanChain(stages)
 // per-layer chain instead of the fused kernel — the fusion ablation.
 func RunModuleUnfused(profile Profile, cfg Bottleneck, seed int64) (ExecResult, error) {
 	return graph.RunModuleUnfused(profile, cfg, seed)
+}
+
+// NetworkPlan is a whole-network, lifetime-aware placement: every module
+// of a backbone scheduled into one circular pool, with per-activation live
+// ranges, solved cross-module offsets, and a per-module policy choice.
+type NetworkPlan = netplan.NetworkPlan
+
+// NetworkRunResult reports a whole-network execution: the memoized plan
+// plus one verified per-module result, in network order.
+type NetworkRunResult = netplan.RunResult
+
+// SchedulePolicy selects how one module is scheduled within the network
+// pool: the fused kernel, a per-layer unfused chain, or the disjoint
+// baseline fallback.
+type SchedulePolicy = netplan.Policy
+
+// The scheduling policies the whole-network planner searches over.
+const (
+	PolicyFused    = netplan.PolicyFused
+	PolicyUnfused  = netplan.PolicyUnfused
+	PolicyBaseline = netplan.PolicyBaseline
+)
+
+// PlanNetwork schedules the entire network into one circular pool under
+// the profile's RAM budget: cross-module live ranges, Eq. (2) difference
+// constraints over the whole module graph, and a per-module policy search.
+// Solved plans are memoized in a process-wide concurrency-safe cache, so
+// repeated calls return the identical plan without re-solving.
+func PlanNetwork(profile Profile, net Network) (*NetworkPlan, error) {
+	np, _, err := netplan.Default.Plan(net, netplan.Options{BudgetBytes: profile.RAMBytes()})
+	return np, err
+}
+
+// RunNetwork plans the network (through the plan cache) and executes every
+// module's bit-exact verification under its scheduled policy, running
+// independent module verifications concurrently on a worker pool.
+func RunNetwork(profile Profile, net Network, seed int64) (*NetworkRunResult, error) {
+	return netplan.Run(profile, net, seed,
+		netplan.Options{BudgetBytes: profile.RAMBytes()}, netplan.Default)
 }
 
 // MemoryProfile executes a pointwise layer with occupancy tracing and

@@ -62,6 +62,43 @@ func TestPublicRunModule(t *testing.T) {
 	}
 }
 
+func TestPublicPlanNetwork(t *testing.T) {
+	for _, net := range []Network{VWW(), ImageNet()} {
+		np, err := PlanNetwork(CortexM4(), net)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		if np.PeakBytes > np.PerModuleMaxBytes {
+			t.Errorf("%s: one-pool peak %d exceeds per-module max %d",
+				net.Name, np.PeakBytes, np.PerModuleMaxBytes)
+		}
+		if np.PeakBytes > CortexM4().RAMBytes() {
+			t.Errorf("%s: peak %d exceeds the M4 budget", net.Name, np.PeakBytes)
+		}
+		// A second request must hit the process-wide cache.
+		again, err := PlanNetwork(CortexM4(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != np {
+			t.Errorf("%s: repeated PlanNetwork re-solved instead of hitting the cache", net.Name)
+		}
+	}
+}
+
+func TestPublicRunNetwork(t *testing.T) {
+	res, err := RunNetwork(CortexM4(), VWW(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllVerified || res.Violations != 0 {
+		t.Errorf("network run failed: verified=%v violations=%d", res.AllVerified, res.Violations)
+	}
+	if len(res.Modules) != 8 || res.Modules[0].Name != "S1" {
+		t.Errorf("unexpected module results: %d, first %q", len(res.Modules), res.Modules[0].Name)
+	}
+}
+
 func TestPublicCodegen(t *testing.T) {
 	c := GenerateFCKernelC(4, 16, 16, 0.02, 4096)
 	if !strings.Contains(c, "vmcu_fc") || !strings.Contains(c, "__smlad") {
