@@ -12,6 +12,7 @@ import (
 
 	"github.com/vmcu-project/vmcu/internal/affine"
 	"github.com/vmcu-project/vmcu/internal/eval"
+	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/ilp"
 	"github.com/vmcu-project/vmcu/internal/intrin"
 	"github.com/vmcu-project/vmcu/internal/mcu"
@@ -260,4 +261,30 @@ func BenchmarkAblationFusedVsUnfused(b *testing.B) {
 		ratio = row.UnfusedKB / row.FusedKB
 	}
 	b.ReportMetric(ratio, "unfused/fused-RAM")
+}
+
+// BenchmarkSplitRegionImageNet executes the searched ImageNet patch-split
+// region end to end (streamed input windows, halo recompute, re-join)
+// with bit-exact verification per iteration. Metric: the region's
+// executable RAM requirement in KB.
+func BenchmarkSplitRegionImageNet(b *testing.B) {
+	np, err := netplan.Plan(ImageNet(), netplan.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if np.Split == nil {
+		b.Fatal("no split region in the ImageNet schedule")
+	}
+	var kb float64
+	for i := 0; i < b.N; i++ {
+		r, err := graph.RunSplitRegion(mcu.CortexM7(), np.Split.Plan, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.OutputOK || r.Violations != 0 {
+			b.Fatal("split region failed verification")
+		}
+		kb = eval.KB(np.Split.Plan.FootprintBytes)
+	}
+	b.ReportMetric(kb, "split-region-KB")
 }

@@ -1,0 +1,112 @@
+// Command vmcu-bench emits a machine-readable performance snapshot of the
+// whole-network scheduler: cold and cached PlanNetwork latency and the
+// scheduled peaks with and without patch splitting, for both Table-2
+// backbones. CI runs it on every push and archives the JSON (BENCH_N.json
+// in the repo root holds the checked-in trajectory point for PR N).
+//
+// Usage:
+//
+//	vmcu-bench                 # print the snapshot JSON to stdout
+//	vmcu-bench -o BENCH_2.json # write it to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/eval"
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/netplan"
+)
+
+// NetworkSnapshot is one backbone's scheduler measurements.
+type NetworkSnapshot struct {
+	Network          string  `json:"network"`
+	ColdPlanMicros   float64 `json:"cold_plan_us"`
+	CachedPlanMicros float64 `json:"cached_plan_us"`
+	PeakKB           float64 `json:"scheduled_peak_kb"`
+	NoSplitPeakKB    float64 `json:"no_split_peak_kb"`
+	PerModuleMaxKB   float64 `json:"per_module_max_kb"`
+	SplitDepth       int     `json:"split_depth"`
+	SplitPatches     int     `json:"split_patches"`
+	SplitRecompute   int     `json:"split_recomputed_rows"`
+}
+
+// Snapshot is the full benchmark artifact.
+type Snapshot struct {
+	Networks []NetworkSnapshot `json:"networks"`
+}
+
+func measure(net graph.Network) (NetworkSnapshot, error) {
+	const coldRounds = 5
+	t0 := time.Now()
+	var np *netplan.NetworkPlan
+	var err error
+	for i := 0; i < coldRounds; i++ {
+		np, err = netplan.Plan(net, netplan.Options{})
+		if err != nil {
+			return NetworkSnapshot{}, err
+		}
+	}
+	cold := float64(time.Since(t0).Microseconds()) / coldRounds
+
+	cache := netplan.NewCache()
+	if _, _, err := cache.Plan(net, netplan.Options{}); err != nil {
+		return NetworkSnapshot{}, err
+	}
+	const cachedRounds = 1000
+	t1 := time.Now()
+	for i := 0; i < cachedRounds; i++ {
+		if _, hit, err := cache.Plan(net, netplan.Options{}); err != nil || !hit {
+			return NetworkSnapshot{}, fmt.Errorf("cache miss on warmed key (hit=%v err=%v)", hit, err)
+		}
+	}
+	cached := float64(time.Since(t1).Microseconds()) / cachedRounds
+
+	s := NetworkSnapshot{
+		Network:          net.Name,
+		ColdPlanMicros:   cold,
+		CachedPlanMicros: cached,
+		PeakKB:           eval.KB(np.PeakBytes),
+		NoSplitPeakKB:    eval.KB(np.NoSplitPeakBytes),
+		PerModuleMaxKB:   eval.KB(np.PerModuleMaxBytes),
+	}
+	if np.Split != nil {
+		s.SplitDepth = np.Split.Depth
+		s.SplitPatches = np.Split.Patches
+		s.SplitRecompute = np.Split.Plan.RecomputedRows
+	}
+	return s, nil
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+	flag.Parse()
+
+	snap := Snapshot{}
+	for _, net := range []graph.Network{graph.VWW(), graph.ImageNet()} {
+		s, err := measure(net)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmcu-bench: %s: %v\n", net.Name, err)
+			os.Exit(1)
+		}
+		snap.Networks = append(snap.Networks, s)
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -11,6 +11,8 @@
 //	vmcu-plan -layer module -hw 20 -c 16 -cmid 48 -k 16 -r 3
 //	vmcu-plan -network vww
 //	vmcu-plan -network imagenet -budget 524288
+//	vmcu-plan -network imagenet -split=false
+//	vmcu-plan -network imagenet -split-depth 2 -split-patches 8
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/baseline"
 	"github.com/vmcu-project/vmcu/internal/eval"
 	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/netplan"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
@@ -28,6 +31,10 @@ func main() {
 	layer := flag.String("layer", "pointwise", "layer kind: pointwise, fc, conv, dw, module")
 	network := flag.String("network", "", "schedule a whole network into one pool: vww or imagenet")
 	budget := flag.Int("budget", 128*1024, "device RAM budget in bytes for -network")
+	split := flag.Bool("split", true, "search spatial patch splits of the leading modules (-network)")
+	splitDepth := flag.Int("split-depth", 0, "pin the split region to the first N modules (0 = search)")
+	splitPatches := flag.Int("split-patches", 0, "pin the spatial patch count (0 = search)")
+	splitMax := flag.Int("split-max", 0, "cap the searched patch counts (0 = default)")
 	hw := flag.Int("hw", 80, "image height/width (pointwise, conv, dw, module)")
 	m := flag.Int("m", 1, "rows (fc)")
 	c := flag.Int("c", 16, "input channels / fc reduction dim")
@@ -52,7 +59,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown network %q (want vww or imagenet)\n", *network)
 			os.Exit(1)
 		}
-		rows, s, err := eval.NetworkSchedule(net, *budget)
+		opts := netplan.Options{Split: netplan.SplitOptions{
+			Disable:    !*split,
+			Depth:      *splitDepth,
+			Patches:    *splitPatches,
+			MaxPatches: *splitMax,
+		}}
+		rows, s, err := eval.NetworkScheduleWithOptions(net, *budget, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vmcu-plan: %v\n", err)
 			os.Exit(1)

@@ -23,21 +23,34 @@ type SchedRow struct {
 type SchedSummary struct {
 	Network        string
 	PeakKB         float64 // lifetime-aware one-pool network peak
+	NoSplitPeakKB  float64 // best peak with patch splitting disabled
 	PerModuleMaxKB float64 // max per-module fused footprint (Report max)
 	SavedKB        float64 // PerModuleMaxKB − PeakKB (≥ 0 by construction)
 	Steps          int
 	Tensors        int
 	Handoffs       int
 	FitsBudget     bool
+	// Patch-split region summary (SplitDepth == 0 when no split chosen).
+	SplitDepth     int
+	SplitPatches   int
+	SplitRecompute int // halo rows recomputed across patches
 }
 
 // NetworkSchedule plans the whole network into one circular pool and
 // reports, per module, the chosen policy and window, plus the
-// network-level peak comparison. Unlike netplan.Plan, an over-budget
-// schedule is not an error here: the report still renders, with
-// FitsBudget false — the eval surface exists to show exactly that case.
+// network-level peak comparison.
 func NetworkSchedule(net graph.Network, budgetBytes int) ([]SchedRow, SchedSummary, error) {
-	np, err := netplan.Plan(net, netplan.Options{})
+	return NetworkScheduleWithOptions(net, budgetBytes, netplan.Options{})
+}
+
+// NetworkScheduleWithOptions is NetworkSchedule with explicit scheduler
+// options (forced policies, split pinning). opts.BudgetBytes is ignored in
+// favour of budgetBytes, and unlike netplan.Plan an over-budget schedule
+// is not an error here: the report still renders, with FitsBudget false —
+// the eval surface exists to show exactly that case.
+func NetworkScheduleWithOptions(net graph.Network, budgetBytes int, opts netplan.Options) ([]SchedRow, SchedSummary, error) {
+	opts.BudgetBytes = 0
+	np, err := netplan.Plan(net, opts)
 	if err != nil {
 		return nil, SchedSummary{}, err
 	}
@@ -57,12 +70,18 @@ func NetworkSchedule(net graph.Network, budgetBytes int) ([]SchedRow, SchedSumma
 	s := SchedSummary{
 		Network:        np.Network,
 		PeakKB:         KB(np.PeakBytes),
+		NoSplitPeakKB:  KB(np.NoSplitPeakBytes),
 		PerModuleMaxKB: KB(np.PerModuleMaxBytes),
 		SavedKB:        KB(np.PerModuleMaxBytes - np.PeakBytes),
 		Steps:          len(np.Steps),
 		Tensors:        len(np.Tensors),
 		Handoffs:       np.Handoffs,
 		FitsBudget:     budgetBytes <= 0 || np.PeakBytes <= budgetBytes,
+	}
+	if np.Split != nil {
+		s.SplitDepth = np.Split.Depth
+		s.SplitPatches = np.Split.Patches
+		s.SplitRecompute = np.Split.Plan.RecomputedRows
 	}
 	return rows, s, nil
 }
@@ -86,8 +105,14 @@ func RenderNetworkSchedule(rows []SchedRow, s SchedSummary, budgetBytes int) str
 			flag(r.Connected, "in-pool"),
 		})
 	}
+	split := "patch split: none (no eligible prefix beat the non-split schedule)\n"
+	if s.SplitDepth > 0 {
+		split = fmt.Sprintf("patch split: first %d module(s) × %d patches (%d halo rows recomputed); without splitting the peak is %.1f KB\n",
+			s.SplitDepth, s.SplitPatches, s.SplitRecompute, s.NoSplitPeakKB)
+	}
 	return fmt.Sprintf("Whole-network schedule: %s in one circular pool (budget %.1f KB)\n", s.Network, KB(budgetBytes)) +
 		Table([]string{"module", "policy", "window KB", "per-module KB", "residual", "input"}, out) +
+		split +
 		fmt.Sprintf("network peak %.1f KB over %d steps / %d tensors (%d handoffs); per-module planning needs %.1f KB; fits budget: %v\n",
 			s.PeakKB, s.Steps, s.Tensors, s.Handoffs, s.PerModuleMaxKB, s.FitsBudget)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/netplan"
 )
 
 func TestNetworkScheduleVWW(t *testing.T) {
@@ -80,5 +81,40 @@ func TestNetworkScheduleOverBudget(t *testing.T) {
 	txt := RenderNetworkSchedule(rows, s, 1024)
 	if !strings.Contains(txt, "fits budget: false") {
 		t.Errorf("rendered report does not flag the over-budget schedule:\n%s", txt)
+	}
+}
+
+// TestNetworkScheduleImageNetSplit pins the headline the patch-split
+// subsystem exists for: the scheduled ImageNet peak drops strictly below
+// the non-split peak, and the report carries the with/without comparison.
+func TestNetworkScheduleImageNetSplit(t *testing.T) {
+	rows, s, err := NetworkSchedule(graph.ImageNet(), 512*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SplitDepth == 0 {
+		t.Fatal("ImageNet schedule adopted no split region")
+	}
+	if s.PeakKB >= s.NoSplitPeakKB {
+		t.Errorf("split peak %.1f KB not below non-split %.1f KB", s.PeakKB, s.NoSplitPeakKB)
+	}
+	if rows[0].Policy != "split" {
+		t.Errorf("B1 policy %q, want split", rows[0].Policy)
+	}
+	txt := RenderNetworkSchedule(rows, s, 512*1024)
+	for _, want := range []string{"patch split", "without splitting", "split"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("rendered schedule missing %q:\n%s", want, txt)
+		}
+	}
+	// Disabling the search must reproduce the recorded non-split peak.
+	_, off, err := NetworkScheduleWithOptions(graph.ImageNet(), 512*1024,
+		netplan.Options{Split: netplan.SplitOptions{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.SplitDepth != 0 || off.PeakKB != s.NoSplitPeakKB {
+		t.Errorf("disabled schedule peak %.1f KB (depth %d), want %.1f KB without split",
+			off.PeakKB, off.SplitDepth, s.NoSplitPeakKB)
 	}
 }

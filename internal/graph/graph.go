@@ -153,9 +153,12 @@ func RunModule(profile mcu.Profile, cfg plan.Bottleneck, seed int64) (ExecResult
 func RunModuleWithPlan(profile mcu.Profile, cfg plan.Bottleneck, p plan.Plan, seed int64) (ExecResult, error) {
 	segsz := p.SegBytes
 	poolBytes := (p.FootprintBytes - p.WorkspaceBytes + segsz - 1) / segsz * segsz
-	if poolBytes+p.WorkspaceBytes > profile.RAMBytes() {
-		return ExecResult{}, fmt.Errorf("graph: module %s needs %d bytes, device has %d",
-			cfg.Name, p.FootprintBytes, profile.RAMBytes())
+	if need := poolBytes + p.WorkspaceBytes; need > profile.RAMBytes() {
+		// Report the quantity actually checked: the segment-rounded pool
+		// plus workspace, which can exceed p.FootprintBytes by up to
+		// SegBytes-1 when the activation span is not segment-aligned.
+		return ExecResult{}, fmt.Errorf("graph: module %s needs %d bytes (pool %d + workspace %d), device has %d",
+			cfg.Name, need, poolBytes, p.WorkspaceBytes, profile.RAMBytes())
 	}
 	flashNeed := cfg.Cmid*cfg.Cin + cfg.R*cfg.S*cfg.Cmid + cfg.Cout*cfg.Cmid + 4*(2*cfg.Cmid+cfg.Cout) + 64
 	dev := mcu.New(profile, flashNeed)

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// tinySplitRegion is a scaled-down B1/B2-shaped prefix: a stride-2
+// expansion module feeding a 5x5-window stride-2 module, both
+// non-residual and shape-connectable.
+func tinySplitRegion() []plan.Bottleneck {
+	return []plan.Bottleneck{
+		{Name: "T1", H: 24, W: 24, Cin: 3, Cmid: 8, Cout: 8, R: 3, S: 3, S1: 2, S2: 1, S3: 1},
+		{Name: "T2", H: 12, W: 12, Cin: 8, Cmid: 16, Cout: 12, R: 5, S: 5, S1: 1, S2: 2, S3: 1},
+	}
+}
+
+func TestRunSplitRegionBitExact(t *testing.T) {
+	for _, n := range []int{2, 3, 6} {
+		sp, err := plan.PlanSplit(plan.SplitSpec{Modules: tinySplitRegion(), Patches: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunSplitRegion(mcu.CortexM4(), sp, 5)
+		if err != nil {
+			t.Fatalf("patches=%d: %v", n, err)
+		}
+		if !r.OutputOK {
+			t.Errorf("patches=%d: joined output does not match the golden composition", n)
+		}
+		if r.Violations != 0 {
+			t.Errorf("patches=%d: %d shadow-state violations", n, r.Violations)
+		}
+		if r.PeakBytes > sp.FootprintBytes {
+			t.Errorf("patches=%d: measured peak %d exceeds planned footprint %d",
+				n, r.PeakBytes, sp.FootprintBytes)
+		}
+		if !strings.Contains(r.Name, "split") {
+			t.Errorf("region result name %q does not mark the split", r.Name)
+		}
+	}
+}
+
+// TestRunSplitRegionSingleModule covers depth-1 regions: the final module
+// writes the join directly from the streamed input windows.
+func TestRunSplitRegionSingleModule(t *testing.T) {
+	sp, err := plan.PlanSplit(plan.SplitSpec{Modules: tinySplitRegion()[:1], Patches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunSplitRegion(mcu.CortexM4(), sp, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputOK || r.Violations != 0 {
+		t.Errorf("depth-1 split failed: ok=%v violations=%d", r.OutputOK, r.Violations)
+	}
+}
+
+// TestRunSplitRegionRecomputeOverhead compares the split region's MAC
+// count against unsplit execution of the same modules: the halo recompute
+// must cost extra MACs (the latency side of the RAM trade), bounded by the
+// planned recomputed rows.
+func TestRunSplitRegionRecomputeOverhead(t *testing.T) {
+	mods := tinySplitRegion()
+	sp2, err := plan.PlanSplit(plan.SplitSpec{Modules: mods, Patches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp6, err := plan.PlanSplit(plan.SplitSpec{Modules: mods, Patches: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSplitRegion(mcu.CortexM4(), sp2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := RunSplitRegion(mcu.CortexM4(), sp6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.Stats.MACs <= r2.Stats.MACs {
+		t.Errorf("6 patches (%d MACs) not costlier than 2 (%d): halo recompute missing",
+			r6.Stats.MACs, r2.Stats.MACs)
+	}
+	// More patches shrink the pool but never the join.
+	if sp6.PoolBytes() >= sp2.PoolBytes() {
+		t.Errorf("6-patch pool %d not smaller than 2-patch pool %d", sp6.PoolBytes(), sp2.PoolBytes())
+	}
+}
+
+// TestRunModuleWithPlanErrorReportsCheckedQuantity pins the RAM-check
+// error message to the quantity actually compared (segment-rounded pool +
+// workspace), not the raw footprint.
+func TestRunModuleWithPlanErrorReportsCheckedQuantity(t *testing.T) {
+	cfg := ImageNet().Modules[0] // B1 needs ~94 KB
+	p := plan.PlanBottleneckModule(cfg)
+	tiny := mcu.CortexM4()
+	tiny.RAMKB = 1
+	_, err := RunModuleWithPlan(tiny, cfg, p, 1)
+	if err == nil {
+		t.Fatal("1 KB device accepted B1")
+	}
+	segsz := p.SegBytes
+	poolBytes := (p.FootprintBytes - p.WorkspaceBytes + segsz - 1) / segsz * segsz
+	need := poolBytes + p.WorkspaceBytes
+	if !strings.Contains(err.Error(), strconv.Itoa(need)) {
+		t.Errorf("error %q does not report the checked requirement %d", err, need)
+	}
+}

@@ -74,6 +74,26 @@ func (s *DiffSystem) LongestPathsFrom(src int) ([]int64, []bool, error) {
 	return dist, reach, nil
 }
 
+// AnchoredOffsets solves the system with v[anchor] = 0 and every other
+// variable at its minimal feasible value above the anchor (the longest
+// constraint-path from the anchor). Unlike LongestPathsFrom, a variable
+// with no constraint path from the anchor is an error rather than a
+// silent zero: memory planners call this to place tensors, and an
+// unconstrained variable would silently land at offset 0, overlapping
+// whatever the anchor holds there.
+func (s *DiffSystem) AnchoredOffsets(anchor int) ([]int64, error) {
+	dist, reach, err := s.LongestPathsFrom(anchor)
+	if err != nil {
+		return nil, err
+	}
+	for i, ok := range reach {
+		if !ok {
+			return nil, fmt.Errorf("ilp: variable %d unreachable from anchor %d (placement would be unconstrained)", i, anchor)
+		}
+	}
+	return dist, nil
+}
+
 // MinDiff returns the minimum feasible value of v[a] − v[b], which is the
 // longest constraint-path from b to a. ok=false means the difference is
 // unconstrained (no path), i.e. the minimum is −∞.

@@ -383,3 +383,48 @@ func TestRatFloorCeil(t *testing.T) {
 		}
 	}
 }
+
+func TestAnchoredOffsetsSolvesChain(t *testing.T) {
+	// v0 - v1 >= 3, v1 - v2 >= 5, anchored at v2: offsets 8, 5, 0.
+	s := NewDiffSystem(3)
+	s.AddGE(0, 1, 3)
+	s.AddGE(1, 2, 5)
+	dist, err := s.AnchoredOffsets(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{8, 5, 0}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestAnchoredOffsetsRejectsUnreachable(t *testing.T) {
+	// v3 has no constraint path from the anchor: placing it would be
+	// unconstrained (the pre-fix behaviour silently used offset 0).
+	s := NewDiffSystem(4)
+	s.AddGE(0, 1, 3)
+	s.AddGE(1, 2, 5)
+	if _, err := s.AnchoredOffsets(2); err == nil {
+		t.Fatal("disconnected variable accepted by AnchoredOffsets")
+	}
+	// The permissive primitive still reports it as unreachable, not an error.
+	_, reach, err := s.LongestPathsFrom(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reach[3] {
+		t.Error("LongestPathsFrom claims v3 reachable")
+	}
+}
+
+func TestAnchoredOffsetsPositiveCycle(t *testing.T) {
+	s := NewDiffSystem(2)
+	s.AddGE(0, 1, 1)
+	s.AddGE(1, 0, 1)
+	if _, err := s.AnchoredOffsets(0); err == nil {
+		t.Fatal("positive cycle accepted")
+	}
+}

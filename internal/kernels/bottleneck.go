@@ -73,18 +73,106 @@ func NewBottleneck(dev *mcu.Device, cfg plan.Bottleneck, wt BottleneckWeights) (
 // Plan returns the §5.2 fused memory plan.
 func (k *Bottleneck) Plan() plan.Plan { return plan.PlanBottleneckModule(k.Cfg) }
 
-// Run executes the fused module. wsBase is the RAM address of the
-// workspace region (outside the circular pool); it must provide
-// Cfg.WorkspaceBytes() bytes.
+// Patch selects a spatial row slice of the module for patch-wise
+// execution (the scheduler's split policy). All coordinates are global
+// rows of the module's full planes.
+type Patch struct {
+	// OutRow0, OutRows select the output (E) rows to compute.
+	OutRow0, OutRows int
+	// InRow0, InRows describe which input (A) rows the input placement
+	// holds; element 0 of the placement is row InRow0, column 0. The range
+	// must cover plan.InputRows of the output range.
+	InRow0, InRows int
+	// OutRowBase is the global row of the output placement's element 0:
+	// 0 when the placement covers the whole output plane (patches
+	// re-joining into one activation), or OutRow0 for a standalone patch
+	// tensor holding just the computed rows.
+	OutRowBase int
+}
+
+// runSpan is the resolved geometry one kernel invocation covers.
+type runSpan struct {
+	outRow0, outRow1 int  // global E rows [outRow0, outRow1)
+	inRow0, inRows   int  // global A rows resident in the input placement
+	outRowBase       int  // global E row of the output placement's element 0
+	freeInput        bool // stream-free consumed A rows (full runs only)
+}
+
+// Run executes the fused module over the whole plane. wsBase is the RAM
+// address of the workspace region (outside the circular pool); it must
+// provide Cfg.WorkspaceBytes() bytes.
 func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (Placement, error) {
-	if !k.loaded {
-		return Placement{}, fmt.Errorf("kernels: bottleneck %s not initialized via NewBottleneck", k.Cfg.Name)
-	}
 	cfg := k.Cfg
 	if err := checkSize("bottleneck input", in.Bytes, cfg.H*cfg.W*cfg.Cin); err != nil {
 		return Placement{}, err
 	}
-	h1, w1, h2, _, h3, w3 := cfg.Grids()
+	_, _, _, _, h3, w3 := cfg.Grids()
+	out := Placement{
+		ID:    c.Dev.NewTensorID("bottleneck.out"),
+		Off:   in.Off - p.GapBytes(),
+		Bytes: h3 * w3 * cfg.Cout,
+	}
+	err := k.runCore(c, in, out, wsBase, runSpan{
+		outRow0: 0, outRow1: h3, inRow0: 0, inRows: cfg.H, outRowBase: 0, freeInput: true,
+	})
+	if err != nil {
+		return Placement{}, err
+	}
+	return out, nil
+}
+
+// RunPatch executes the fused kernel over one spatial patch: output rows
+// [pt.OutRow0, pt.OutRow0+pt.OutRows) computed from an input placement
+// holding only rows [pt.InRow0, pt.InRow0+pt.InRows). The caller owns both
+// placements — the kernel does not free input rows (patch lifetimes are
+// scheduled outside) and writes the output at out.Off plus the row offset
+// relative to pt.OutRowBase. Residual modules are rejected: their skip add
+// reads the whole input plane, which a patch placement does not hold.
+func (k *Bottleneck) RunPatch(c *intrin.Ctx, in, out Placement, wsBase int, pt Patch) error {
+	cfg := k.Cfg
+	if cfg.Residual() {
+		return fmt.Errorf("kernels: bottleneck %s is residual; patch execution unsupported", cfg.Name)
+	}
+	_, _, _, _, h3, w3 := cfg.Grids()
+	if pt.OutRows <= 0 || pt.OutRow0 < 0 || pt.OutRow0+pt.OutRows > h3 {
+		return fmt.Errorf("kernels: bottleneck %s patch rows [%d,%d) outside output plane of %d rows",
+			cfg.Name, pt.OutRow0, pt.OutRow0+pt.OutRows, h3)
+	}
+	if pt.OutRowBase < 0 || pt.OutRowBase > pt.OutRow0 {
+		// A base above OutRow0 would make the first row's element offset
+		// negative and write below the output placement.
+		return fmt.Errorf("kernels: bottleneck %s patch output base %d outside [0,%d]",
+			cfg.Name, pt.OutRowBase, pt.OutRow0)
+	}
+	need := plan.InputRows(cfg, plan.RowRange{Lo: pt.OutRow0, Hi: pt.OutRow0 + pt.OutRows})
+	have := plan.RowRange{Lo: pt.InRow0, Hi: pt.InRow0 + pt.InRows}
+	if !have.Contains(need) {
+		return fmt.Errorf("kernels: bottleneck %s patch input rows [%d,%d) do not cover required [%d,%d)",
+			cfg.Name, have.Lo, have.Hi, need.Lo, need.Hi)
+	}
+	if err := checkSize("bottleneck patch input", in.Bytes, pt.InRows*cfg.W*cfg.Cin); err != nil {
+		return err
+	}
+	if want := (pt.OutRow0 + pt.OutRows - pt.OutRowBase) * w3 * cfg.Cout; out.Bytes < want {
+		return fmt.Errorf("kernels: bottleneck %s patch output %dB below required %dB", cfg.Name, out.Bytes, want)
+	}
+	return k.runCore(c, in, out, wsBase, runSpan{
+		outRow0: pt.OutRow0, outRow1: pt.OutRow0 + pt.OutRows,
+		inRow0: pt.InRow0, inRows: pt.InRows,
+		outRowBase: pt.OutRowBase, freeInput: false,
+	})
+}
+
+// runCore is the fused-kernel loop shared by Run and RunPatch. All spatial
+// coordinates stay global (so padding clamps land only at the true plane
+// boundaries); input reads are rebased to span.inRow0 and output writes to
+// span.outRowBase.
+func (k *Bottleneck) runCore(c *intrin.Ctx, in, out Placement, wsBase int, span runSpan) error {
+	if !k.loaded {
+		return fmt.Errorf("kernels: bottleneck %s not initialized via NewBottleneck", k.Cfg.Name)
+	}
+	cfg := k.Cfg
+	h1, w1, h2, _, _, w3 := cfg.Grids()
 	pad := cfg.Pad()
 	residual := cfg.Residual()
 
@@ -97,11 +185,10 @@ func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (
 	c.Dev.ClaimRegion(wsBase, cfg.WorkspaceBytes(), wsID, 0)
 	defer c.Dev.FreeTagged(wsBase, cfg.WorkspaceBytes(), wsID)
 
-	outID := c.Dev.NewTensorID("bottleneck.out")
-	outOff := in.Off - p.GapBytes()
 	c.Dev.CountCalls(1)
 
-	// lastUseRow[h] = last output (E) row that still needs input row h.
+	// lastUseRow[h] = last output (E) row that still needs input row h
+	// (stream-freeing of consumed rows; full runs only).
 	lastUse := make([]int, cfg.H)
 	for h := 0; h < cfg.H; h++ {
 		last := -1
@@ -146,7 +233,7 @@ func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (
 			return
 		}
 		ah, aw := bh*cfg.S1, bw*cfg.S1
-		elem := (ah*cfg.W + aw) * cfg.Cin
+		elem := ((ah-span.inRow0)*cfg.W + aw) * cfg.Cin
 		c.RAMLoad(aBuf, in.Off+elem, in.ID, elem)
 		for n := 0; n < cfg.Cmid; n++ {
 			acc := bias1[n]
@@ -192,7 +279,7 @@ func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (
 	}
 
 	freed := 0
-	for p3 := 0; p3 < h3; p3++ {
+	for p3 := span.outRow0; p3 < span.outRow1; p3++ {
 		for q3 := 0; q3 < w3; q3++ {
 			// The C pixel this E pixel consumes.
 			p2, q2 := p3*cfg.S3, q3*cfg.S3
@@ -248,7 +335,7 @@ func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (
 			c.Dev.ReadTagged(wsBase+dOff, k.scratchBytes(dPix), wsID, dOff)
 			bytesToInt8(k.scratchBytes(dPix), dPix)
 			if residual {
-				elemA := (p3*cfg.W + q3) * cfg.Cin
+				elemA := ((p3-span.inRow0)*cfg.W + q3) * cfg.Cin
 				c.RAMLoad(aBuf, in.Off+elemA, in.ID, elemA)
 				for i := range ePix {
 					ePix[i] = c.SatAddInt8(dPix[i], aBuf[i])
@@ -256,18 +343,22 @@ func (k *Bottleneck) Run(c *intrin.Ctx, p plan.Plan, in Placement, wsBase int) (
 			} else {
 				copy(ePix, dPix)
 			}
-			elemE := (p3*w3 + q3) * cfg.Cout
-			c.RAMStore(outOff+elemE, ePix, outID, elemE)
+			elemE := ((p3-span.outRowBase)*w3 + q3) * cfg.Cout
+			c.RAMStore(out.Off+elemE, ePix, out.ID, elemE)
 		}
-		// Free A rows whose last use has passed.
-		for ; freed < cfg.H && lastUse[freed] <= p3; freed++ {
+		if span.freeInput {
+			// Free A rows whose last use has passed.
+			for ; freed < cfg.H && lastUse[freed] <= p3; freed++ {
+				c.RAMFree(in.Off+freed*cfg.W*cfg.Cin, cfg.W*cfg.Cin, in.ID)
+			}
+		}
+	}
+	if span.freeInput {
+		for ; freed < cfg.H; freed++ {
 			c.RAMFree(in.Off+freed*cfg.W*cfg.Cin, cfg.W*cfg.Cin, in.ID)
 		}
 	}
-	for ; freed < cfg.H; freed++ {
-		c.RAMFree(in.Off+freed*cfg.W*cfg.Cin, cfg.W*cfg.Cin, in.ID)
-	}
-	return Placement{ID: outID, Off: outOff, Bytes: h3 * w3 * cfg.Cout}, nil
+	return nil
 }
 
 // scratchBytes returns a byte view buffer sized like the int8 slice (the

@@ -42,7 +42,7 @@ var Default = NewCache()
 // Key builds the deterministic cache key for a network/options pair.
 func Key(net graph.Network, opts Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|budget=%d", net.Name, opts.BudgetBytes)
+	fmt.Fprintf(&b, "%s|budget=%d|split=%+v", net.Name, opts.BudgetBytes, opts.Split)
 	for _, m := range net.Modules {
 		fmt.Fprintf(&b, "|%+v", m)
 	}
@@ -60,22 +60,28 @@ func Key(net graph.Network, opts Options) string {
 }
 
 // Plan returns the memoized plan for the network/options pair, solving and
-// storing it on the first request. The second return reports a cache hit
-// (callers that merely waited on another goroutine's in-flight solve count
-// as hits — they did not solve). Failed solves are not cached; later
+// storing it on the first request. The second return reports whether the
+// request was served by an existing entry (callers that merely waited on
+// another goroutine's in-flight solve count as hits — they did not solve,
+// even when that solve failed). Failed solves are not cached; later
 // requests for the same key retry.
+//
+// Every completed request is accounted exactly once in Stats: requests
+// that ran the solve count as misses and requests served by an existing
+// entry count as hits, on both the success and the error path, so
+// hits+misses always equals the number of completed Plan calls.
 func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error) {
 	key := Key(net, opts)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.ready
-		if e.err != nil {
-			return nil, false, e.err
-		}
 		c.mu.Lock()
 		c.hits++
 		c.mu.Unlock()
+		if e.err != nil {
+			return nil, true, e.err
+		}
 		return e.np, true, nil
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
@@ -85,6 +91,7 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 	e.np, e.err = Plan(net, opts)
 	close(e.ready)
 	c.mu.Lock()
+	c.misses++
 	if e.err != nil {
 		// Drop the failed entry so the next request re-attempts (unless a
 		// Reset already replaced the map).
@@ -94,12 +101,13 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 		c.mu.Unlock()
 		return nil, false, e.err
 	}
-	c.misses++
 	c.mu.Unlock()
 	return e.np, false, nil
 }
 
-// Stats reports the cache's lifetime hit and miss counts.
+// Stats reports the cache's lifetime hit and miss counts. Hits are
+// requests served by an existing (possibly in-flight, possibly failed)
+// entry; misses are requests that ran a solve, successful or not.
 func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -11,20 +11,23 @@ import (
 )
 
 // RunResult reports a whole-network execution: the memoized plan plus one
-// verified ExecResult per module, in network order.
+// verified ExecResult per executed unit, in network order. Without a
+// patch-split region that is one result per module; with one, the region's
+// modules verify together as the leading unit (named e.g. "B1+B2(split×8)")
+// followed by one result per remaining module.
 type RunResult struct {
 	Plan    *NetworkPlan
 	Modules []graph.ExecResult
-	// AllVerified is true when every module's output matched its golden
+	// AllVerified is true when every unit's output matched its golden
 	// composition bit-exactly.
 	AllVerified bool
 	// Violations totals the shadow-state memory-safety violations across
-	// all modules (0 proves the schedule's offsets are safe).
+	// all units (0 proves the schedule's offsets are safe).
 	Violations int
 }
 
-// Run plans the network through the cache and executes every module's
-// verification under its scheduled policy. Module verifications are
+// Run plans the network through the cache and executes every unit's
+// verification under its scheduled policy. Unit verifications are
 // independent (each builds its own simulated device with deterministic
 // per-module seeds, exactly like graph.Network.Run), so they run
 // concurrently on a bounded worker pool; results keep network order.
@@ -36,31 +39,49 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 	if err != nil {
 		return nil, err
 	}
-	results := make([]graph.ExecResult, len(net.Modules))
-	errs := make([]error, len(net.Modules))
+	// Unit list: module index, or -1 for the patch-split region.
+	units := []int{}
+	start := 0
+	if np.Split != nil {
+		units = append(units, -1)
+		start = np.Split.Depth
+	}
+	for i := start; i < len(net.Modules); i++ {
+		units = append(units, i)
+	}
+	results := make([]graph.ExecResult, len(units))
+	errs := make([]error, len(units))
 	jobs := make(chan int)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(net.Modules) {
-		workers = len(net.Modules)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				results[i], errs[i] = runModule(profile, net.Modules[i], np.Modules[i], seed+int64(i))
+			for u := range jobs {
+				if mi := units[u]; mi < 0 {
+					results[u], errs[u] = graph.RunSplitRegion(profile, np.Split.Plan, seed)
+				} else {
+					results[u], errs[u] = runModule(profile, net.Modules[mi], np.Modules[mi], seed+int64(mi))
+				}
 			}
 		}()
 	}
-	for i := range net.Modules {
-		jobs <- i
+	for u := range units {
+		jobs <- u
 	}
 	close(jobs)
 	wg.Wait()
-	for i, err := range errs {
+	for u, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("netplan: %s: %w", net.Modules[i].Name, err)
+			name := "split region"
+			if mi := units[u]; mi >= 0 {
+				name = net.Modules[mi].Name
+			}
+			return nil, fmt.Errorf("netplan: %s: %w", name, err)
 		}
 	}
 	out := &RunResult{Plan: np, Modules: results, AllVerified: true}

@@ -8,7 +8,10 @@
 // single chains (plan.PlanChain) to the whole module graph, and searches
 // over per-module scheduling policies (fused kernel, per-layer unfused
 // chain, or a disjoint baseline fallback) to minimize the network's peak
-// RAM under a device budget.
+// RAM under a device budget. A second search dimension — spatial patch
+// splitting of the leading modules (PolicySplit, plan.PlanSplit) — breaks
+// the bound per-module policies are pinned to: the largest fused module
+// footprint.
 //
 // Two kinds of module boundary occur in the Table-2 backbones:
 //
@@ -50,6 +53,14 @@ const (
 	// input/output placement — the TinyEngine-style fallback that never
 	// reuses freed input segments.
 	PolicyBaseline
+	// PolicySplit executes the module inside a spatial patch-split region
+	// (MCUNetV2-style): the leading modules' H×W planes are partitioned
+	// into row patches, each patch's sub-chain streams its input-row
+	// window (with halo) through two ping-pong scratch slots, and the
+	// final module's rows re-join into one contiguous activation. Only the
+	// current patch's windows are resident, so the region's requirement is
+	// no longer bounded below by the largest fused module footprint.
+	PolicySplit
 )
 
 func (p Policy) String() string {
@@ -60,6 +71,8 @@ func (p Policy) String() string {
 		return "unfused"
 	case PolicyBaseline:
 		return "baseline"
+	case PolicySplit:
+		return "split"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
@@ -119,6 +132,14 @@ type ModuleSchedule struct {
 	FusedBytes int
 }
 
+// SplitSchedule describes the patch-split region of a plan: the first
+// Depth modules executed patch-by-patch with Patches spatial patches.
+type SplitSchedule struct {
+	Depth   int
+	Patches int
+	Plan    plan.SplitPlan
+}
+
 // NetworkPlan is the solved whole-network placement.
 type NetworkPlan struct {
 	Network     string
@@ -127,6 +148,13 @@ type NetworkPlan struct {
 	Tensors     []Tensor
 	Steps       []Step
 	Constraints []Constraint
+	// Split is non-nil when the leading modules are scheduled as a patch
+	// -split region (their ModuleSchedules carry PolicySplit).
+	Split *SplitSchedule
+	// NoSplitPeakBytes is the peak of the best schedule with splitting
+	// disabled — the per-module-bounded baseline the split is compared
+	// against. Equal to PeakBytes when no split was chosen.
+	NoSplitPeakBytes int
 	// PeakBytes is the lifetime-aware network peak: the largest step
 	// window (including that step's workspace), lower-bounded by each
 	// module's executable pool requirement under its chosen policy, so a
@@ -142,17 +170,45 @@ type NetworkPlan struct {
 	Handoffs int
 }
 
+// SplitOptions configure the spatial patch-split search.
+type SplitOptions struct {
+	// Disable turns the split search off entirely.
+	Disable bool
+	// Depth pins the region to cover exactly the first Depth modules
+	// (0 searches all eligible depths). A pinned split is used even when a
+	// non-split schedule would peak lower, mirroring Force semantics.
+	Depth int
+	// Patches pins the spatial patch count (0 searches 2..MaxPatches).
+	Patches int
+	// MaxPatches caps the searched patch counts (0 means the default 32).
+	MaxPatches int
+}
+
+// defaultMaxPatches bounds the patch-count search: beyond this the halo
+// recompute grows while the windows shrink only marginally.
+const defaultMaxPatches = 32
+
 // Options configure the scheduler.
 type Options struct {
 	// BudgetBytes is the device RAM budget; 0 disables the check.
 	BudgetBytes int
 	// Force pins named modules to a policy instead of searching. Forcing a
-	// policy the module does not support is an error.
+	// policy the module does not support is an error. Modules named here
+	// are never covered by the patch-split region.
 	Force map[string]Policy
+	// Split configures the patch-split dimension of the search.
+	Split SplitOptions
 }
 
 // Plan schedules the network into one pool. It does not consult any cache;
 // use Cache.Plan (or the package-level Default cache) for memoized solves.
+//
+// The search has two dimensions: the per-module policy (fused / unfused /
+// baseline) and, unless opts.Split.Disable is set, a spatial patch-split
+// region over an eligible prefix of modules. The split is adopted only
+// when it lowers the network peak strictly below the best non-split
+// schedule — except when pinned via opts.Split.Depth/Patches, which forces
+// it exactly like Force pins a policy.
 func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 	if len(net.Modules) == 0 {
 		return nil, fmt.Errorf("netplan: network %q has no modules", net.Name)
@@ -174,11 +230,177 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 			return nil, fmt.Errorf("netplan: forced policy names unknown module %q", name)
 		}
 	}
-	np := &NetworkPlan{Network: net.Name, BudgetBytes: opts.BudgetBytes}
 
-	first := net.Modules[0]
-	np.Tensors = []Tensor{{Name: "input", Bytes: first.H * first.W * first.Cin}}
-	cur := 0 // index of the tensor currently holding the live activation
+	if opts.Split.Disable && (opts.Split.Depth > 0 || opts.Split.Patches > 0) {
+		return nil, fmt.Errorf("netplan: split options conflict: Disable set together with pinned depth/patches (%d/%d)",
+			opts.Split.Depth, opts.Split.Patches)
+	}
+
+	base, err := solve(net, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	best := base
+	if !opts.Split.Disable {
+		split, err := searchSplit(net, opts, base)
+		if err != nil {
+			return nil, err
+		}
+		if split != nil {
+			best = split
+		}
+	}
+	best.NoSplitPeakBytes = base.PeakBytes
+	if opts.BudgetBytes > 0 && best.PeakBytes > opts.BudgetBytes {
+		return nil, fmt.Errorf("netplan: network %s needs %d bytes, budget is %d (infeasible pool)",
+			net.Name, best.PeakBytes, opts.BudgetBytes)
+	}
+	return best, nil
+}
+
+// splitDepthLimit returns the longest split-eligible prefix: non-residual
+// modules, shape-connectable seams, and no explicitly forced policies.
+func splitDepthLimit(net graph.Network, opts Options) int {
+	limit := 0
+	for i, cfg := range net.Modules {
+		if cfg.Residual() {
+			break
+		}
+		if _, forced := opts.Force[cfg.Name]; forced {
+			break
+		}
+		if i > 0 && !Connects(net.Modules[i-1], cfg) {
+			break
+		}
+		limit = i + 1
+	}
+	return limit
+}
+
+// searchSplit enumerates (depth, patches) split candidates and returns the
+// winning plan, or nil when no candidate beats the non-split base. Pinned
+// depth/patch options restrict the enumeration and force adoption; pinning
+// an ineligible region is an error.
+func searchSplit(net graph.Network, opts Options, base *NetworkPlan) (*NetworkPlan, error) {
+	pinned := opts.Split.Depth > 0 || opts.Split.Patches > 0
+	limit := splitDepthLimit(net, opts)
+	depths := make([]int, 0, limit)
+	if opts.Split.Depth > 0 {
+		if opts.Split.Depth > limit {
+			return nil, fmt.Errorf("netplan: pinned split depth %d exceeds the eligible prefix of %d module(s)",
+				opts.Split.Depth, limit)
+		}
+		depths = append(depths, opts.Split.Depth)
+	} else {
+		for k := 1; k <= limit; k++ {
+			depths = append(depths, k)
+		}
+	}
+	maxPatches := opts.Split.MaxPatches
+	if maxPatches <= 0 {
+		maxPatches = defaultMaxPatches
+	}
+
+	var best *NetworkPlan
+	var bestSP plan.SplitPlan
+	consider := func(np *NetworkPlan, sp plan.SplitPlan) {
+		// Minimize the peak; among equal peaks prefer the least halo
+		// recompute (fewer, larger patches).
+		if best == nil || np.PeakBytes < best.PeakBytes ||
+			(np.PeakBytes == best.PeakBytes && sp.RecomputedRows < bestSP.RecomputedRows) {
+			best, bestSP = np, sp
+		}
+	}
+	for _, k := range depths {
+		mods := net.Modules[:k]
+		if opts.Split.Patches > 0 {
+			// Pinned patch count: a single exact candidate; out-of-range
+			// pins surface PlanSplit's error instead of a generic failure.
+			sp, err := plan.PlanSplit(plan.SplitSpec{Modules: mods, Patches: opts.Split.Patches})
+			if err != nil {
+				return nil, fmt.Errorf("netplan: %w", err)
+			}
+			np, err := solve(net, opts, &sp)
+			if err != nil {
+				return nil, err
+			}
+			consider(np, sp)
+			continue
+		}
+
+		// The region's row geometry is cheap (no solve), and within one
+		// depth the network peak is max(region footprint, the rest of the
+		// schedule) with the rest independent of the patch count. So: one
+		// probe solve at the footprint-minimal patch count yields the
+		// depth's best achievable peak, and the final candidate is the
+		// SMALLEST patch count whose footprint still meets it — the least
+		// halo recompute at that peak. Two solves per depth instead of one
+		// per patch count.
+		_, _, _, _, h3, _ := mods[k-1].Grids()
+		hi := maxPatches
+		if hi > h3 {
+			hi = h3
+		}
+		plans := make(map[int]plan.SplitPlan, hi-1)
+		probe, probeFoot := 0, 0
+		for n := 2; n <= hi; n++ {
+			sp, err := plan.PlanSplit(plan.SplitSpec{Modules: mods, Patches: n})
+			if err != nil {
+				continue
+			}
+			plans[n] = sp
+			if probe == 0 || sp.FootprintBytes < probeFoot {
+				probe, probeFoot = n, sp.FootprintBytes
+			}
+		}
+		if probe == 0 {
+			continue
+		}
+		spProbe := plans[probe]
+		npProbe, err := solve(net, opts, &spProbe)
+		if err != nil {
+			if pinned {
+				return nil, err
+			}
+			continue
+		}
+		chosen := probe
+		for n := 2; n < probe; n++ {
+			if sp, ok := plans[n]; ok && sp.FootprintBytes <= npProbe.PeakBytes {
+				chosen = n
+				break
+			}
+		}
+		if chosen == probe {
+			consider(npProbe, spProbe)
+			continue
+		}
+		spBest := plans[chosen]
+		npBest, err := solve(net, opts, &spBest)
+		if err != nil || npBest.PeakBytes > npProbe.PeakBytes {
+			// The cheap model mispredicted; keep the probe's exact result.
+			consider(npProbe, spProbe)
+			continue
+		}
+		consider(npBest, spBest)
+	}
+	if best == nil {
+		if pinned {
+			return nil, fmt.Errorf("netplan: pinned split produced no feasible candidate")
+		}
+		return nil, nil
+	}
+	if !pinned && best.PeakBytes >= base.PeakBytes {
+		return nil, nil
+	}
+	return best, nil
+}
+
+// solve builds and solves one schedule: the per-module policy search over
+// the whole network, with the leading modules replaced by a patch-split
+// region when sp is non-nil.
+func solve(net graph.Network, opts Options, sp *plan.SplitPlan) (*NetworkPlan, error) {
+	np := &NetworkPlan{Network: net.Name, BudgetBytes: opts.BudgetBytes}
 
 	addTensor := func(name string, bytes int) int {
 		np.Tensors = append(np.Tensors, Tensor{Name: name, Bytes: bytes})
@@ -191,7 +413,25 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 		np.Constraints = append(np.Constraints, Constraint{Hi: hi, Lo: lo, Gap: gap})
 	}
 
-	for mi, cfg := range net.Modules {
+	var cur int // index of the tensor currently holding the live activation
+	start := 0
+	if sp != nil {
+		cur = buildSplitRegion(np, sp, addTensor, addStep, constrain)
+		start = len(sp.Spec.Modules)
+		np.Split = &SplitSchedule{Depth: start, Patches: sp.Spec.Patches, Plan: *sp}
+		if start < len(net.Modules) {
+			if err := crossBoundary(np, net.Modules[start-1], net.Modules[start], &cur, addTensor, addStep, constrain); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		first := net.Modules[0]
+		np.Tensors = []Tensor{{Name: "input", Bytes: first.H * first.W * first.Cin}}
+		cur = 0
+	}
+
+	for mi := start; mi < len(net.Modules); mi++ {
+		cfg := net.Modules[mi]
 		forced, hasForce := opts.Force[cfg.Name]
 		ms, err := scheduleModule(cfg, forced, hasForce)
 		if err != nil {
@@ -220,24 +460,9 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 		}
 
 		if mi+1 < len(net.Modules) {
-			next := net.Modules[mi+1]
-			inBytes := next.H * next.W * next.Cin
-			if Connects(cfg, next) {
-				// Connectable boundary: the output tensor is the next
-				// module's input; sizes must agree exactly.
-				if np.Tensors[cur].Bytes != inBytes {
-					return nil, fmt.Errorf("netplan: %s output %dB does not match %s input %dB",
-						cfg.Name, np.Tensors[cur].Bytes, next.Name, inBytes)
-				}
-				continue
+			if err := crossBoundary(np, cfg, net.Modules[mi+1], &cur, addTensor, addStep, constrain); err != nil {
+				return nil, err
 			}
-			// Handoff: the elided glue op reads the old activation while
-			// writing the new one — both live, fully disjoint.
-			in := addTensor(next.Name+".in", inBytes)
-			constrain(cur, in, inBytes)
-			addStep(fmt.Sprintf("%s>%s handoff", cfg.Name, next.Name), -1, 0, cur, in)
-			np.Handoffs++
-			cur = in
 		}
 	}
 
@@ -245,16 +470,96 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 		return nil, err
 	}
 	np.computeWindows()
-	if opts.BudgetBytes > 0 && np.PeakBytes > opts.BudgetBytes {
-		return nil, fmt.Errorf("netplan: network %s needs %d bytes, budget is %d (infeasible pool)",
-			net.Name, np.PeakBytes, opts.BudgetBytes)
-	}
 	return np, nil
+}
+
+// crossBoundary links two adjacent modules' activations: connectable
+// boundaries share one tensor; otherwise an explicit handoff step keeps
+// both live and disjoint while the elided glue op runs.
+func crossBoundary(np *NetworkPlan, cfg, next plan.Bottleneck, cur *int,
+	addTensor func(string, int) int, addStep func(string, int, int, ...int), constrain func(int, int, int)) error {
+	inBytes := next.H * next.W * next.Cin
+	if Connects(cfg, next) {
+		// Connectable boundary: the output tensor is the next module's
+		// input; sizes must agree exactly.
+		if np.Tensors[*cur].Bytes != inBytes {
+			return fmt.Errorf("netplan: %s output %dB does not match %s input %dB",
+				cfg.Name, np.Tensors[*cur].Bytes, next.Name, inBytes)
+		}
+		return nil
+	}
+	// Handoff: the elided glue op reads the old activation while writing
+	// the new one — both live, fully disjoint.
+	in := addTensor(next.Name+".in", inBytes)
+	constrain(*cur, in, inBytes)
+	addStep(fmt.Sprintf("%s>%s handoff", cfg.Name, next.Name), -1, 0, *cur, in)
+	np.Handoffs++
+	*cur = in
+	return nil
+}
+
+// buildSplitRegion appends the patch-split region's tensors, steps,
+// constraints and module schedules to the plan, returning the join
+// tensor's index (the region's output activation).
+//
+// Every patch tensor is pinned by an equality pair of difference
+// constraints to the join tensor at its ping-pong slot offset, so the
+// solved placement reproduces graph.RunSplitRegion's pool layout exactly
+// and every branch of the live-range graph stays reachable from the
+// offset anchor.
+func buildSplitRegion(np *NetworkPlan, sp *plan.SplitPlan,
+	addTensor func(string, int) int, addStep func(string, int, int, ...int), constrain func(int, int, int)) int {
+	mods := sp.Spec.Modules
+	k := len(mods)
+	join := addTensor(mods[k-1].Name+".out", sp.JoinBytes)
+
+	for _, cfg := range mods {
+		fused := plan.PlanBottleneckModule(cfg)
+		np.Modules = append(np.Modules, ModuleSchedule{
+			Name:   cfg.Name,
+			Policy: PolicySplit,
+			// The region is one executable unit; each covered module
+			// carries its requirement so feasibility survives any maximum.
+			WindowBytes: sp.FootprintBytes,
+			FusedBytes:  fused.FootprintBytes,
+		})
+		if fused.FootprintBytes > np.PerModuleMaxBytes {
+			np.PerModuleMaxBytes = fused.FootprintBytes
+		}
+	}
+
+	t := make([]int, k)
+	for j := range sp.Patches {
+		for i := 0; i < k; i++ {
+			var name string
+			if i == 0 {
+				name = fmt.Sprintf("%s.in.p%d", mods[0].Name, j)
+			} else {
+				name = fmt.Sprintf("%s.out.p%d", mods[i-1].Name, j)
+			}
+			t[i] = addTensor(name, sp.PatchBytes(i, j))
+			// Equality: off(t) − off(join) = SideOffset(i).
+			constrain(t[i], join, sp.SideOffset(i))
+			constrain(join, t[i], -sp.SideOffset(i))
+		}
+		for i := 0; i < k; i++ {
+			live := []int{join, t[i]}
+			if i+1 < k {
+				live = append(live, t[i+1])
+			}
+			addStep(fmt.Sprintf("%s.p%d(split)", mods[i].Name, j), i, mods[i].WorkspaceBytes(), live...)
+		}
+	}
+	return join
 }
 
 // solveOffsets runs one longest-path pass of the difference system from the
 // final tensor (anchored at offset 0), assigning every activation its
-// minimal feasible virtual offset.
+// minimal feasible virtual offset. A tensor with no constraint path from
+// the anchor is an error: its placement would be unconstrained and it
+// would silently land at offset 0, overlapping the anchored output. (On a
+// linear chain every tensor is reachable by construction; the branching
+// live-range graphs of the patch-split region made this path live.)
 func (np *NetworkPlan) solveOffsets(anchor int) error {
 	sys := ilp.NewDiffSystem(len(np.Tensors))
 	for _, c := range np.Constraints {
@@ -265,9 +570,11 @@ func (np *NetworkPlan) solveOffsets(anchor int) error {
 		return fmt.Errorf("netplan: %w", err)
 	}
 	for i := range np.Tensors {
-		if reach[i] {
-			np.Tensors[i].Offset = int(dist[i])
+		if !reach[i] {
+			return fmt.Errorf("netplan: tensor %s unreachable from the offset anchor %s (placement would be unconstrained)",
+				np.Tensors[i].Name, np.Tensors[anchor].Name)
 		}
+		np.Tensors[i].Offset = int(dist[i])
 	}
 	return nil
 }
@@ -314,10 +621,7 @@ func (np *NetworkPlan) computeWindows() {
 
 // Connects reports whether module a's output shape equals module b's input
 // shape, so the two can share one activation in the pool.
-func Connects(a, b plan.Bottleneck) bool {
-	_, _, _, _, h3, w3 := a.Grids()
-	return a.Cout == b.Cin && h3 == b.H && w3 == b.W
-}
+func Connects(a, b plan.Bottleneck) bool { return plan.Connectable(a, b) }
 
 type candidate struct {
 	policy Policy
@@ -429,7 +733,15 @@ func executableUnfused(cp plan.ChainPlan) int {
 }
 
 // Fingerprint returns a deterministic serialization of the whole plan,
-// used to prove cache hits are byte-identical to cold solves.
+// used to prove cache hits are byte-identical to cold solves. The split
+// schedule is flattened by value — printing the pointer would bake a heap
+// address into the fingerprint and make identical solves compare unequal.
 func (np *NetworkPlan) Fingerprint() string {
-	return fmt.Sprintf("%+v", *np)
+	flat := *np
+	flat.Split = nil
+	split := "none"
+	if np.Split != nil {
+		split = fmt.Sprintf("%+v", *np.Split)
+	}
+	return fmt.Sprintf("%+v|split=%s", flat, split)
 }

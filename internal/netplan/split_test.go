@@ -1,0 +1,281 @@
+package netplan
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// tinySplitNet is a three-module network whose first two modules are
+// split-eligible (non-residual, connectable) and whose third is residual.
+func tinySplitNet() graph.Network {
+	return graph.Network{Name: "tiny-split", Modules: []plan.Bottleneck{
+		{Name: "T1", H: 24, W: 24, Cin: 3, Cmid: 8, Cout: 8, R: 3, S: 3, S1: 2, S2: 1, S3: 1},
+		{Name: "T2", H: 12, W: 12, Cin: 8, Cmid: 16, Cout: 12, R: 5, S: 5, S1: 1, S2: 2, S3: 1},
+		{Name: "T3", H: 6, W: 6, Cin: 12, Cmid: 24, Cout: 12, R: 3, S: 3, S1: 1, S2: 1, S3: 1},
+	}}
+}
+
+// TestPlanImageNetSplitBreaksPerModuleBound is the acceptance criterion:
+// with splitting enabled (the default), the ImageNet schedule's peak must
+// drop strictly below the best non-split peak — the B1-pinned bound that
+// per-module policy search alone can never undercut.
+func TestPlanImageNetSplitBreaksPerModuleBound(t *testing.T) {
+	np := planOK(t, graph.ImageNet(), Options{})
+	if np.Split == nil {
+		t.Fatal("ImageNet schedule did not adopt a patch split")
+	}
+	if np.PeakBytes >= np.NoSplitPeakBytes {
+		t.Errorf("split peak %d not strictly below non-split peak %d", np.PeakBytes, np.NoSplitPeakBytes)
+	}
+	if np.PeakBytes >= np.PerModuleMaxBytes {
+		t.Errorf("split peak %d not below the per-module bound %d", np.PeakBytes, np.PerModuleMaxBytes)
+	}
+	for i := 0; i < np.Split.Depth; i++ {
+		if np.Modules[i].Policy != PolicySplit {
+			t.Errorf("covered module %s carries policy %v, want split", np.Modules[i].Name, np.Modules[i].Policy)
+		}
+	}
+	if np.Modules[np.Split.Depth].Policy == PolicySplit {
+		t.Errorf("module %s beyond the region marked split", np.Modules[np.Split.Depth].Name)
+	}
+	// The plan must still peak at least at the region's executable need.
+	if np.PeakBytes < np.Split.Plan.FootprintBytes {
+		t.Errorf("peak %d below the region's executable footprint %d",
+			np.PeakBytes, np.Split.Plan.FootprintBytes)
+	}
+}
+
+// TestPlanSplitDisable pins the opt-out: the same network with the search
+// disabled reproduces the non-split schedule.
+func TestPlanSplitDisable(t *testing.T) {
+	off := planOK(t, graph.ImageNet(), Options{Split: SplitOptions{Disable: true}})
+	if off.Split != nil {
+		t.Fatal("disabled split search still produced a region")
+	}
+	on := planOK(t, graph.ImageNet(), Options{})
+	if off.PeakBytes != on.NoSplitPeakBytes {
+		t.Errorf("disabled peak %d != enabled plan's recorded non-split peak %d",
+			off.PeakBytes, on.NoSplitPeakBytes)
+	}
+	if off.NoSplitPeakBytes != off.PeakBytes {
+		t.Errorf("non-split plan records NoSplitPeakBytes %d != its own peak %d",
+			off.NoSplitPeakBytes, off.PeakBytes)
+	}
+}
+
+// TestPlanSplitPinned forces an exact region, mirroring Force semantics:
+// adopted even when the searched plan would differ.
+func TestPlanSplitPinned(t *testing.T) {
+	np := planOK(t, graph.ImageNet(), Options{Split: SplitOptions{Depth: 2, Patches: 8}})
+	if np.Split == nil || np.Split.Depth != 2 || np.Split.Patches != 8 {
+		t.Fatalf("pinned split not honored: %+v", np.Split)
+	}
+	if np.Modules[0].Policy != PolicySplit || np.Modules[1].Policy != PolicySplit {
+		t.Error("pinned region modules not marked split")
+	}
+	// Pinning an ineligible depth errors instead of silently shrinking.
+	if _, err := Plan(graph.ImageNet(), Options{Split: SplitOptions{Depth: 3}}); err == nil {
+		t.Error("split depth covering residual B3 accepted")
+	}
+	if _, err := Plan(graph.VWW(), Options{Split: SplitOptions{Depth: 1}}); err == nil {
+		t.Error("split depth over residual S1 accepted")
+	}
+	// Patch counts beyond the final module's rows error when pinned, with
+	// the row-range detail preserved (not a generic no-candidate failure).
+	_, err := Plan(graph.ImageNet(), Options{Split: SplitOptions{Depth: 2, Patches: 99}})
+	if err == nil || !strings.Contains(err.Error(), "2..44") {
+		t.Errorf("99 patches over 44 output rows: %v, want the 2..44 range error", err)
+	}
+	// Disable combined with a pin is a contradiction, not a silent no-op.
+	if _, err := Plan(graph.ImageNet(), Options{Split: SplitOptions{Disable: true, Depth: 2}}); err == nil {
+		t.Error("Disable together with a pinned depth accepted")
+	}
+}
+
+// TestPlanVWWHasNoSplit: S1 is residual, so VWW has no eligible prefix and
+// the searched schedule must stay split-free (and byte-identical to the
+// seed behaviour).
+func TestPlanVWWHasNoSplit(t *testing.T) {
+	np := planOK(t, graph.VWW(), Options{})
+	if np.Split != nil {
+		t.Fatalf("VWW adopted a split region: %+v", np.Split)
+	}
+	for _, ms := range np.Modules {
+		if ms.Policy == PolicySplit {
+			t.Errorf("VWW module %s marked split", ms.Name)
+		}
+	}
+}
+
+// TestForceExcludesModuleFromSplit: a module pinned via Force is never
+// covered by the split region.
+func TestForceExcludesModuleFromSplit(t *testing.T) {
+	np := planOK(t, graph.ImageNet(), Options{Force: map[string]Policy{"B1": PolicyFused}})
+	if np.Split != nil {
+		t.Errorf("forced B1 still covered by a split region: %+v", np.Split)
+	}
+	if np.Modules[0].Policy != PolicyFused {
+		t.Errorf("B1 policy %v, want forced fused", np.Modules[0].Policy)
+	}
+}
+
+// TestPlanSplitOffsetsMatchExecutorLayout checks the solved offsets of the
+// region tensors reproduce the executor's pool layout: every patch tensor
+// sits at the join's offset plus its ping-pong slot offset.
+func TestPlanSplitOffsetsMatchExecutorLayout(t *testing.T) {
+	np := planOK(t, tinySplitNet(), Options{Split: SplitOptions{Depth: 2, Patches: 3}})
+	sp := np.Split.Plan
+	var joinOff = -1
+	byName := map[string]Tensor{}
+	for _, tn := range np.Tensors {
+		byName[tn.Name] = tn
+		if tn.Name == "T2.out" {
+			joinOff = tn.Offset
+		}
+	}
+	if joinOff < 0 {
+		t.Fatal("join tensor T2.out missing")
+	}
+	for j := 0; j < 3; j++ {
+		in, ok := byName["T1.in.p"+string(rune('0'+j))]
+		if !ok {
+			t.Fatalf("patch input tensor %d missing", j)
+		}
+		if in.Offset != joinOff+sp.SideOffset(0) {
+			t.Errorf("patch %d input at %d, want join+%d", j, in.Offset, sp.SideOffset(0))
+		}
+		mid, ok := byName["T1.out.p"+string(rune('0'+j))]
+		if !ok {
+			t.Fatalf("patch mid tensor %d missing", j)
+		}
+		if mid.Offset != joinOff+sp.SideOffset(1) {
+			t.Errorf("patch %d mid at %d, want join+%d", j, mid.Offset, sp.SideOffset(1))
+		}
+	}
+}
+
+// TestPlanSplitWholeNetwork covers a region spanning every module: the
+// join anchors the offsets itself.
+func TestPlanSplitWholeNetwork(t *testing.T) {
+	net := tinySplitNet()
+	net.Modules = net.Modules[:2]
+	np := planOK(t, net, Options{Split: SplitOptions{Depth: 2, Patches: 2}})
+	last := np.Tensors[len(np.Tensors)-1]
+	join := np.Tensors[0]
+	if join.Name != "T2.out" || join.Offset != 0 {
+		t.Errorf("join %q at offset %d, want T2.out anchored at 0", join.Name, join.Offset)
+	}
+	_ = last
+}
+
+// TestSolveOffsetsRejectsUnreachableTensor is the regression test for the
+// offset-solver bug: a tensor with no constraint path from the anchor used
+// to be placed silently at offset 0, overlapping the anchored output. It
+// must now be an explicit error.
+func TestSolveOffsetsRejectsUnreachableTensor(t *testing.T) {
+	np := &NetworkPlan{
+		Tensors: []Tensor{
+			{Name: "a", Bytes: 64},
+			{Name: "stranded", Bytes: 64},
+			{Name: "out", Bytes: 64},
+		},
+		// Only a→out is constrained; "stranded" has no path from the anchor.
+		Constraints: []Constraint{{Hi: 0, Lo: 2, Gap: 64}},
+	}
+	err := np.solveOffsets(2)
+	if err == nil {
+		t.Fatal("unreachable tensor accepted by solveOffsets")
+	}
+	if !strings.Contains(err.Error(), "stranded") {
+		t.Errorf("error %q does not name the unreachable tensor", err)
+	}
+}
+
+// TestRunNetworkWithSplit executes a pinned split schedule end to end on
+// the concurrent executor: the region verifies as one unit, the remaining
+// modules individually, all bit-exact with zero violations.
+func TestRunNetworkWithSplit(t *testing.T) {
+	net := tinySplitNet()
+	res, err := Run(mcu.CortexM4(), net, 11, Options{Split: SplitOptions{Depth: 2, Patches: 3}}, NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllVerified || res.Violations != 0 {
+		t.Fatalf("split network run failed: verified=%v violations=%d", res.AllVerified, res.Violations)
+	}
+	if len(res.Modules) != 2 { // region unit + T3
+		t.Fatalf("got %d unit results, want 2", len(res.Modules))
+	}
+	if !strings.Contains(res.Modules[0].Name, "split") {
+		t.Errorf("first unit %q is not the split region", res.Modules[0].Name)
+	}
+	if res.Modules[1].Name != "T3" {
+		t.Errorf("second unit %q, want T3", res.Modules[1].Name)
+	}
+}
+
+// TestRunNetworkImageNetSplit verifies the real searched ImageNet schedule
+// executes its split region bit-exactly (the acceptance criterion's
+// executable half). Only the region runs here; the unsplit suffix is
+// covered by the VWW network runs.
+func TestRunNetworkImageNetSplit(t *testing.T) {
+	np := planOK(t, graph.ImageNet(), Options{BudgetBytes: mcu.CortexM7().RAMBytes()})
+	if np.Split == nil {
+		t.Fatal("no split region in the ImageNet schedule")
+	}
+	r, err := graph.RunSplitRegion(mcu.CortexM7(), np.Split.Plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputOK || r.Violations != 0 {
+		t.Errorf("ImageNet split region failed: ok=%v violations=%d", r.OutputOK, r.Violations)
+	}
+	if r.PeakBytes > np.Split.Plan.FootprintBytes {
+		t.Errorf("measured peak %d exceeds the planned footprint %d", r.PeakBytes, np.Split.Plan.FootprintBytes)
+	}
+}
+
+// TestCacheAccountsErroredRequests is the regression test for the cache
+// accounting bug: failed solves and their waiters used to vanish from
+// Stats. Every completed request must now count exactly once.
+func TestCacheAccountsErroredRequests(t *testing.T) {
+	c := NewCache()
+	bad := graph.Network{Name: "empty"} // Plan errors: no modules
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Plan(bad, Options{})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("request %d unexpectedly succeeded", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits+misses != n {
+		t.Errorf("stats account %d+%d=%d requests, want %d", hits, misses, hits+misses, n)
+	}
+	if misses < 1 {
+		t.Error("no request counted as a solving miss")
+	}
+	// Failed entries are dropped: a later request re-attempts (a miss).
+	_, hit, err := c.Plan(bad, Options{})
+	if err == nil || hit {
+		t.Errorf("retry after failure: hit=%v err=%v, want fresh miss with error", hit, err)
+	}
+	h2, m2 := c.Stats()
+	if h2+m2 != n+1 {
+		t.Errorf("retry not accounted: %d+%d, want %d", h2, m2, n+1)
+	}
+}

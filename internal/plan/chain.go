@@ -53,16 +53,16 @@ func PlanChain(stages []Plan) (ChainPlan, error) {
 	// Anchor the final output at 0 and derive every offset as the minimal
 	// feasible distance above it: one longest-constraint-path pass from the
 	// anchor reaches every tensor (Bellman-Ford, shared with the
-	// whole-network scheduler in internal/netplan).
-	dist, reach, err := sys.LongestPathsFrom(n)
+	// whole-network scheduler in internal/netplan). A tensor unreached from
+	// the anchor is an error — it would otherwise sit at offset 0 and
+	// silently overlap the anchored output.
+	dist, err := sys.AnchoredOffsets(n)
 	if err != nil {
-		return ChainPlan{}, err
+		return ChainPlan{}, fmt.Errorf("plan: chain offsets: %w", err)
 	}
 	offsets := make([]int, n+1)
 	for i := 0; i <= n; i++ {
-		if reach[i] {
-			offsets[i] = int(dist[i])
-		}
+		offsets[i] = int(dist[i])
 	}
 	// Peak: every tensor's extent above the anchor, plus workspace.
 	foot := 0

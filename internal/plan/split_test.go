@@ -1,0 +1,134 @@
+package plan
+
+import "testing"
+
+// b1b2 returns the two high-resolution ImageNet prefix modules whose
+// footprints pin the backbone's RAM (Table 2, B1 and B2).
+func b1b2() []Bottleneck {
+	return []Bottleneck{
+		{Name: "B1", H: 176, W: 176, Cin: 3, Cmid: 16, Cout: 8, R: 3, S: 3, S1: 2, S2: 1, S3: 1},
+		{Name: "B2", H: 88, W: 88, Cin: 8, Cmid: 24, Cout: 16, R: 7, S: 7, S1: 1, S2: 2, S3: 1},
+	}
+}
+
+func TestInputRowsTracesReceptiveField(t *testing.T) {
+	b1 := b1b2()[0]
+	// E rows [0,2) of B1: B rows -1..2 clamp to 0..2, A rows 0..4 (S1=2).
+	got := InputRows(b1, RowRange{0, 2})
+	if got != (RowRange{0, 5}) {
+		t.Errorf("B1 InputRows([0,2)) = %+v, want [0,5)", got)
+	}
+	// Interior rows carry the full ±pad halo: E rows [10,12) need B rows
+	// 9..12, A rows 18..25.
+	got = InputRows(b1, RowRange{10, 12})
+	if got != (RowRange{18, 25}) {
+		t.Errorf("B1 InputRows([10,12)) = %+v, want [18,25)", got)
+	}
+	// The bottom clamp: the last output row never reads past the plane.
+	got = InputRows(b1, RowRange{86, 88})
+	if got.Hi > b1.H {
+		t.Errorf("B1 InputRows([86,88)) = %+v exceeds H=%d", got, b1.H)
+	}
+	// B2's stride-2 depthwise with a 7x7 window: E rows [5,7) need B rows
+	// 7..15 (2p-3 .. 2p+3), A rows identical (S1=1).
+	b2 := b1b2()[1]
+	got = InputRows(b2, RowRange{5, 7})
+	if got != (RowRange{7, 16}) {
+		t.Errorf("B2 InputRows([5,7)) = %+v, want [7,16)", got)
+	}
+}
+
+func TestCanSplitEligibility(t *testing.T) {
+	if err := CanSplit(b1b2()); err != nil {
+		t.Errorf("B1+B2 must be split-eligible: %v", err)
+	}
+	res := Bottleneck{Name: "res", H: 8, W: 8, Cin: 8, Cmid: 16, Cout: 8,
+		R: 3, S: 3, S1: 1, S2: 1, S3: 1}
+	if err := CanSplit([]Bottleneck{res}); err == nil {
+		t.Error("residual module accepted for splitting")
+	}
+	mods := b1b2()
+	mods[1].Cin = 4 // break the seam
+	if err := CanSplit(mods); err == nil {
+		t.Error("non-connectable seam accepted for splitting")
+	}
+	if err := CanSplit(nil); err == nil {
+		t.Error("empty region accepted")
+	}
+}
+
+func TestPlanSplitGeometry(t *testing.T) {
+	sp, err := PlanSplit(SplitSpec{Modules: b1b2(), Patches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Patches) != 8 {
+		t.Fatalf("got %d patches, want 8", len(sp.Patches))
+	}
+	// The final ranges partition the 44 output rows exactly, in order.
+	row := 0
+	for j, pp := range sp.Patches {
+		last := pp.Rows[len(pp.Rows)-1]
+		if last.Lo != row {
+			t.Errorf("patch %d starts at row %d, want %d", j, last.Lo, row)
+		}
+		row = last.Hi
+		// Every stage's rows must cover what the next stage needs.
+		for i := len(pp.Rows) - 2; i >= 0; i-- {
+			need := InputRows(sp.Spec.Modules[i], pp.Rows[i+1])
+			if !pp.Rows[i].Contains(need) {
+				t.Errorf("patch %d stage %d rows %+v do not cover %+v", j, i, pp.Rows[i], need)
+			}
+		}
+	}
+	if row != 44 {
+		t.Errorf("patches cover %d final rows, want 44", row)
+	}
+	if sp.JoinBytes != 44*44*16 {
+		t.Errorf("JoinBytes = %d, want %d", sp.JoinBytes, 44*44*16)
+	}
+	// Halo recompute must be present (overlapping receptive fields) but
+	// bounded: no stage is recomputed more than once per row per neighbour.
+	if sp.RecomputedRows <= 0 {
+		t.Error("split with overlapping halos reports zero recomputed rows")
+	}
+	if sp.WorkspaceBytes != 7*7*24+24+16 {
+		t.Errorf("workspace = %d, want B2's %d", sp.WorkspaceBytes, 7*7*24+24+16)
+	}
+}
+
+func TestPlanSplitBreaksPerModuleBound(t *testing.T) {
+	// The acceptance premise: the split region's executable footprint must
+	// undercut B1's fused footprint (the per-module bound the whole-network
+	// scheduler is otherwise pinned to).
+	mods := b1b2()
+	fusedB1 := PlanBottleneckModule(mods[0]).FootprintBytes
+	sp, err := PlanSplit(SplitSpec{Modules: mods, Patches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.FootprintBytes >= fusedB1 {
+		t.Errorf("split footprint %d does not beat B1's fused %d", sp.FootprintBytes, fusedB1)
+	}
+	// More patches → smaller windows, monotonically.
+	sp16, err := PlanSplit(SplitSpec{Modules: mods, Patches: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp16.FootprintBytes > sp.FootprintBytes {
+		t.Errorf("16 patches (%d B) larger than 8 (%d B)", sp16.FootprintBytes, sp.FootprintBytes)
+	}
+	if sp16.RecomputedRows <= sp.RecomputedRows {
+		t.Errorf("16 patches recompute %d rows, not more than 8's %d",
+			sp16.RecomputedRows, sp.RecomputedRows)
+	}
+}
+
+func TestPlanSplitRejectsBadPatchCounts(t *testing.T) {
+	mods := b1b2()
+	for _, n := range []int{0, 1, 45, 100} {
+		if _, err := PlanSplit(SplitSpec{Modules: mods, Patches: n}); err == nil {
+			t.Errorf("patch count %d accepted", n)
+		}
+	}
+}

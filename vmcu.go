@@ -18,10 +18,12 @@
 //
 // Above the single-module layer sits the whole-network scheduler
 // (internal/netplan): PlanNetwork places every module of a backbone into
-// one circular pool with lifetime-aware cross-module offsets and a
-// per-module policy search, and RunNetwork verifies the scheduled network
-// on a concurrent executor, memoizing solved plans in a process-wide
-// cache.
+// one circular pool with lifetime-aware cross-module offsets, a
+// per-module policy search, and a spatial patch-split search over the
+// high-resolution leading modules (MCUNetV2-style patch-by-patch
+// execution, PolicySplit) that breaks the per-module footprint bound.
+// RunNetwork verifies the scheduled network on a concurrent executor,
+// memoizing solved plans in a process-wide cache.
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package vmcu
@@ -161,8 +163,8 @@ type NetworkPlan = netplan.NetworkPlan
 type NetworkRunResult = netplan.RunResult
 
 // SchedulePolicy selects how one module is scheduled within the network
-// pool: the fused kernel, a per-layer unfused chain, or the disjoint
-// baseline fallback.
+// pool: the fused kernel, a per-layer unfused chain, the disjoint
+// baseline fallback, or membership in a spatial patch-split region.
 type SchedulePolicy = netplan.Policy
 
 // The scheduling policies the whole-network planner searches over.
@@ -170,15 +172,41 @@ const (
 	PolicyFused    = netplan.PolicyFused
 	PolicyUnfused  = netplan.PolicyUnfused
 	PolicyBaseline = netplan.PolicyBaseline
+	PolicySplit    = netplan.PolicySplit
 )
+
+// ScheduleOptions configure the whole-network scheduler: device budget,
+// forced per-module policies, and the spatial patch-split search.
+type ScheduleOptions = netplan.Options
+
+// SplitOptions configure (or pin) the spatial patch-split dimension of
+// the schedule search.
+type SplitOptions = netplan.SplitOptions
+
+// SplitSchedule describes an adopted patch-split region: the first Depth
+// modules executed patch-by-patch with Patches spatial patches. It is
+// exposed on NetworkPlan.Split when the search (or a pinned option)
+// adopts a split.
+type SplitSchedule = netplan.SplitSchedule
 
 // PlanNetwork schedules the entire network into one circular pool under
 // the profile's RAM budget: cross-module live ranges, Eq. (2) difference
-// constraints over the whole module graph, and a per-module policy search.
-// Solved plans are memoized in a process-wide concurrency-safe cache, so
-// repeated calls return the identical plan without re-solving.
+// constraints over the whole module graph, a per-module policy search,
+// and a spatial patch-split search over the leading modules (adopted only
+// when it lowers the peak strictly below the best non-split schedule;
+// see NetworkPlan.Split and NetworkPlan.NoSplitPeakBytes). Solved plans
+// are memoized in a process-wide concurrency-safe cache, so repeated
+// calls return the identical plan without re-solving.
 func PlanNetwork(profile Profile, net Network) (*NetworkPlan, error) {
 	np, _, err := netplan.Default.Plan(net, netplan.Options{BudgetBytes: profile.RAMBytes()})
+	return np, err
+}
+
+// PlanNetworkWithOptions schedules the network under explicit scheduler
+// options — forced per-module policies, a pinned or disabled patch split,
+// and a custom budget — through the same process-wide plan cache.
+func PlanNetworkWithOptions(net Network, opts ScheduleOptions) (*NetworkPlan, error) {
+	np, _, err := netplan.Default.Plan(net, opts)
 	return np, err
 }
 

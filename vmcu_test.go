@@ -111,3 +111,30 @@ func TestProfiles(t *testing.T) {
 		t.Error("profile RAM sizes wrong")
 	}
 }
+
+func TestPublicSplitSchedule(t *testing.T) {
+	np, err := PlanNetwork(CortexM7(), ImageNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Split == nil {
+		t.Fatal("ImageNet plan has no split region")
+	}
+	if np.PeakBytes >= np.NoSplitPeakBytes {
+		t.Errorf("split peak %d not below non-split %d", np.PeakBytes, np.NoSplitPeakBytes)
+	}
+	if np.Modules[0].Policy != PolicySplit {
+		t.Errorf("B1 policy %v, want PolicySplit", np.Modules[0].Policy)
+	}
+	// Explicit options round-trip through the public surface.
+	off, err := PlanNetworkWithOptions(ImageNet(), ScheduleOptions{
+		Split: SplitOptions{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Split != nil || off.PeakBytes != np.NoSplitPeakBytes {
+		t.Errorf("disabled-split plan peak %d (split %v), want %d without split",
+			off.PeakBytes, off.Split, np.NoSplitPeakBytes)
+	}
+}
