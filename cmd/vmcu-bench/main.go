@@ -22,14 +22,20 @@ import (
 	"github.com/vmcu-project/vmcu/internal/netplan"
 )
 
-// NetworkSnapshot is one backbone's scheduler measurements.
+// NetworkSnapshot is one backbone's scheduler measurements. The default
+// plan streams handoffs (seam kernels at non-connectable boundaries);
+// DisjointPeakKB records the peak with every handoff held disjoint — the
+// pre-seam behaviour — for trajectory comparison.
 type NetworkSnapshot struct {
 	Network          string  `json:"network"`
 	ColdPlanMicros   float64 `json:"cold_plan_us"`
 	CachedPlanMicros float64 `json:"cached_plan_us"`
 	PeakKB           float64 `json:"scheduled_peak_kb"`
 	NoSplitPeakKB    float64 `json:"no_split_peak_kb"`
+	DisjointPeakKB   float64 `json:"disjoint_handoff_peak_kb"`
 	PerModuleMaxKB   float64 `json:"per_module_max_kb"`
+	Handoffs         int     `json:"handoffs"`
+	StreamedHandoffs int     `json:"streamed_handoffs"`
 	SplitDepth       int     `json:"split_depth"`
 	SplitPatches     int     `json:"split_patches"`
 	SplitRecompute   int     `json:"split_recomputed_rows"`
@@ -66,13 +72,21 @@ func measure(net graph.Network) (NetworkSnapshot, error) {
 	}
 	cached := float64(time.Since(t1).Microseconds()) / cachedRounds
 
+	disjoint, err := netplan.Plan(net, netplan.Options{Handoff: netplan.HandoffDisjoint})
+	if err != nil {
+		return NetworkSnapshot{}, err
+	}
+
 	s := NetworkSnapshot{
 		Network:          net.Name,
 		ColdPlanMicros:   cold,
 		CachedPlanMicros: cached,
 		PeakKB:           eval.KB(np.PeakBytes),
 		NoSplitPeakKB:    eval.KB(np.NoSplitPeakBytes),
+		DisjointPeakKB:   eval.KB(disjoint.PeakBytes),
 		PerModuleMaxKB:   eval.KB(np.PerModuleMaxBytes),
+		Handoffs:         np.Handoffs,
+		StreamedHandoffs: np.StreamedHandoffs,
 	}
 	if np.Split != nil {
 		s.SplitDepth = np.Split.Depth

@@ -13,6 +13,7 @@
 //	vmcu-plan -network imagenet -budget 524288
 //	vmcu-plan -network imagenet -split=false
 //	vmcu-plan -network imagenet -split-depth 2 -split-patches 8
+//	vmcu-plan -network imagenet -handoff disjoint
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 	splitDepth := flag.Int("split-depth", 0, "pin the split region to the first N modules (0 = search)")
 	splitPatches := flag.Int("split-patches", 0, "pin the spatial patch count (0 = search)")
 	splitMax := flag.Int("split-max", 0, "cap the searched patch counts (0 = default)")
+	handoff := flag.String("handoff", "stream",
+		"non-connectable boundary mode (-network): stream seam kernels where possible, or disjoint")
 	hw := flag.Int("hw", 80, "image height/width (pointwise, conv, dw, module)")
 	m := flag.Int("m", 1, "rows (fc)")
 	c := flag.Int("c", 16, "input channels / fc reduction dim")
@@ -59,7 +62,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown network %q (want vww or imagenet)\n", *network)
 			os.Exit(1)
 		}
-		opts := netplan.Options{Split: netplan.SplitOptions{
+		var hm netplan.HandoffMode
+		switch *handoff {
+		case "stream":
+			hm = netplan.HandoffStream
+		case "disjoint":
+			hm = netplan.HandoffDisjoint
+		default:
+			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown handoff mode %q (want stream or disjoint)\n", *handoff)
+			os.Exit(1)
+		}
+		opts := netplan.Options{Handoff: hm, Split: netplan.SplitOptions{
 			Disable:    !*split,
 			Depth:      *splitDepth,
 			Patches:    *splitPatches,

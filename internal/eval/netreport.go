@@ -29,7 +29,10 @@ type SchedSummary struct {
 	Steps          int
 	Tensors        int
 	Handoffs       int
-	FitsBudget     bool
+	// StreamedHandoffs counts the handoffs scheduled as streamed seam
+	// kernels (Eq. 1 gap instead of a disjoint placement).
+	StreamedHandoffs int
+	FitsBudget       bool
 	// Patch-split region summary (SplitDepth == 0 when no split chosen).
 	SplitDepth     int
 	SplitPatches   int
@@ -68,15 +71,16 @@ func NetworkScheduleWithOptions(net graph.Network, budgetBytes int, opts netplan
 		})
 	}
 	s := SchedSummary{
-		Network:        np.Network,
-		PeakKB:         KB(np.PeakBytes),
-		NoSplitPeakKB:  KB(np.NoSplitPeakBytes),
-		PerModuleMaxKB: KB(np.PerModuleMaxBytes),
-		SavedKB:        KB(np.PerModuleMaxBytes - np.PeakBytes),
-		Steps:          len(np.Steps),
-		Tensors:        len(np.Tensors),
-		Handoffs:       np.Handoffs,
-		FitsBudget:     budgetBytes <= 0 || np.PeakBytes <= budgetBytes,
+		Network:          np.Network,
+		PeakKB:           KB(np.PeakBytes),
+		NoSplitPeakKB:    KB(np.NoSplitPeakBytes),
+		PerModuleMaxKB:   KB(np.PerModuleMaxBytes),
+		SavedKB:          KB(np.PerModuleMaxBytes - np.PeakBytes),
+		Steps:            len(np.Steps),
+		Tensors:          len(np.Tensors),
+		Handoffs:         np.Handoffs,
+		StreamedHandoffs: np.StreamedHandoffs,
+		FitsBudget:       budgetBytes <= 0 || np.PeakBytes <= budgetBytes,
 	}
 	if np.Split != nil {
 		s.SplitDepth = np.Split.Depth
@@ -113,6 +117,6 @@ func RenderNetworkSchedule(rows []SchedRow, s SchedSummary, budgetBytes int) str
 	return fmt.Sprintf("Whole-network schedule: %s in one circular pool (budget %.1f KB)\n", s.Network, KB(budgetBytes)) +
 		Table([]string{"module", "policy", "window KB", "per-module KB", "residual", "input"}, out) +
 		split +
-		fmt.Sprintf("network peak %.1f KB over %d steps / %d tensors (%d handoffs); per-module planning needs %.1f KB; fits budget: %v\n",
-			s.PeakKB, s.Steps, s.Tensors, s.Handoffs, s.PerModuleMaxKB, s.FitsBudget)
+		fmt.Sprintf("network peak %.1f KB over %d steps / %d tensors (%d handoffs, %d streamed as seam kernels); per-module planning needs %.1f KB; fits budget: %v\n",
+			s.PeakKB, s.Steps, s.Tensors, s.Handoffs, s.StreamedHandoffs, s.PerModuleMaxKB, s.FitsBudget)
 }

@@ -50,6 +50,36 @@ func TestNetworkScheduleImageNet(t *testing.T) {
 	if s.Handoffs != 2 {
 		t.Errorf("handoffs = %d, want 2", s.Handoffs)
 	}
+	// Under the default streamed mode, B5->B6 schedules as a seam kernel;
+	// B12->B13's upsample cannot and stays disjoint.
+	if s.StreamedHandoffs != 1 {
+		t.Errorf("streamed handoffs = %d, want 1", s.StreamedHandoffs)
+	}
+}
+
+// TestNetworkScheduleHandoffModes compares the report under both handoff
+// modes: disjoint reproduces the PR 2 peak, streaming beats it, and the
+// rendered report carries the streamed-handoff count.
+func TestNetworkScheduleHandoffModes(t *testing.T) {
+	_, stream, err := NetworkScheduleWithOptions(graph.ImageNet(), 512*1024, netplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, disjoint, err := NetworkScheduleWithOptions(graph.ImageNet(), 512*1024,
+		netplan.Options{Handoff: netplan.HandoffDisjoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disjoint.StreamedHandoffs != 0 {
+		t.Errorf("disjoint mode reports %d streamed handoffs", disjoint.StreamedHandoffs)
+	}
+	if stream.PeakKB >= disjoint.PeakKB {
+		t.Errorf("streamed peak %.1f KB not below disjoint %.1f KB", stream.PeakKB, disjoint.PeakKB)
+	}
+	txt := RenderNetworkSchedule(rows, disjoint, 512*1024)
+	if !strings.Contains(txt, "0 streamed") {
+		t.Errorf("rendered report missing the streamed-handoff count:\n%s", txt)
+	}
 }
 
 func TestRenderNetworkSchedule(t *testing.T) {

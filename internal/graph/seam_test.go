@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// table2Seams collects the streamable seams of a backbone: every
+// non-connectable boundary plan.SeamOf can express as a strided pointwise.
+func table2Seams(net Network) []plan.SeamSpec {
+	var out []plan.SeamSpec
+	for i := 0; i+1 < len(net.Modules); i++ {
+		a, b := net.Modules[i], net.Modules[i+1]
+		if plan.Connectable(a, b) {
+			continue
+		}
+		if spec, ok := plan.SeamOf(a, b); ok {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+// TestRunSeamTable2 executes every streamable Table-2 seam on the
+// simulated device: VWW has five (downsamples and channel changes),
+// ImageNet exactly one (B5→B6 — B12→B13's upsample is not streamable).
+// Each must verify bit-exactly with zero shadow-state violations and a
+// measured peak within the planned footprint.
+func TestRunSeamTable2(t *testing.T) {
+	vww, imagenet := table2Seams(VWW()), table2Seams(ImageNet())
+	if len(vww) != 5 {
+		t.Fatalf("VWW has %d streamable seams, want 5", len(vww))
+	}
+	if len(imagenet) != 1 || imagenet[0].Name != "B5>B6" {
+		t.Fatalf("ImageNet streamable seams = %+v, want exactly B5>B6", imagenet)
+	}
+	for _, spec := range append(vww, imagenet...) {
+		p := plan.PlanSeam(spec)
+		r, err := RunSeam(mcu.CortexM4(), spec, p, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !r.OutputOK || r.Violations != 0 {
+			t.Errorf("%s: ok=%v violations=%d", spec.Name, r.OutputOK, r.Violations)
+		}
+		if r.PeakBytes > p.FootprintBytes {
+			t.Errorf("%s: measured peak %d exceeds planned footprint %d", spec.Name, r.PeakBytes, p.FootprintBytes)
+		}
+	}
+}
+
+// TestRunSeamWiderGap proves seams stay correct under scheduler-chosen
+// non-minimal placements (the disjoint analogue of PolicyBaseline).
+func TestRunSeamWiderGap(t *testing.T) {
+	spec := plan.SeamSpec{Name: "wide", H: 10, W: 10, Cin: 16, Cout: 24, Stride: 2}
+	p := plan.PlanSeam(spec)
+	wider := plan.WithGapSegs(p, p.GapSegs+3)
+	r, err := RunSeam(mcu.CortexM4(), spec, wider, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputOK || r.Violations != 0 {
+		t.Errorf("wider-gap seam failed: ok=%v violations=%d", r.OutputOK, r.Violations)
+	}
+}
+
+// TestRunSeamOverRAM covers the infeasible-device error path.
+func TestRunSeamOverRAM(t *testing.T) {
+	spec := plan.SeamSpec{Name: "huge", H: 512, W: 512, Cin: 8, Cout: 8, Stride: 1}
+	_, err := RunSeam(mcu.CortexM4(), spec, plan.PlanSeam(spec), 1)
+	if err == nil || !strings.Contains(err.Error(), "device has") {
+		t.Errorf("2 MB seam on a 128 KB device: err = %v, want RAM error", err)
+	}
+}

@@ -1,0 +1,258 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/intrin"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// runSeam executes one seam on a fresh rig and returns the ctx plus the
+// kernel output and golden reference.
+func runSeam(t *testing.T, sp plan.SeamSpec, in, w []int8, bias []int32, extraSegs int) (*intrin.Ctx, []int8, []int8) {
+	t.Helper()
+	kn := &Seam{Spec: sp, Req: req(0.02)}
+	p := kn.Plan()
+	c, _ := newRig(t, p, extraSegs)
+	var err error
+	if kn.Weight, err = PackInt8(c.Dev, w); err != nil {
+		t.Fatal(err)
+	}
+	if bias != nil {
+		if kn.Bias, err = PackInt32(c.Dev, bias); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inPl := PlaceInput(c, "in", in, p.GapBytes())
+	out, err := kn.Run(c, p, inPl)
+	if err != nil {
+		t.Fatalf("%+v: %v", sp, err)
+	}
+	got := Extract(c, out)
+	want := GoldenPointwise(in, sp.H, sp.W, sp.Cin, sp.Cout, sp.Stride, w, bias, req(0.02))
+	return c, got, want
+}
+
+// TestSeamRandomBattery fuzzes the seam kernel across random geometry
+// (spatial size, stride, channel change) against the golden strided
+// pointwise, asserting bit-exactness, zero shadow-state violations, and
+// the planned footprint bound in one pass.
+func TestSeamRandomBattery(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 40; iter++ {
+		sp := plan.SeamSpec{
+			Name:   "fuzz",
+			H:      1 + rng.Intn(10),
+			W:      1 + rng.Intn(10),
+			Cin:    1 + rng.Intn(16),
+			Cout:   1 + rng.Intn(16),
+			Stride: 1 + rng.Intn(3),
+		}
+		in := randInt8Full(rng, sp.InBytes())
+		w := randInt8Full(rng, sp.Cout*sp.Cin)
+		bias := randInt32(rng, sp.Cout, 256)
+		c, got, want := runSeam(t, sp, in, w, bias, 0)
+		if err := c.Dev.CheckFaults(); err != nil {
+			t.Fatalf("iter %d %+v: %v", iter, sp, err)
+		}
+		if _, nv := c.Dev.Violations(); nv != 0 {
+			t.Fatalf("iter %d %+v: %d shadow-state violations", iter, sp, nv)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d %+v: size %d want %d", iter, sp, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d %+v: out[%d] = %d, want %d", iter, sp, i, got[i], want[i])
+			}
+		}
+		p := plan.PlanSeam(sp)
+		if peak := c.Dev.PeakBytes(); peak > p.FootprintBytes {
+			t.Fatalf("iter %d %+v: peak %d > plan %d", iter, sp, peak, p.FootprintBytes)
+		}
+	}
+}
+
+// TestSeamTable2Boundaries executes the two headline seam shapes — the
+// B5→B6 stride-1 channel change that sets the pre-stream ImageNet peak,
+// and VWW's S6→S7 stride-2 downsample with channel expansion — verifying
+// bit-exactness with zero violations at the solved minimal gap.
+func TestSeamTable2Boundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, sp := range []plan.SeamSpec{
+		{Name: "B5>B6", H: 44, W: 44, Cin: 24, Cout: 16, Stride: 1},
+		{Name: "S6>S7", H: 5, W: 5, Cin: 48, Cout: 96, Stride: 2},
+	} {
+		in := randInt8Full(rng, sp.InBytes())
+		w := randInt8Full(rng, sp.Cout*sp.Cin)
+		c, got, want := runSeam(t, sp, in, w, nil, 0)
+		if _, nv := c.Dev.Violations(); nv != 0 {
+			t.Fatalf("%s: %d violations at the solved gap", sp.Name, nv)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: out[%d] = %d, want %d", sp.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// seamClobberGap returns the largest gap (in segments) at which the
+// kernel's actual schedule clobbers a byte that is still to be read: the
+// seam reads each input pixel exactly once in increasing address order,
+// so a write at pixel t harms only reads at later pixels. Returns −1 when
+// no gap overlaps a future read (the output never catches the reads up).
+func seamClobberGap(sp plan.SeamSpec) int {
+	seg := plan.PlanSeam(sp).SegBytes
+	cSegs, kSegs := sp.Cin/seg, sp.Cout/seg
+	oh, ow := sp.OutDims()
+	under := -1
+	for op := 0; op < oh; op++ {
+		for oq := 0; oq < ow; oq++ {
+			t := op*ow + oq
+			if t == 0 {
+				continue
+			}
+			wMaxPrev := t*kSegs - 1 // highest segment written before pixel t's read
+			rMin := (op*sp.Stride*sp.W + oq*sp.Stride) * cSegs
+			if g := wMaxPrev - rMin; g > under {
+				under = g
+			}
+		}
+	}
+	return under
+}
+
+// TestSeamGapTightness locates the exact clobber threshold of the seam's
+// schedule: at the largest harmful gap the shadow state must flag the
+// overwrite of a still-unread byte, one segment above it the run must be
+// clean and bit-exact, and the planner's Eq. (1) (j ≤ i) gap must sit at
+// or above that true minimum — safe, with at most the one-read slack the
+// read-once schedule affords.
+func TestSeamGapTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	tested := 0
+	for iter := 0; iter < 120 && tested < 10; iter++ {
+		sp := plan.SeamSpec{
+			Name:   "tight",
+			H:      2 + rng.Intn(8),
+			W:      2 + rng.Intn(8),
+			Cin:    1 + rng.Intn(8),
+			Cout:   1 + rng.Intn(12),
+			Stride: 1 + rng.Intn(2),
+		}
+		p := plan.PlanSeam(sp)
+		clobber := seamClobberGap(sp)
+		if clobber < 0 {
+			continue
+		}
+		tested++
+		if p.GapSegs <= clobber {
+			t.Fatalf("%+v: solved gap %d not above the clobber threshold %d", sp, p.GapSegs, clobber)
+		}
+		w := randInt8(rng, sp.Cout*sp.Cin)
+		in := randInt8(rng, sp.InBytes())
+		for _, tc := range []struct {
+			gap        int
+			violations bool
+		}{
+			{clobber, true},      // overwrites a byte a later pixel still reads
+			{clobber + 1, false}, // the schedule's true minimum: clean
+		} {
+			kn := &Seam{Spec: sp, Req: req(0.02)}
+			c, _ := newRig(t, p, 2)
+			var err error
+			if kn.Weight, err = PackInt8(c.Dev, w); err != nil {
+				t.Fatal(err)
+			}
+			inPl := PlaceInput(c, "in", in, p.GapBytes())
+			if _, err := kn.Run(c, plan.WithGapSegs(p, tc.gap), inPl); err != nil {
+				t.Fatal(err)
+			}
+			_, nv := c.Dev.Violations()
+			if tc.violations && nv == 0 {
+				t.Errorf("%+v: gap %d produced no violations (threshold wrong)", sp, tc.gap)
+			}
+			if !tc.violations && nv != 0 {
+				t.Errorf("%+v: gap %d flagged %d violations above the threshold", sp, tc.gap, nv)
+			}
+		}
+	}
+	if tested < 6 {
+		t.Fatalf("only %d clobber-prone seams tested; generator too narrow", tested)
+	}
+}
+
+// TestSeamExtremeInt8Values drives the seam with all-(−128) inputs and
+// weights — the most negative SMLAD lanes — and separately with +127
+// everywhere, checking the requantized outputs saturate exactly like the
+// golden reference.
+func TestSeamExtremeInt8Values(t *testing.T) {
+	sp := plan.SeamSpec{Name: "extreme", H: 6, W: 6, Cin: 8, Cout: 12, Stride: 2}
+	for _, v := range []int8{-128, 127} {
+		in := make([]int8, sp.InBytes())
+		w := make([]int8, sp.Cout*sp.Cin)
+		for i := range in {
+			in[i] = v
+		}
+		for i := range w {
+			w[i] = v
+		}
+		c, got, want := runSeam(t, sp, in, w, nil, 0)
+		if _, nv := c.Dev.Violations(); nv != 0 {
+			t.Fatalf("v=%d: %d violations", v, nv)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("v=%d: out[%d] = %d, want %d", v, i, got[i], want[i])
+			}
+		}
+	}
+	// Mixed extremes: −128 inputs against +127 weights exercises the most
+	// negative product sums the packed path can accumulate.
+	in := make([]int8, sp.InBytes())
+	w := make([]int8, sp.Cout*sp.Cin)
+	for i := range in {
+		in[i] = -128
+	}
+	for i := range w {
+		w[i] = 127
+	}
+	_, got, want := runSeam(t, sp, in, w, nil, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mixed extremes: out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSeamStrideEdges covers the padding-edge analogue for seams: odd and
+// even planes under stride 2/3 leave trailing rows and columns the
+// strided window never reads — they must still be freed (full drain) and
+// the output must stay bit-exact.
+func TestSeamStrideEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for _, sp := range []plan.SeamSpec{
+		{Name: "odd", H: 5, W: 5, Cin: 4, Cout: 4, Stride: 2},  // rows 0,2,4 read; 1,3 skipped
+		{Name: "even", H: 6, W: 6, Cin: 4, Cout: 8, Stride: 2}, // row 5, col 5 dead
+		{Name: "wide", H: 7, W: 4, Cin: 6, Cout: 3, Stride: 3}, // non-square, col 3 dead
+		{Name: "one", H: 1, W: 1, Cin: 5, Cout: 10, Stride: 2}, // single pixel
+		{Name: "tall", H: 9, W: 2, Cin: 2, Cout: 2, Stride: 4}, // deep skip: rows 0,4,8
+	} {
+		in := randInt8Full(rng, sp.InBytes())
+		w := randInt8Full(rng, sp.Cout*sp.Cin)
+		c, got, want := runSeam(t, sp, in, w, nil, 0)
+		if err := c.Dev.CheckFaults(); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if _, nv := c.Dev.Violations(); nv != 0 {
+			t.Fatalf("%s: %d violations", sp.Name, nv)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: out[%d] = %d, want %d", sp.Name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -42,7 +42,7 @@ var Default = NewCache()
 // Key builds the deterministic cache key for a network/options pair.
 func Key(net graph.Network, opts Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|budget=%d|split=%+v", net.Name, opts.BudgetBytes, opts.Split)
+	fmt.Fprintf(&b, "%s|budget=%d|split=%+v|handoff=%v", net.Name, opts.BudgetBytes, opts.Split, opts.Handoff)
 	for _, m := range net.Modules {
 		fmt.Fprintf(&b, "|%+v", m)
 	}

@@ -14,12 +14,18 @@ import (
 // verified ExecResult per executed unit, in network order. Without a
 // patch-split region that is one result per module; with one, the region's
 // modules verify together as the leading unit (named e.g. "B1+B2(split×8)")
-// followed by one result per remaining module.
+// followed by one result per remaining module. Streamed seam kernels
+// (NetworkPlan.Seams) verify as their own units, reported separately in
+// Seams so Modules keeps its one-entry-per-module shape.
 type RunResult struct {
 	Plan    *NetworkPlan
 	Modules []graph.ExecResult
-	// AllVerified is true when every unit's output matched its golden
-	// composition bit-exactly.
+	// Seams holds one verified result per streamed handoff, in network
+	// order (empty under HandoffDisjoint).
+	Seams []graph.ExecResult
+	// AllVerified is true when every unit's output — modules, split
+	// region, and streamed seams — matched its golden composition
+	// bit-exactly.
 	AllVerified bool
 	// Violations totals the shadow-state memory-safety violations across
 	// all units (0 proves the schedule's offsets are safe).
@@ -39,7 +45,9 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 	if err != nil {
 		return nil, err
 	}
-	// Unit list: module index, or -1 for the patch-split region.
+	// Unit list: module index, -1 for the patch-split region, or
+	// -2-si for streamed seam si. Module/region results land in Modules,
+	// seam results in Seams; both keep network order.
 	units := []int{}
 	start := 0
 	if np.Split != nil {
@@ -49,6 +57,10 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 	for i := start; i < len(net.Modules); i++ {
 		units = append(units, i)
 	}
+	nMod := len(units)
+	for si := range np.Seams {
+		units = append(units, -2-si)
+	}
 	results := make([]graph.ExecResult, len(units))
 	errs := make([]error, len(units))
 	jobs := make(chan int)
@@ -56,15 +68,22 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 	if workers > len(units) {
 		workers = len(units)
 	}
+	// Seam seeds start past every module seed so no unit shares another's
+	// deterministic parameter stream.
+	seamSeed := func(si int) int64 { return seed + int64(len(net.Modules)) + int64(si) }
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for u := range jobs {
-				if mi := units[u]; mi < 0 {
+				switch mi := units[u]; {
+				case mi <= -2:
+					s := np.Seams[-2-mi]
+					results[u], errs[u] = graph.RunSeam(profile, s.Spec, s.Plan, seamSeed(-2-mi))
+				case mi == -1:
 					results[u], errs[u] = graph.RunSplitRegion(profile, np.Split.Plan, seed)
-				} else {
+				default:
 					results[u], errs[u] = runModule(profile, net.Modules[mi], np.Modules[mi], seed+int64(mi))
 				}
 			}
@@ -80,11 +99,13 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 			name := "split region"
 			if mi := units[u]; mi >= 0 {
 				name = net.Modules[mi].Name
+			} else if mi <= -2 {
+				name = "seam " + np.Seams[-2-mi].Name
 			}
 			return nil, fmt.Errorf("netplan: %s: %w", name, err)
 		}
 	}
-	out := &RunResult{Plan: np, Modules: results, AllVerified: true}
+	out := &RunResult{Plan: np, Modules: results[:nMod], Seams: results[nMod:], AllVerified: true}
 	for _, r := range results {
 		if !r.OutputOK {
 			out.AllVerified = false

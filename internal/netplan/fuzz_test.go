@@ -1,0 +1,123 @@
+package netplan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// randomChain generates a random schedulable network: 2–5 inverted
+// bottlenecks with random shapes, strides, and residual opportunities,
+// joined by boundaries drawn from all three kinds — connectable,
+// streamable seam (stride-1 channel change or stride-2 downsample), and
+// non-streamable (upsample, disjoint handoff only). Dims stay small so a
+// hundred chains execute end to end in test time.
+func randomChain(rng *rand.Rand, n int) graph.Network {
+	net := graph.Network{Name: fmt.Sprintf("fuzz-%d", n)}
+	h := 4 + rng.Intn(9) // 4..12
+	cin := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		r := []int{1, 3, 5}[rng.Intn(3)]
+		cfg := plan.Bottleneck{
+			Name: fmt.Sprintf("M%d", i),
+			H:    h, W: h,
+			Cin:  cin,
+			Cmid: 2 + rng.Intn(14),
+			Cout: 1 + rng.Intn(12),
+			R:    r, S: r,
+			S1: 1 + rng.Intn(2),
+			S2: 1 + rng.Intn(2),
+			S3: 1,
+		}
+		if rng.Intn(4) == 0 {
+			// Open the residual door: same channels, and stride-1 keeps
+			// the plane, making Residual() true.
+			cfg.Cout = cfg.Cin
+			cfg.S1, cfg.S2 = 1, 1
+		}
+		net.Modules = append(net.Modules, cfg)
+
+		_, _, _, _, h3, _ := cfg.Grids()
+		switch rng.Intn(3) {
+		case 0: // connectable: shapes chain exactly
+			h, cin = h3, cfg.Cout
+		case 1: // streamable seam: strided pointwise glue
+			s := 1 + rng.Intn(2)
+			h, cin = (h3-1)/s+1, 1+rng.Intn(12)
+		default: // non-streamable: consumer plane larger than producer's
+			h, cin = h3+1+rng.Intn(3), 1+rng.Intn(8)
+		}
+	}
+	return net
+}
+
+// TestFuzzPlanAndRun is the Invariant 1–3 closure over random chains,
+// previously checked only on the two Table-2 backbones: for ≥100 random
+// networks, a feasible plan must (1) satisfy every recorded difference
+// constraint at the solved offsets with every tensor reachable from the
+// anchor, (2) stream strictly no worse than the disjoint schedule, and
+// (3) execute end to end — modules, split regions, and seam kernels —
+// bit-exactly with zero shadow-state violations. Run with -race.
+func TestFuzzPlanAndRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	profile := mcu.CortexM7()
+	cache := NewCache()
+	executed := 0
+	for iter := 0; iter < 110; iter++ {
+		net := randomChain(rng, 2+rng.Intn(4))
+		opts := Options{BudgetBytes: profile.RAMBytes()}
+		np, err := Plan(net, opts)
+		if err != nil {
+			t.Fatalf("iter %d %+v: plan failed: %v", iter, net.Modules, err)
+		}
+
+		// Invariant: every recorded difference constraint holds at the
+		// solved offsets, and no tensor sits below the pool floor.
+		for _, c := range np.Constraints {
+			hi, lo := np.Tensors[c.Hi], np.Tensors[c.Lo]
+			if hi.Offset-lo.Offset < c.Gap {
+				t.Fatalf("iter %d: off(%s)-off(%s) = %d below gap %d",
+					iter, hi.Name, lo.Name, hi.Offset-lo.Offset, c.Gap)
+			}
+		}
+		for _, tn := range np.Tensors {
+			if tn.Offset < 0 {
+				t.Fatalf("iter %d: tensor %s at negative offset %d", iter, tn.Name, tn.Offset)
+			}
+		}
+		// Invariant: streaming never loses to the disjoint schedule, and
+		// both agree on the boundary census.
+		dis, err := Plan(net, Options{Handoff: HandoffDisjoint, BudgetBytes: profile.RAMBytes()})
+		if err != nil {
+			t.Fatalf("iter %d: disjoint plan failed: %v", iter, err)
+		}
+		if np.PeakBytes > dis.PeakBytes {
+			t.Fatalf("iter %d: streamed peak %d above disjoint peak %d", iter, np.PeakBytes, dis.PeakBytes)
+		}
+		if np.Handoffs != dis.Handoffs {
+			t.Fatalf("iter %d: handoff census differs between modes: %d vs %d", iter, np.Handoffs, dis.Handoffs)
+		}
+
+		// Invariant: plan feasibility implies execution — every unit
+		// verifies bit-exactly with zero shadow-state violations.
+		res, err := Run(profile, net, int64(iter), opts, cache)
+		if err != nil {
+			t.Fatalf("iter %d %+v: run failed: %v", iter, net.Modules, err)
+		}
+		if !res.AllVerified || res.Violations != 0 {
+			t.Fatalf("iter %d %+v: verified=%v violations=%d",
+				iter, net.Modules, res.AllVerified, res.Violations)
+		}
+		if len(res.Seams) != np.StreamedHandoffs {
+			t.Fatalf("iter %d: %d seam results for %d streamed handoffs", iter, len(res.Seams), np.StreamedHandoffs)
+		}
+		executed++
+	}
+	if executed < 100 {
+		t.Fatalf("only %d chains executed, want ≥ 100", executed)
+	}
+}

@@ -19,9 +19,14 @@
 //     The two modules share one tensor, and the solved pointer gaps carry
 //     straight through — no copy, no reset.
 //   - Handoff: the shapes differ (the published tables elide the glue
-//     layers between stages). The scheduler inserts an explicit handoff
-//     step during which both activations are live and disjoint, modeling
-//     the elided glue op reading one while writing the other.
+//     layers between stages). Under the default HandoffStream mode the
+//     scheduler makes the glue op concrete wherever it is expressible as
+//     a strided pointwise (plan.SeamOf): a streamed seam kernel whose
+//     Eq. (1) gap solve lets the consumer input overlap segments freed
+//     from the producer output — only a minimal pointer gap separates the
+//     two activations. Boundaries no seam can express (e.g. ImageNet's
+//     B12→B13 spatial upsample), and every handoff under HandoffDisjoint,
+//     keep the opaque glue step holding both activations fully disjoint.
 //
 // The solved placement is lifetime-aware: the network peak is the maximum
 // over execution steps of the live-byte window (highest live extent minus
@@ -75,6 +80,32 @@ func (p Policy) String() string {
 		return "split"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// HandoffMode selects how non-connectable module boundaries are modeled.
+type HandoffMode int
+
+const (
+	// HandoffStream (the default) replaces the opaque glue step with a
+	// streamed seam kernel wherever the boundary is expressible as a
+	// strided pointwise glue op (plan.SeamOf): the consumer input overlaps
+	// segments freed from the producer output at the solved Eq. (1) gap.
+	// Boundaries no seam can express fall back to the disjoint handoff.
+	HandoffStream HandoffMode = iota
+	// HandoffDisjoint models every non-connectable boundary as an opaque
+	// glue step holding both activations fully disjoint — the
+	// TinyEngine-style worst case, safe for any glue op.
+	HandoffDisjoint
+)
+
+func (m HandoffMode) String() string {
+	switch m {
+	case HandoffStream:
+		return "stream"
+	case HandoffDisjoint:
+		return "disjoint"
+	}
+	return fmt.Sprintf("handoff(%d)", int(m))
 }
 
 // Tensor is one activation in the whole-network schedule.
@@ -140,6 +171,22 @@ type SplitSchedule struct {
 	Plan    plan.SplitPlan
 }
 
+// SeamSchedule is one streamed handoff: the elided glue op at a
+// non-connectable boundary scheduled as a segment-aware seam kernel with
+// a solved Eq. (1) gap instead of a disjoint placement.
+type SeamSchedule struct {
+	// Name identifies the boundary, e.g. "B5>B6".
+	Name string
+	// Producer is the index of the module whose output the seam consumes;
+	// the seam feeds module Producer+1.
+	Producer int
+	// Spec is the glue op (strided pointwise) the seam kernel executes.
+	Spec plan.SeamSpec
+	// Plan is the solved seam memory plan; Plan.GapBytes() is the pointer
+	// gap the schedule's difference constraint records.
+	Plan plan.Plan
+}
+
 // NetworkPlan is the solved whole-network placement.
 type NetworkPlan struct {
 	Network     string
@@ -168,6 +215,12 @@ type NetworkPlan struct {
 	// Handoffs counts the inter-module boundaries that required an
 	// explicit live-range overlap because the Table-2 shapes don't chain.
 	Handoffs int
+	// Seams lists the handoffs scheduled as streamed seam kernels
+	// (HandoffStream only; always empty under HandoffDisjoint).
+	Seams []SeamSchedule
+	// StreamedHandoffs counts the streamed entries of Handoffs:
+	// len(Seams), kept explicit for reports.
+	StreamedHandoffs int
 }
 
 // SplitOptions configure the spatial patch-split search.
@@ -198,6 +251,10 @@ type Options struct {
 	Force map[string]Policy
 	// Split configures the patch-split dimension of the search.
 	Split SplitOptions
+	// Handoff selects how non-connectable boundaries are modeled: streamed
+	// seam kernels where possible (HandoffStream, the default) or the
+	// fully disjoint glue placement everywhere (HandoffDisjoint).
+	Handoff HandoffMode
 }
 
 // Plan schedules the network into one pool. It does not consult any cache;
@@ -231,6 +288,9 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 		}
 	}
 
+	if opts.Handoff != HandoffStream && opts.Handoff != HandoffDisjoint {
+		return nil, fmt.Errorf("netplan: unknown handoff mode %v", opts.Handoff)
+	}
 	if opts.Split.Disable && (opts.Split.Depth > 0 || opts.Split.Patches > 0) {
 		return nil, fmt.Errorf("netplan: split options conflict: Disable set together with pinned depth/patches (%d/%d)",
 			opts.Split.Depth, opts.Split.Patches)
@@ -420,7 +480,7 @@ func solve(net graph.Network, opts Options, sp *plan.SplitPlan) (*NetworkPlan, e
 		start = len(sp.Spec.Modules)
 		np.Split = &SplitSchedule{Depth: start, Patches: sp.Spec.Patches, Plan: *sp}
 		if start < len(net.Modules) {
-			if err := crossBoundary(np, net.Modules[start-1], net.Modules[start], &cur, addTensor, addStep, constrain); err != nil {
+			if err := crossBoundary(np, opts.Handoff, start-1, net.Modules[start-1], net.Modules[start], &cur, addTensor, addStep, constrain); err != nil {
 				return nil, err
 			}
 		}
@@ -460,7 +520,7 @@ func solve(net graph.Network, opts Options, sp *plan.SplitPlan) (*NetworkPlan, e
 		}
 
 		if mi+1 < len(net.Modules) {
-			if err := crossBoundary(np, cfg, net.Modules[mi+1], &cur, addTensor, addStep, constrain); err != nil {
+			if err := crossBoundary(np, opts.Handoff, mi, cfg, net.Modules[mi+1], &cur, addTensor, addStep, constrain); err != nil {
 				return nil, err
 			}
 		}
@@ -474,9 +534,13 @@ func solve(net graph.Network, opts Options, sp *plan.SplitPlan) (*NetworkPlan, e
 }
 
 // crossBoundary links two adjacent modules' activations: connectable
-// boundaries share one tensor; otherwise an explicit handoff step keeps
-// both live and disjoint while the elided glue op runs.
-func crossBoundary(np *NetworkPlan, cfg, next plan.Bottleneck, cur *int,
+// boundaries share one tensor. Non-connectable boundaries become either a
+// streamed seam step — the glue op scheduled as a real kernel whose
+// solved Eq. (1) gap lets the consumer input overlap freed producer
+// segments — or, when no seam expresses the boundary (or under
+// HandoffDisjoint), an opaque handoff step keeping both activations live
+// and fully disjoint.
+func crossBoundary(np *NetworkPlan, mode HandoffMode, producer int, cfg, next plan.Bottleneck, cur *int,
 	addTensor func(string, int) int, addStep func(string, int, int, ...int), constrain func(int, int, int)) error {
 	inBytes := next.H * next.W * next.Cin
 	if Connects(cfg, next) {
@@ -488,12 +552,29 @@ func crossBoundary(np *NetworkPlan, cfg, next plan.Bottleneck, cur *int,
 		}
 		return nil
 	}
-	// Handoff: the elided glue op reads the old activation while writing
-	// the new one — both live, fully disjoint.
+	np.Handoffs++
 	in := addTensor(next.Name+".in", inBytes)
+	if mode == HandoffStream {
+		if spec, ok := plan.SeamOf(cfg, next); ok {
+			sp := plan.PlanSeam(spec)
+			if sp.OutBytes != inBytes {
+				return fmt.Errorf("netplan: seam %s output %dB does not match %s input %dB",
+					spec.Name, sp.OutBytes, next.Name, inBytes)
+			}
+			constrain(*cur, in, sp.GapBytes())
+			addStep(fmt.Sprintf("%s>%s seam", cfg.Name, next.Name), -1, sp.WorkspaceBytes, *cur, in)
+			np.Seams = append(np.Seams, SeamSchedule{
+				Name: spec.Name, Producer: producer, Spec: spec, Plan: sp,
+			})
+			np.StreamedHandoffs++
+			*cur = in
+			return nil
+		}
+	}
+	// Disjoint handoff: the opaque glue op reads the old activation while
+	// writing the new one — both live, fully disjoint.
 	constrain(*cur, in, inBytes)
 	addStep(fmt.Sprintf("%s>%s handoff", cfg.Name, next.Name), -1, 0, *cur, in)
-	np.Handoffs++
 	*cur = in
 	return nil
 }

@@ -1,0 +1,87 @@
+package netplan
+
+import (
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+)
+
+// TestPeakRegression pins the scheduled peaks of both Table-2 backbones
+// for every handoff × split policy combination to the recorded byte
+// values, so an accidental scheduler regression fails `go test` instead
+// of silently shipping a worse plan. The trajectory these pins encode:
+// per-module planning 94.0 KB → patch splitting 77.4 KB (the B5→B6
+// disjoint handoff bound) → streamed seams 66.0 KB (the B4 fused
+// footprint — no boundary placement dominates any more).
+func TestPeakRegression(t *testing.T) {
+	cases := []struct {
+		name         string
+		net          graph.Network
+		handoff      HandoffMode
+		splitDisable bool
+		peak         int
+		streamed     int
+		handoffs     int
+		splitDepth   int
+		splitPatches int
+	}{
+		// VWW's peak is the residual S1 module under every policy: its
+		// five handoffs stream, but none of them ever set the peak.
+		{"vww/stream/split", graph.VWW(), HandoffStream, false, 13296, 5, 5, 0, 0},
+		{"vww/stream/nosplit", graph.VWW(), HandoffStream, true, 13296, 5, 5, 0, 0},
+		{"vww/disjoint/split", graph.VWW(), HandoffDisjoint, false, 13296, 0, 5, 0, 0},
+		{"vww/disjoint/nosplit", graph.VWW(), HandoffDisjoint, true, 13296, 0, 5, 0, 0},
+		// ImageNet: streaming the B5→B6 seam retires the 77.4 KB handoff
+		// bound; the deeper B1+B2 split then pays off and the peak lands
+		// on B4's fused footprint.
+		{"imagenet/stream/split", graph.ImageNet(), HandoffStream, false, 65968, 1, 2, 2, 8},
+		{"imagenet/stream/nosplit", graph.ImageNet(), HandoffStream, true, 93987, 1, 2, 0, 0},
+		{"imagenet/disjoint/split", graph.ImageNet(), HandoffDisjoint, false, 77440, 0, 2, 1, 7},
+		{"imagenet/disjoint/nosplit", graph.ImageNet(), HandoffDisjoint, true, 93987, 0, 2, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			np := planOK(t, tc.net, Options{
+				Handoff: tc.handoff,
+				Split:   SplitOptions{Disable: tc.splitDisable},
+			})
+			if np.PeakBytes != tc.peak {
+				t.Errorf("peak = %d bytes, pinned %d", np.PeakBytes, tc.peak)
+			}
+			if np.StreamedHandoffs != tc.streamed || len(np.Seams) != tc.streamed {
+				t.Errorf("streamed handoffs = %d (seams %d), pinned %d",
+					np.StreamedHandoffs, len(np.Seams), tc.streamed)
+			}
+			if np.Handoffs != tc.handoffs {
+				t.Errorf("handoffs = %d, pinned %d", np.Handoffs, tc.handoffs)
+			}
+			sd, sp := 0, 0
+			if np.Split != nil {
+				sd, sp = np.Split.Depth, np.Split.Patches
+			}
+			if sd != tc.splitDepth || sp != tc.splitPatches {
+				t.Errorf("split = %d modules × %d patches, pinned %d × %d",
+					sd, sp, tc.splitDepth, tc.splitPatches)
+			}
+		})
+	}
+}
+
+// TestPeakStreamBreaksHandoffBound is the acceptance criterion: with
+// streamed handoffs enabled (the default), the scheduled ImageNet
+// one-pool peak is strictly below the 77.4 KB B5→B6 disjoint-handoff
+// bound that PR 2's best schedule was pinned to.
+func TestPeakStreamBreaksHandoffBound(t *testing.T) {
+	const pr2Peak = 77440 // bytes: B5.out (46464) + B6.in (30976), disjoint
+	np := planOK(t, graph.ImageNet(), Options{})
+	if np.PeakBytes >= pr2Peak {
+		t.Fatalf("streamed peak %d not strictly below the B5>B6 handoff bound %d", np.PeakBytes, pr2Peak)
+	}
+	dis := planOK(t, graph.ImageNet(), Options{Handoff: HandoffDisjoint})
+	if dis.PeakBytes != pr2Peak {
+		t.Errorf("disjoint-handoff peak %d, want the PR 2 value %d", dis.PeakBytes, pr2Peak)
+	}
+	if np.PeakBytes >= dis.PeakBytes {
+		t.Errorf("streaming did not lower the peak: %d vs %d", np.PeakBytes, dis.PeakBytes)
+	}
+}

@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/vmcu-project/vmcu/internal/affine"
+)
+
+// Inter-module seam planning. The Table-2 backbones elide the glue layers
+// between stages: where two adjacent modules' shapes do not chain, some
+// unlisted op maps the producer's output plane onto the consumer's input
+// plane. The whole-network scheduler used to model every such boundary as
+// an opaque handoff holding both activations fully disjoint — the one
+// placement the Eq. (1) machinery was never applied to. A SeamSpec makes
+// the glue op concrete: a strided 1×1 convolution (spatial stride-2
+// downsample, channel-change pointwise, or both), which covers every
+// streamable Table-2 seam and admits the same exact gap solve as any
+// other affine kernel.
+
+// SeamSpec describes an elided inter-module glue op as a strided
+// pointwise convolution: In[H,W,Cin] → Out[P,Q,Cout] with
+// Out(p,q,·) = f(In(p·Stride, q·Stride, ·)).
+type SeamSpec struct {
+	// Name identifies the boundary, e.g. "B5>B6".
+	Name string
+	// H, W are the input plane's spatial dims (the producer's output grid).
+	H, W int
+	// Cin is the producer's output channel count.
+	Cin int
+	// Cout is the consumer's input channel count.
+	Cout int
+	// Stride is the spatial stride: 1 for a pure channel change, ≥2 for a
+	// downsample.
+	Stride int
+}
+
+// OutDims returns the output spatial size (P, Q) = (⌈H/Stride⌉, ⌈W/Stride⌉).
+func (s SeamSpec) OutDims() (int, int) {
+	return (s.H-1)/s.Stride + 1, (s.W-1)/s.Stride + 1
+}
+
+// InBytes and OutBytes are the raw int8 activation sizes.
+func (s SeamSpec) InBytes() int { return s.H * s.W * s.Cin }
+
+// OutBytes is the raw int8 output activation size.
+func (s SeamSpec) OutBytes() int {
+	p, q := s.OutDims()
+	return p * q * s.Cout
+}
+
+// Validate reports a configuration error, if any.
+func (s SeamSpec) Validate() error {
+	if s.H <= 0 || s.W <= 0 || s.Cin <= 0 || s.Cout <= 0 || s.Stride <= 0 {
+		return fmt.Errorf("plan: seam %q dims must be positive: %+v", s.Name, s)
+	}
+	return nil
+}
+
+// SeamOf reports whether the boundary between modules a and b is
+// streamable: a strided pointwise glue op maps a's output plane exactly
+// onto b's input plane. The smallest matching stride wins (stride 1 for a
+// pure channel change). Boundaries that already chain shape-exactly
+// (Connectable) need no glue at all; boundaries no stride can express —
+// e.g. ImageNet's B12→B13, whose consumer plane is *larger* than the
+// producer's — report false and keep the disjoint handoff.
+func SeamOf(a, b Bottleneck) (SeamSpec, bool) {
+	_, _, _, _, h3, w3 := a.Grids()
+	if b.H > h3 || b.W > w3 {
+		return SeamSpec{}, false
+	}
+	for s := 1; s <= h3; s++ {
+		p, q := (h3-1)/s+1, (w3-1)/s+1
+		if p == b.H && q == b.W {
+			return SeamSpec{
+				Name: a.Name + ">" + b.Name,
+				H:    h3, W: w3,
+				Cin:    a.Cout,
+				Cout:   b.Cin,
+				Stride: s,
+			}, true
+		}
+		if p < b.H || q < b.W {
+			return SeamSpec{}, false
+		}
+	}
+	return SeamSpec{}, false
+}
+
+// gcdInt returns the greatest common divisor of two positive ints.
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PlanSeam solves the Eq. (1) memory plan for a streamed seam kernel.
+//
+// Segment size rule: the seam chains with *raw* tensor sizes on both
+// sides (its input is the producer module's pooled output, its output the
+// consumer's pooled input), so the §5.3 min(C,K) rule is tightened to the
+// largest segment with zero padding waste on either side: gcd(Cin, Cout).
+//
+// The access functions are affine over the output-pixel box (P, Q):
+//
+//	write(p,q) = (p·Q + q)·kSegs + kSegs − 1   (highest segment written)
+//	read(p,q)  = (p·Stride·W + q·Stride)·cSegs (lowest segment read)
+//
+// and the write form is lexicographically monotone (row-major streaming),
+// so affine.MaxWriteReadGap collapses the "∀ j ≤ i" constraint to the
+// closed-form vertex evaluation; were a future seam non-monotone, the
+// same call degrades to the exhaustive lexicographic scan. SeamGapScan is
+// the independent per-pixel oracle, and the ILP cross-check lives in the
+// test suite.
+func PlanSeam(s SeamSpec) Plan {
+	if err := s.Validate(); err != nil {
+		panic(err.Error())
+	}
+	seg := gcdInt(s.Cin, s.Cout)
+	cSegs, kSegs := s.Cin/seg, s.Cout/seg
+	p, q := s.OutDims()
+	box := affine.NewBox(int64(p), int64(q))
+	write := affine.LinForm{C: affine.Vec{int64(q * kSegs), int64(kSegs)}, K: int64(kSegs - 1)}
+	read := affine.LinForm{C: affine.Vec{int64(s.Stride * s.W * cSegs), int64(s.Stride * cSegs)}}
+	gap := int(affine.MaxWriteReadGap(write, read, box))
+	if gap < 0 {
+		gap = 0
+	}
+	return finalize(Plan{
+		SegBytes: seg,
+		InBytes:  s.InBytes(),
+		OutBytes: s.OutBytes(),
+		GapSegs:  gap,
+		Note: fmt.Sprintf("seam %s %dx%dx%d -> %dx%dx%d s%d (affine closed form)",
+			s.Name, s.H, s.W, s.Cin, p, q, s.Cout, s.Stride),
+	})
+}
+
+// SeamGapScan is the exhaustive per-pixel oracle for PlanSeam's gap:
+// at each output pixel t (row-major) the highest segment written so far
+// must stay at or below the lowest segment read. Exported for tests.
+func SeamGapScan(s SeamSpec) int {
+	seg := gcdInt(s.Cin, s.Cout)
+	cSegs, kSegs := s.Cin/seg, s.Cout/seg
+	p, q := s.OutDims()
+	gap := 0
+	for op := 0; op < p; op++ {
+		for oq := 0; oq < q; oq++ {
+			t := op*q + oq
+			wMax := (t+1)*kSegs - 1
+			rMin := (op*s.Stride*s.W + oq*s.Stride) * cSegs
+			if g := wMax - rMin; g > gap {
+				gap = g
+			}
+		}
+	}
+	return gap
+}

@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/affine"
+	"github.com/vmcu-project/vmcu/internal/ilp"
+)
+
+func randomSeam(rng *rand.Rand) SeamSpec {
+	return SeamSpec{
+		Name:   "fuzz",
+		H:      1 + rng.Intn(12),
+		W:      1 + rng.Intn(12),
+		Cin:    1 + rng.Intn(16),
+		Cout:   1 + rng.Intn(16),
+		Stride: 1 + rng.Intn(3),
+	}
+}
+
+// TestPlanSeamMatchesScan cross-validates the affine closed form against
+// the exhaustive per-pixel oracle over random specs.
+func TestPlanSeamMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		s := randomSeam(rng)
+		p := PlanSeam(s)
+		if want := SeamGapScan(s); p.GapSegs != want {
+			t.Fatalf("%+v: affine gap %d != scan %d", s, p.GapSegs, want)
+		}
+	}
+}
+
+// TestPlanSeamStride1MatchesGEMMClosedForm: a pure channel-change seam is
+// the GEMM [H·W, Cin]×[Cin, Cout] instance, so its gap must equal the
+// paper's closed form at the seam's gcd segment size.
+func TestPlanSeamStride1MatchesGEMMClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		s := randomSeam(rng)
+		s.Stride = 1
+		seg := gcdInt(s.Cin, s.Cout)
+		want := gemmGapSegs(s.H*s.W, s.Cin/seg, s.Cout/seg)
+		if p := PlanSeam(s); p.GapSegs != want {
+			t.Fatalf("%+v: seam gap %d != GEMM closed form %d", s, p.GapSegs, want)
+		}
+	}
+}
+
+// TestPlanSeamMatchesILP encodes Eq. (1) for small seams directly as an
+// ILP over (bIn, bOut) and cross-validates the solved minimum gap.
+func TestPlanSeamMatchesILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 25; iter++ {
+		s := SeamSpec{
+			Name:   "ilp",
+			H:      1 + rng.Intn(4),
+			W:      1 + rng.Intn(4),
+			Cin:    1 + rng.Intn(4),
+			Cout:   1 + rng.Intn(4),
+			Stride: 1 + rng.Intn(2),
+		}
+		seg := gcdInt(s.Cin, s.Cout)
+		cSegs, kSegs := s.Cin/seg, s.Cout/seg
+		op, oq := s.OutDims()
+
+		// Vars: x0 = bIn, x1 = bOut; for every pair j ≤ i (lex over output
+		// pixels): read(i) + bIn >= write(j) + bOut.
+		prob := ilp.NewProblem(2)
+		prob.SetObjective(1, -1)
+		prob.SetBounds(0, 0, 1<<20)
+		prob.SetBounds(1, 0, 1<<20)
+		write := affine.LinForm{C: affine.Vec{int64(oq * kSegs), int64(kSegs)}, K: int64(kSegs - 1)}
+		read := affine.LinForm{C: affine.Vec{int64(s.Stride * s.W * cSegs), int64(s.Stride * cSegs)}}
+		box := affine.NewBox(int64(op), int64(oq))
+		var insts []affine.Vec
+		box.Enumerate(func(i affine.Vec) bool {
+			insts = append(insts, append(affine.Vec(nil), i...))
+			return true
+		})
+		for _, i := range insts {
+			for _, j := range insts {
+				if !affine.LexLE(j, i) {
+					continue
+				}
+				prob.AddConstraint([]int64{1, -1}, ilp.GE, write.Eval(j)-read.Eval(i))
+			}
+		}
+		sol, err := prob.SolveILP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(PlanSeam(s).GapSegs)
+		if sol.Obj != want {
+			t.Fatalf("%+v: ILP gap %d != plan gap %d", s, sol.Obj, want)
+		}
+	}
+}
+
+// TestPlanSeamStrictlyBelowDisjoint: the streamed placement must always
+// beat the disjoint handoff, which holds the full consumer input
+// (OutBytes) on top of the producer output.
+func TestPlanSeamStrictlyBelowDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 300; i++ {
+		s := randomSeam(rng)
+		p := PlanSeam(s)
+		if p.GapBytes() >= p.OutBytes {
+			t.Fatalf("%+v: seam gap %dB not below disjoint %dB", s, p.GapBytes(), p.OutBytes)
+		}
+		if p.SegBytes <= 0 || s.Cin%p.SegBytes != 0 || s.Cout%p.SegBytes != 0 {
+			t.Fatalf("%+v: segment %d pads a seam side", s, p.SegBytes)
+		}
+	}
+}
+
+// TestSeamOfTable2 pins the seam eligibility of the Table-2 boundaries
+// that do not chain: ImageNet's B5→B6 is a stride-1 channel change,
+// B12→B13 (consumer plane larger than producer) is not streamable, and
+// VWW's S6→S7 is a stride-2 downsample with a channel change.
+func TestSeamOfTable2(t *testing.T) {
+	b5 := Bottleneck{Name: "B5", H: 44, W: 44, Cin: 16, Cmid: 64, Cout: 24, R: 5, S: 5, S1: 1, S2: 1, S3: 1}
+	b6 := Bottleneck{Name: "B6", H: 44, W: 44, Cin: 16, Cmid: 80, Cout: 24, R: 5, S: 5, S1: 1, S2: 2, S3: 1}
+	s, ok := SeamOf(b5, b6)
+	if !ok || s.Stride != 1 || s.Cin != 24 || s.Cout != 16 || s.H != 44 {
+		t.Fatalf("B5>B6 seam = %+v, %v; want stride-1 24->16 over 44x44", s, ok)
+	}
+	if p := PlanSeam(s); p.SegBytes != 8 || p.InBytes != 46464 || p.OutBytes != 30976 {
+		t.Errorf("B5>B6 plan %+v; want seg 8, in 46464, out 30976", PlanSeam(s))
+	}
+
+	b12 := Bottleneck{Name: "B12", H: 11, W: 11, Cin: 40, Cmid: 200, Cout: 48, R: 7, S: 7, S1: 1, S2: 2, S3: 1}
+	b13 := Bottleneck{Name: "B13", H: 11, W: 11, Cin: 48, Cmid: 240, Cout: 48, R: 7, S: 7, S1: 1, S2: 1, S3: 1}
+	if s, ok := SeamOf(b12, b13); ok {
+		t.Errorf("B12>B13 (6x6 -> 11x11 upsample) reported streamable: %+v", s)
+	}
+
+	s6 := Bottleneck{Name: "S6", H: 5, W: 5, Cin: 48, Cmid: 192, Cout: 48, R: 3, S: 3, S1: 1, S2: 1, S3: 1}
+	s7 := Bottleneck{Name: "S7", H: 3, W: 3, Cin: 96, Cmid: 480, Cout: 96, R: 3, S: 3, S1: 1, S2: 1, S3: 1}
+	s2, ok := SeamOf(s6, s7)
+	if !ok || s2.Stride != 2 || s2.Cin != 48 || s2.Cout != 96 {
+		t.Fatalf("S6>S7 seam = %+v, %v; want stride-2 48->96", s2, ok)
+	}
+}
+
+// TestPlanSeamValidate covers the panic path on invalid specs.
+func TestPlanSeamValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-dim seam accepted")
+		}
+	}()
+	PlanSeam(SeamSpec{Name: "bad"})
+}

@@ -22,8 +22,12 @@
 // per-module policy search, and a spatial patch-split search over the
 // high-resolution leading modules (MCUNetV2-style patch-by-patch
 // execution, PolicySplit) that breaks the per-module footprint bound.
-// RunNetwork verifies the scheduled network on a concurrent executor,
-// memoizing solved plans in a process-wide cache.
+// Non-connectable module boundaries schedule as streamed seam kernels
+// (HandoffStream) wherever the elided glue op is a strided pointwise, so
+// no boundary needs both activations disjoint unless its shape demands
+// it. RunNetwork verifies the scheduled network — modules, split region,
+// and seams — on a concurrent executor, memoizing solved plans in a
+// process-wide cache.
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package vmcu
@@ -176,8 +180,43 @@ const (
 )
 
 // ScheduleOptions configure the whole-network scheduler: device budget,
-// forced per-module policies, and the spatial patch-split search.
+// forced per-module policies, the spatial patch-split search, and the
+// handoff mode for non-connectable module boundaries.
 type ScheduleOptions = netplan.Options
+
+// HandoffMode selects how non-connectable module boundaries are modeled:
+// streamed seam kernels with a solved Eq. (1) gap wherever the elided
+// glue op is expressible as a strided pointwise (HandoffStream, the
+// default), or a fully disjoint glue placement everywhere
+// (HandoffDisjoint).
+type HandoffMode = netplan.HandoffMode
+
+// The handoff modes the whole-network scheduler supports.
+const (
+	HandoffStream   = netplan.HandoffStream
+	HandoffDisjoint = netplan.HandoffDisjoint
+)
+
+// SeamSchedule describes one streamed handoff of a network plan: the
+// elided inter-module glue op scheduled as a segment-aware seam kernel.
+// NetworkPlan.Seams lists them; RunNetwork verifies each bit-exactly.
+type SeamSchedule = netplan.SeamSchedule
+
+// SeamSpec describes an inter-module glue op as a strided pointwise
+// convolution; PlanSeam solves its Eq. (1) memory plan.
+type SeamSpec = plan.SeamSpec
+
+// PlanSeam solves the segment-level memory plan of a streamed seam
+// (strided pointwise glue op): gcd segment size, the affine closed-form
+// pointer gap, and the resulting peak footprint.
+func PlanSeam(s SeamSpec) Plan { return plan.PlanSeam(s) }
+
+// RunSeam executes one streamed seam kernel on a simulated device with
+// deterministic random weights, verifying it bit-exactly against the
+// golden strided pointwise under the given plan.
+func RunSeam(profile Profile, spec SeamSpec, p Plan, seed int64) (ExecResult, error) {
+	return graph.RunSeam(profile, spec, p, seed)
+}
 
 // SplitOptions configure (or pin) the spatial patch-split dimension of
 // the schedule search.

@@ -99,6 +99,38 @@ func TestPublicRunNetwork(t *testing.T) {
 	}
 }
 
+func TestPublicStreamedHandoffs(t *testing.T) {
+	stream, err := PlanNetworkWithOptions(ImageNet(), ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint, err := PlanNetworkWithOptions(ImageNet(), ScheduleOptions{Handoff: HandoffDisjoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.StreamedHandoffs != 1 || len(stream.Seams) != 1 {
+		t.Errorf("streamed handoffs = %d (seams %d), want 1", stream.StreamedHandoffs, len(stream.Seams))
+	}
+	if disjoint.StreamedHandoffs != 0 {
+		t.Errorf("disjoint plan reports %d streamed handoffs", disjoint.StreamedHandoffs)
+	}
+	if stream.PeakBytes >= disjoint.PeakBytes {
+		t.Errorf("streamed peak %d not below disjoint %d", stream.PeakBytes, disjoint.PeakBytes)
+	}
+	// The seam surface round-trips: plan and execute the scheduled seam.
+	s := stream.Seams[0]
+	r, err := RunSeam(CortexM4(), s.Spec, s.Plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputOK || r.Violations != 0 {
+		t.Errorf("public seam run failed: ok=%v violations=%d", r.OutputOK, r.Violations)
+	}
+	if p := PlanSeam(s.Spec); p.GapSegs != s.Plan.GapSegs {
+		t.Errorf("PlanSeam gap %d != scheduled gap %d", p.GapSegs, s.Plan.GapSegs)
+	}
+}
+
 func TestPublicCodegen(t *testing.T) {
 	c := GenerateFCKernelC(4, 16, 16, 0.02, 4096)
 	if !strings.Contains(c, "vmcu_fc") || !strings.Contains(c, "__smlad") {
