@@ -1,8 +1,10 @@
 // Command vmcu-bench emits a machine-readable performance snapshot of the
-// whole-network scheduler: cold and cached PlanNetwork latency and the
+// whole-network scheduler — cold and cached PlanNetwork latency and the
 // scheduled peaks with and without patch splitting, for both Table-2
-// backbones. CI runs it on every push and archives the JSON (BENCH_N.json
-// in the repo root holds the checked-in trajectory point for PR N).
+// backbones — plus the serving subsystem's sustained throughput and
+// latency percentiles on a fixed mixed VWW+ImageNet fleet workload. CI
+// runs it on every push and archives the JSON (BENCH_N.json in the repo
+// root holds the checked-in trajectory point for PR N).
 //
 // Usage:
 //
@@ -19,7 +21,9 @@ import (
 
 	"github.com/vmcu-project/vmcu/internal/eval"
 	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
+	"github.com/vmcu-project/vmcu/internal/serve"
 )
 
 // NetworkSnapshot is one backbone's scheduler measurements. The default
@@ -41,9 +45,90 @@ type NetworkSnapshot struct {
 	SplitRecompute   int     `json:"split_recomputed_rows"`
 }
 
+// ServingSnapshot measures the multi-tenant serving subsystem on a fixed
+// mixed workload: a Cortex-M4 + Cortex-M7 fleet serving concurrent
+// VWW and ImageNet requests with full bit-exact verification. Sustained
+// req/s and the latency percentiles extend the BENCH trajectory.
+type ServingSnapshot struct {
+	Fleet            []string `json:"fleet"`
+	Requests         int      `json:"requests"`
+	VWWRequests      int      `json:"vww_requests"`
+	ImageNetRequests int      `json:"imagenet_requests"`
+	SustainedRPS     float64  `json:"sustained_rps"`
+	LatencyP50Ms     float64  `json:"latency_p50_ms"`
+	LatencyP95Ms     float64  `json:"latency_p95_ms"`
+	LatencyP99Ms     float64  `json:"latency_p99_ms"`
+	Rejections       uint64   `json:"admission_rejections"`
+	MaxPoolPeakUtil  float64  `json:"max_pool_peak_utilization"`
+}
+
 // Snapshot is the full benchmark artifact.
 type Snapshot struct {
 	Networks []NetworkSnapshot `json:"networks"`
+	Serving  ServingSnapshot   `json:"serving"`
+}
+
+// servingRequests sizes the fixed serving workload.
+const servingRequests = 32
+
+// measureServing floods a two-device fleet with the fixed mixed workload
+// (7:1 VWW:ImageNet over servingRequests submissions) and reports the
+// sustained service rate once every request has verified.
+func measureServing() (ServingSnapshot, error) {
+	s, err := serve.NewServer(serve.Options{
+		Devices: []serve.DeviceConfig{
+			{Name: "m4", Profile: mcu.CortexM4(), Slots: 8},
+			{Name: "m7", Profile: mcu.CortexM7(), Slots: 8},
+		},
+		QueueCap: servingRequests,
+	})
+	if err != nil {
+		return ServingSnapshot{}, err
+	}
+	if err := s.Register("vww", graph.VWW(), serve.ModelConfig{}); err != nil {
+		return ServingSnapshot{}, err
+	}
+	if err := s.Register("imagenet", graph.ImageNet(), serve.ModelConfig{}); err != nil {
+		return ServingSnapshot{}, err
+	}
+	snap := ServingSnapshot{Fleet: []string{mcu.CortexM4().Name, mcu.CortexM7().Name}, Requests: servingRequests}
+	start := time.Now()
+	tickets := make([]*serve.Ticket, 0, servingRequests)
+	for i := 0; i < servingRequests; i++ {
+		name := "vww"
+		if i%8 == 7 {
+			name = "imagenet"
+			snap.ImageNetRequests++
+		} else {
+			snap.VWWRequests++
+		}
+		tk, err := s.Submit(name, serve.SubmitOptions{Seed: int64(i)})
+		if err != nil {
+			return ServingSnapshot{}, err
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Result(); err != nil {
+			return ServingSnapshot{}, fmt.Errorf("request %d: %w", tk.ID(), err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		return ServingSnapshot{}, err
+	}
+	elapsed := time.Since(start)
+	m := s.Metrics()
+	snap.SustainedRPS = float64(m.Completed) / elapsed.Seconds()
+	snap.LatencyP50Ms = float64(m.LatencyP50.Microseconds()) / 1e3
+	snap.LatencyP95Ms = float64(m.LatencyP95.Microseconds()) / 1e3
+	snap.LatencyP99Ms = float64(m.LatencyP99.Microseconds()) / 1e3
+	snap.Rejections = m.RejectedQueueFull + m.RejectedTooLarge + m.ShedDeadline
+	for _, d := range m.Devices {
+		if d.PeakUtilization > snap.MaxPoolPeakUtil {
+			snap.MaxPoolPeakUtil = d.PeakUtilization
+		}
+	}
+	return snap, nil
 }
 
 func measure(net graph.Network) (NetworkSnapshot, error) {
@@ -109,6 +194,12 @@ func main() {
 		}
 		snap.Networks = append(snap.Networks, s)
 	}
+	sv, err := measureServing()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmcu-bench: serving: %v\n", err)
+		os.Exit(1)
+	}
+	snap.Serving = sv
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)

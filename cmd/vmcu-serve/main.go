@@ -1,0 +1,260 @@
+// Command vmcu-serve drives the multi-tenant serving subsystem with a
+// synthetic workload over a simulated MCU fleet and reports a
+// machine-readable snapshot: sustained throughput, sojourn-latency
+// percentiles, admission rejections, and per-device pool utilization.
+//
+// Two load-generator shapes are supported:
+//
+//   - Closed loop (default): -concurrency workers each submit a request,
+//     wait for it, and repeat until -requests have been issued. Measures
+//     the fleet's sustainable service rate.
+//   - Open loop (-open): requests arrive on a fixed clock at -rate
+//     submissions per second for -duration, regardless of completions.
+//     Measures shed behaviour under offered load (queue-full rejections
+//     are the signal, not a failure).
+//
+// Usage:
+//
+//	vmcu-serve                                     # closed loop, m4+m7 fleet
+//	vmcu-serve -requests 128 -mix vww=7,imagenet=1 # heavier mixed closed loop
+//	vmcu-serve -open -rate 200 -duration 3s -dry   # admission-only open loop
+//	vmcu-serve -o serve-snapshot.json              # write the JSON snapshot
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/vmcu-project/vmcu"
+)
+
+// DeviceSnapshot is one fleet device's JSON row.
+type DeviceSnapshot struct {
+	Name            string  `json:"name"`
+	PoolKB          float64 `json:"pool_kb"`
+	PeakUtilization float64 `json:"peak_pool_utilization"`
+	Admitted        uint64  `json:"admitted"`
+	Completed       uint64  `json:"completed"`
+}
+
+// Snapshot is the JSON artifact the load generator emits.
+type Snapshot struct {
+	Loop           string           `json:"loop"` // "closed" | "open"
+	Mode           string           `json:"mode"` // "verify" | "dry"
+	Mix            string           `json:"mix"`
+	Submitted      uint64           `json:"submitted"`
+	Completed      uint64           `json:"completed"`
+	Failed         uint64           `json:"failed"`
+	RejectedFull   uint64           `json:"rejected_queue_full"`
+	ShedDeadline   uint64           `json:"shed_deadline"`
+	SustainedRPS   float64          `json:"sustained_rps"`
+	LatencyP50Ms   float64          `json:"latency_p50_ms"`
+	LatencyP95Ms   float64          `json:"latency_p95_ms"`
+	LatencyP99Ms   float64          `json:"latency_p99_ms"`
+	QueueHighWater int              `json:"queue_high_water"`
+	Devices        []DeviceSnapshot `json:"devices"`
+}
+
+// parseFleet turns "m4,m7,m7" into device configs with unique names.
+func parseFleet(spec string) ([]vmcu.ServeDevice, error) {
+	var out []vmcu.ServeDevice
+	for i, part := range strings.Split(spec, ",") {
+		var prof vmcu.Profile
+		switch strings.TrimSpace(part) {
+		case "m4":
+			prof = vmcu.CortexM4()
+		case "m7":
+			prof = vmcu.CortexM7()
+		default:
+			return nil, fmt.Errorf("unknown device %q (want m4 or m7)", part)
+		}
+		out = append(out, vmcu.ServeDevice{
+			Name:    fmt.Sprintf("%s-%d", strings.TrimSpace(part), i),
+			Profile: prof,
+		})
+	}
+	return out, nil
+}
+
+// parseMix turns "vww=7,imagenet=1" into a weighted round-robin pattern.
+func parseMix(spec string) ([]string, error) {
+	var pattern []string
+	for _, part := range strings.Split(spec, ",") {
+		name, weightStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not model=weight", part)
+		}
+		w, err := strconv.Atoi(weightStr)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("mix entry %q has bad weight", part)
+		}
+		if name != "vww" && name != "imagenet" {
+			return nil, fmt.Errorf("mix model %q unknown (want vww or imagenet)", name)
+		}
+		for i := 0; i < w; i++ {
+			pattern = append(pattern, name)
+		}
+	}
+	if len(pattern) == 0 {
+		return nil, errors.New("empty mix")
+	}
+	return pattern, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vmcu-serve: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	fleet := flag.String("devices", "m4,m7", "fleet spec: comma list of m4/m7")
+	queueCap := flag.Int("queue", 256, "admission queue bound (shed-on-full)")
+	slots := flag.Int("slots", 8, "concurrent-run slots per device")
+	mixSpec := flag.String("mix", "vww=7,imagenet=1", "workload mix, model=weight pairs")
+	requests := flag.Int("requests", 32, "closed loop: total requests to issue")
+	concurrency := flag.Int("concurrency", 8, "closed loop: worker count")
+	open := flag.Bool("open", false, "open loop: submit on a fixed clock instead")
+	rate := flag.Float64("rate", 50, "open loop: offered submissions per second")
+	duration := flag.Duration("duration", 2*time.Second, "open loop: generation window")
+	dry := flag.Bool("dry", false, "admission-only dry runs (no kernel execution)")
+	deadline := flag.Duration("deadline", 0, "per-request admission deadline (0 = none)")
+	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+	flag.Parse()
+
+	devices, err := parseFleet(*fleet)
+	if err != nil {
+		fatal(err)
+	}
+	if *open && *rate <= 0 {
+		fatal(fmt.Errorf("open-loop -rate must be positive, got %v", *rate))
+	}
+	pattern, err := parseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	mode := vmcu.ExecVerify
+	if *dry {
+		mode = vmcu.ExecDryRun
+	}
+	for i := range devices {
+		devices[i].Slots = *slots
+	}
+	s, err := vmcu.NewServer(vmcu.ServeOptions{Devices: devices, QueueCap: *queueCap, Mode: mode})
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Register("vww", vmcu.VWW(), vmcu.ServeModelConfig{}); err != nil {
+		fatal(err)
+	}
+	if err := s.Register("imagenet", vmcu.ImageNet(), vmcu.ServeModelConfig{}); err != nil {
+		fatal(err)
+	}
+
+	submit := func(i int) (*vmcu.Ticket, error) {
+		opts := vmcu.SubmitOptions{Seed: int64(i)}
+		if *deadline > 0 {
+			opts.Deadline = time.Now().Add(*deadline)
+		}
+		return s.Submit(pattern[i%len(pattern)], opts)
+	}
+
+	start := time.Now()
+	var issued int
+	if *open {
+		interval := time.Duration(float64(time.Second) / *rate)
+		var tickets []*vmcu.Ticket
+		for next := start; time.Since(start) < *duration; next = next.Add(interval) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			tk, err := submit(issued)
+			issued++
+			if err != nil {
+				continue // shed-on-full is the open-loop signal, tracked in metrics
+			}
+			tickets = append(tickets, tk)
+		}
+		for _, tk := range tickets {
+			_, _ = tk.Result()
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, *requests)
+		for i := 0; i < *requests; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					tk, err := submit(i)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "vmcu-serve: submit %d: %v\n", i, err)
+						continue
+					}
+					if _, err := tk.Result(); err != nil {
+						fmt.Fprintf(os.Stderr, "vmcu-serve: request %d: %v\n", i, err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	m := s.Metrics()
+	snap := Snapshot{
+		Loop:           "closed",
+		Mode:           "verify",
+		Mix:            *mixSpec,
+		Submitted:      m.Submitted,
+		Completed:      m.Completed,
+		Failed:         m.Failed,
+		RejectedFull:   m.RejectedQueueFull,
+		ShedDeadline:   m.ShedDeadline,
+		SustainedRPS:   float64(m.Completed) / elapsed.Seconds(),
+		LatencyP50Ms:   float64(m.LatencyP50.Microseconds()) / 1e3,
+		LatencyP95Ms:   float64(m.LatencyP95.Microseconds()) / 1e3,
+		LatencyP99Ms:   float64(m.LatencyP99.Microseconds()) / 1e3,
+		QueueHighWater: m.QueueHighWater,
+	}
+	if *open {
+		snap.Loop = "open"
+	}
+	if *dry {
+		snap.Mode = "dry"
+	}
+	for _, d := range m.Devices {
+		snap.Devices = append(snap.Devices, DeviceSnapshot{
+			Name:            d.Name,
+			PoolKB:          vmcu.KB(d.CapacityBytes),
+			PeakUtilization: d.PeakUtilization,
+			Admitted:        d.Admitted,
+			Completed:       d.Completed,
+		})
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Serving: run a multi-tenant inference server over a simulated MCU
+// fleet. Two models — the MCUNet VWW backbone and a small custom chain —
+// are registered with different priorities, the server is flooded with
+// concurrent requests, and the metrics snapshot shows byte-exact pool
+// co-residency: requests are admitted onto a device only while their
+// whole-network plan peaks pack into the device's SRAM pool.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/vmcu-project/vmcu"
+)
+
+// customChain is a small two-module "keyword spotting"-style backbone,
+// showing that registered models are not limited to the Table-2 zoo.
+func customChain() vmcu.Network {
+	return vmcu.Network{
+		Name: "kws-micro",
+		Modules: []vmcu.Bottleneck{
+			{Name: "K1", H: 16, W: 16, Cin: 8, Cmid: 32, Cout: 8,
+				R: 3, S: 3, S1: 1, S2: 1, S3: 1},
+			{Name: "K2", H: 16, W: 16, Cin: 8, Cmid: 24, Cout: 12,
+				R: 3, S: 3, S1: 1, S2: 1, S3: 1},
+		},
+	}
+}
+
+func main() {
+	// A heterogeneous fleet: one 128 KB Cortex-M4 and one 512 KB
+	// Cortex-M7, each with its own pool ledger.
+	s, err := vmcu.NewServer(vmcu.ServeOptions{
+		Devices: []vmcu.ServeDevice{
+			{Name: "m4", Profile: vmcu.CortexM4(), Slots: 4},
+			{Name: "m7", Profile: vmcu.CortexM7(), Slots: 8},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// VWW is the latency-critical tenant: higher priority. The custom
+	// chain tolerates queueing but sheds if not admitted in time — a
+	// normal serving outcome the flood below tolerates and counts.
+	if err := s.Register("vww", vmcu.VWW(), vmcu.ServeModelConfig{Priority: 10}); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Register("kws", customChain(), vmcu.ServeModelConfig{MaxQueueWait: 30 * time.Second}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Flood the fleet: every submission returns a ticket immediately; the
+	// dispatcher admits each request as soon as its plan peak fits a pool.
+	const total = 24
+	tickets := make([]*vmcu.Ticket, 0, total)
+	for i := 0; i < total; i++ {
+		model := "kws"
+		if i%4 == 0 {
+			model = "vww"
+		}
+		tk, err := s.Submit(model, vmcu.SubmitOptions{Seed: int64(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	var shed int
+	for _, tk := range tickets {
+		res, err := tk.Result()
+		if errors.Is(err, vmcu.ErrServeDeadline) {
+			shed++ // an explicit rejection, not a failure — nothing is lost
+			continue
+		}
+		if err != nil {
+			log.Fatalf("request %d (%s): %v", tk.ID(), tk.Model(), err)
+		}
+		if res.Run == nil || !res.Run.AllVerified {
+			log.Fatalf("request %d (%s) on %s: verification failed", tk.ID(), tk.Model(), res.Device)
+		}
+	}
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	m := s.Metrics()
+	fmt.Println("serving snapshot after the flood:")
+	fmt.Printf("  requests              : %d submitted, %d completed, %d deadline-shed, %d failed\n",
+		m.Submitted, m.Completed, shed, m.Failed)
+	fmt.Printf("  throughput            : %.1f req/s\n", m.ThroughputRPS)
+	fmt.Printf("  sojourn latency       : p50 %v  p95 %v  p99 %v\n",
+		m.LatencyP50.Round(time.Millisecond), m.LatencyP95.Round(time.Millisecond),
+		m.LatencyP99.Round(time.Millisecond))
+	fmt.Printf("  queue                 : high water %d of cap %d\n", m.QueueHighWater, m.QueueCap)
+	fmt.Printf("  plan cache            : %d hits, %d misses, %d evictions\n",
+		m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions)
+	for _, d := range m.Devices {
+		fmt.Printf("  device %-4s           : pool %5.1f KB, peak co-residency %4.1f%%, %d requests served\n",
+			d.Name, vmcu.KB(d.CapacityBytes), 100*d.PeakUtilization, d.Completed)
+	}
+}

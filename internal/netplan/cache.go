@@ -1,6 +1,7 @@
 package netplan
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,24 +17,49 @@ import (
 // so solves for different keys never serialize each other), and every hit
 // returns the identical *NetworkPlan (callers must treat plans as
 // read-only).
+//
+// A cache built with NewCacheWithCap bounds the number of retained plans:
+// when a completed solve pushes the count past the cap, the least recently
+// used plan is evicted (hits refresh recency). In-flight solves are never
+// evicted — the cap applies to completed entries — and an evicted key
+// simply re-solves on its next request. The unbounded NewCache behaviour
+// is unchanged; long-running callers (the serving subsystem) use a
+// bounded cache so an open-ended model mix cannot grow memory without
+// limit.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	cap       int // max retained completed entries; 0 means unbounded
+	entries   map[string]*cacheEntry
+	lru       *list.List // keys of completed entries, front = most recent
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // cacheEntry is one in-flight or completed solve; ready closes when np/err
-// are set.
+// are set. elem is non-nil exactly while the completed entry is retained
+// in the LRU list.
 type cacheEntry struct {
 	ready chan struct{}
 	np    *NetworkPlan
 	err   error
+	elem  *list.Element
 }
 
-// NewCache returns an empty plan cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*cacheEntry)}
+// NewCache returns an empty, unbounded plan cache.
+func NewCache() *Cache { return NewCacheWithCap(0) }
+
+// NewCacheWithCap returns an empty plan cache retaining at most capEntries
+// completed plans under LRU eviction. capEntries <= 0 means unbounded.
+func NewCacheWithCap(capEntries int) *Cache {
+	if capEntries < 0 {
+		capEntries = 0
+	}
+	return &Cache{
+		cap:     capEntries,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+	}
 }
 
 // Default is the package-level cache used by the public vmcu API.
@@ -69,7 +95,7 @@ func Key(net graph.Network, opts Options) string {
 // Every completed request is accounted exactly once in Stats: requests
 // that ran the solve count as misses and requests served by an existing
 // entry count as hits, on both the success and the error path, so
-// hits+misses always equals the number of completed Plan calls.
+// Hits+Misses always equals the number of completed Plan calls.
 func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error) {
 	key := Key(net, opts)
 	c.mu.Lock()
@@ -78,6 +104,11 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 		<-e.ready
 		c.mu.Lock()
 		c.hits++
+		// Refresh recency, unless the entry was evicted or Reset away while
+		// we waited (its plan is still valid for this caller either way).
+		if e.elem != nil && c.entries[key] == e {
+			c.lru.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		if e.err != nil {
 			return nil, true, e.err
@@ -101,17 +132,54 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 		c.mu.Unlock()
 		return nil, false, e.err
 	}
+	// Retain the completed plan; a Reset while solving means the old map no
+	// longer holds this entry, in which case it is not retained at all.
+	if c.entries[key] == e {
+		e.elem = c.lru.PushFront(key)
+		c.evict()
+	}
 	c.mu.Unlock()
 	return e.np, false, nil
 }
 
-// Stats reports the cache's lifetime hit and miss counts. Hits are
-// requests served by an existing (possibly in-flight, possibly failed)
-// entry; misses are requests that ran a solve, successful or not.
-func (c *Cache) Stats() (hits, misses uint64) {
+// evict drops least-recently-used completed entries until the retained
+// count fits the cap. Caller holds c.mu.
+func (c *Cache) evict() {
+	if c.cap <= 0 {
+		return
+	}
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		key := back.Value.(string)
+		if e, ok := c.entries[key]; ok && e.elem == back {
+			e.elem = nil
+			delete(c.entries, key)
+		}
+		c.lru.Remove(back)
+		c.evictions++
+	}
+}
+
+// CacheStats reports a cache's lifetime counters and current size.
+type CacheStats struct {
+	// Hits are requests served by an existing (possibly in-flight,
+	// possibly failed) entry; Misses are requests that ran a solve,
+	// successful or not.
+	Hits, Misses uint64
+	// Evictions counts completed plans dropped by the LRU bound (always 0
+	// on an unbounded cache).
+	Evictions uint64
+	// Len is the current number of entries, retained plans plus in-flight
+	// solves. On a bounded quiescent cache Len never exceeds the cap.
+	Len int
+}
+
+// Stats reports the cache's lifetime hit/miss/eviction counts and its
+// current length.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.entries)}
 }
 
 // Reset drops every cached plan and zeroes the counters. In-flight solves
@@ -120,5 +188,6 @@ func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*cacheEntry)
-	c.hits, c.misses = 0, 0
+	c.lru.Init()
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }

@@ -1,0 +1,107 @@
+package netplan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// tinyNet builds a minimal single-module network whose identity (and thus
+// cache key) is parameterized by cmid, so tests can mint distinct keys
+// cheaply.
+func tinyNet(cmid int) graph.Network {
+	return graph.Network{
+		Name: fmt.Sprintf("tiny-%d", cmid),
+		Modules: []plan.Bottleneck{{
+			Name: "M0", H: 8, W: 8, Cin: 4, Cmid: cmid, Cout: 4,
+			R: 3, S: 3, S1: 1, S2: 1, S3: 1,
+		}},
+	}
+}
+
+// TestCacheLRUEviction proves the bounded cache retains at most cap plans,
+// evicts in least-recently-used order, and re-solves evicted keys.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCacheWithCap(2)
+	a, b, d := tinyNet(8), tinyNet(10), tinyNet(12)
+	for _, n := range []graph.Network{a, b} {
+		if _, hit, err := c.Plan(n, Options{}); err != nil || hit {
+			t.Fatalf("cold solve of %s: hit=%v err=%v", n.Name, hit, err)
+		}
+	}
+	if st := c.Stats(); st.Len != 2 || st.Evictions != 0 {
+		t.Fatalf("warm cache stats = %+v, want len 2, no evictions", st)
+	}
+
+	// Touch a so b becomes the LRU victim, then insert a third plan.
+	if _, hit, err := c.Plan(a, Options{}); err != nil || !hit {
+		t.Fatalf("touch of %s: hit=%v err=%v, want hit", a.Name, hit, err)
+	}
+	if _, hit, err := c.Plan(d, Options{}); err != nil || hit {
+		t.Fatalf("cold solve of %s: hit=%v err=%v", d.Name, hit, err)
+	}
+	st := c.Stats()
+	if st.Len != 2 || st.Evictions != 1 {
+		t.Fatalf("after third insert stats = %+v, want len 2, 1 eviction", st)
+	}
+
+	// a was refreshed, so it must still hit; b was evicted and re-solves.
+	if _, hit, err := c.Plan(a, Options{}); err != nil || !hit {
+		t.Errorf("refreshed entry %s evicted (hit=%v err=%v)", a.Name, hit, err)
+	}
+	if _, hit, err := c.Plan(b, Options{}); err != nil || hit {
+		t.Errorf("evicted entry %s served from cache (hit=%v err=%v)", b.Name, hit, err)
+	}
+	if st := c.Stats(); st.Len != 2 || st.Evictions != 2 {
+		t.Errorf("final stats = %+v, want len 2, 2 evictions", st)
+	}
+}
+
+// TestCacheUnboundedNeverEvicts pins the NewCache compatibility contract:
+// without a cap every plan is retained.
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewCache()
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Plan(tinyNet(4+i), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Len != n || st.Evictions != 0 {
+		t.Errorf("unbounded cache stats = %+v, want len %d, no evictions", st, n)
+	}
+}
+
+// TestCacheBoundedConcurrent hammers a cap-2 cache with many goroutines
+// over more keys than the cap, proving the LRU bookkeeping is safe under
+// -race and the bound holds once the dust settles.
+func TestCacheBoundedConcurrent(t *testing.T) {
+	c := NewCacheWithCap(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if _, _, err := c.Plan(tinyNet(4+(g+i)%5), Options{}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Len > 2 {
+		t.Errorf("bound violated: %d entries retained, cap 2", st.Len)
+	}
+	if st.Hits+st.Misses != 48 {
+		t.Errorf("accounting: %d hits + %d misses != 48 requests", st.Hits, st.Misses)
+	}
+	// Evicting never loses correctness, only work: every key re-solves.
+	if _, _, err := c.Plan(tinyNet(4), Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -91,8 +91,8 @@ func TestRunNetworkUsesCache(t *testing.T) {
 	if r1.Plan != r2.Plan {
 		t.Error("second run did not reuse the cached plan")
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
 	}
 }
 

@@ -298,16 +298,16 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if cold.Fingerprint() != p1.Fingerprint() {
 		t.Error("cached plan not byte-identical to a cold solve")
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
 	}
 	// Different options must key separately.
 	if _, hit, err := c.Plan(net, Options{BudgetBytes: 128 * 1024}); err != nil || hit {
 		t.Errorf("different budget reused entry (hit=%v, err=%v)", hit, err)
 	}
 	c.Reset()
-	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
-		t.Errorf("reset left stats %d/%d", hits, misses)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Len != 0 {
+		t.Errorf("reset left stats %d/%d len=%d", st.Hits, st.Misses, st.Len)
 	}
 }
 
@@ -338,8 +338,8 @@ func TestCacheConcurrent(t *testing.T) {
 			t.Fatalf("goroutine %d got a different plan instance", i)
 		}
 	}
-	hits, misses := c.Stats()
-	if misses != 1 || hits != n-1 {
-		t.Errorf("stats = %d hits / %d misses, want %d/1", hits, misses, n-1)
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Errorf("stats = %d hits / %d misses, want %d/1", st.Hits, st.Misses, n-1)
 	}
 }

@@ -262,11 +262,11 @@ func TestCacheAccountsErroredRequests(t *testing.T) {
 			t.Fatalf("request %d unexpectedly succeeded", i)
 		}
 	}
-	hits, misses := c.Stats()
-	if hits+misses != n {
-		t.Errorf("stats account %d+%d=%d requests, want %d", hits, misses, hits+misses, n)
+	st := c.Stats()
+	if st.Hits+st.Misses != n {
+		t.Errorf("stats account %d+%d=%d requests, want %d", st.Hits, st.Misses, st.Hits+st.Misses, n)
 	}
-	if misses < 1 {
+	if st.Misses < 1 {
 		t.Error("no request counted as a solving miss")
 	}
 	// Failed entries are dropped: a later request re-attempts (a miss).
@@ -274,8 +274,8 @@ func TestCacheAccountsErroredRequests(t *testing.T) {
 	if err == nil || hit {
 		t.Errorf("retry after failure: hit=%v err=%v, want fresh miss with error", hit, err)
 	}
-	h2, m2 := c.Stats()
-	if h2+m2 != n+1 {
-		t.Errorf("retry not accounted: %d+%d, want %d", h2, m2, n+1)
+	st2 := c.Stats()
+	if st2.Hits+st2.Misses != n+1 {
+		t.Errorf("retry not accounted: %d+%d, want %d", st2.Hits, st2.Misses, n+1)
 	}
 }

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ledger tracks byte-exact reservations against one device's SRAM pool.
+// A request is admitted onto the device only by reserving its whole-plan
+// peak (netplan.NetworkPlan.PeakBytes) here first; the reservation is
+// held for the request's entire residency and released exactly once when
+// it leaves. Because every kernel of a scheduled plan stays inside its
+// plan's peak (the planner's lifetime-aware bound, verified bit-exactly
+// by the executor's shadow state), co-resident requests whose reserved
+// peaks sum to at most the pool capacity can never overlap in SRAM —
+// the ledger is the admission-control invariant of the whole subsystem:
+//
+//	sum(reserved peaks) <= capacity, at every instant.
+//
+// TryReserve refuses any reservation that would break it, so over-commit
+// is impossible by construction; the property tests fuzz this under
+// concurrent reserve/release and -race.
+type Ledger struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	peakUsed int
+	held     map[uint64]int // request id -> reserved bytes
+	admitted uint64
+	refused  uint64
+}
+
+// NewLedger returns a ledger over a pool of capacity bytes.
+func NewLedger(capacity int) (*Ledger, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("serve: ledger capacity must be positive, got %d", capacity)
+	}
+	return &Ledger{capacity: capacity, held: make(map[uint64]int)}, nil
+}
+
+// TryReserve reserves bytes for request id, failing (without side effects
+// beyond the refusal counter) when the reservation would exceed the pool
+// or the id already holds one. bytes must be positive: a zero-byte
+// admission would make "resident" unobservable in the ledger.
+func (l *Ledger) TryReserve(id uint64, bytes int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if bytes <= 0 || bytes > l.capacity-l.used {
+		l.refused++
+		return false
+	}
+	if _, dup := l.held[id]; dup {
+		l.refused++
+		return false
+	}
+	l.held[id] = bytes
+	l.used += bytes
+	if l.used > l.peakUsed {
+		l.peakUsed = l.used
+	}
+	l.admitted++
+	return true
+}
+
+// Release frees request id's reservation, returning the freed byte count,
+// or -1 when the id holds none (a double release is reported, not
+// absorbed, so accounting bugs surface in tests).
+func (l *Ledger) Release(id uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bytes, ok := l.held[id]
+	if !ok {
+		return -1
+	}
+	delete(l.held, id)
+	l.used -= bytes
+	return bytes
+}
+
+// Capacity returns the pool size in bytes.
+func (l *Ledger) Capacity() int { return l.capacity }
+
+// Used returns the bytes currently reserved.
+func (l *Ledger) Used() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Free returns the bytes currently available for admission.
+func (l *Ledger) Free() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.capacity - l.used
+}
+
+// PeakUsed returns the high-water mark of reserved bytes — by the
+// TryReserve invariant, always at most Capacity.
+func (l *Ledger) PeakUsed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peakUsed
+}
+
+// Counters returns the lifetime admission and refusal counts.
+func (l *Ledger) Counters() (admitted, refused uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.admitted, l.refused
+}
+
+// Residents returns the number of reservations currently held.
+func (l *Ledger) Residents() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.held)
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLedgerBasics(t *testing.T) {
+	if _, err := NewLedger(0); err == nil {
+		t.Error("zero-capacity ledger must be rejected")
+	}
+	l, err := NewLedger(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.TryReserve(1, 60) {
+		t.Fatal("reserve 60/100 refused")
+	}
+	if l.TryReserve(2, 41) {
+		t.Fatal("over-commit admitted: 60+41 > 100")
+	}
+	if !l.TryReserve(2, 40) {
+		t.Fatal("exact fit refused: 60+40 = 100")
+	}
+	if l.Used() != 100 || l.Free() != 0 || l.Residents() != 2 {
+		t.Errorf("used=%d free=%d residents=%d, want 100/0/2", l.Used(), l.Free(), l.Residents())
+	}
+	if l.TryReserve(3, 1) {
+		t.Error("reserve on a full pool admitted")
+	}
+	if l.TryReserve(1, 1) {
+		t.Error("duplicate id admitted")
+	}
+	if l.TryReserve(4, 0) || l.TryReserve(5, -3) {
+		t.Error("non-positive reservation admitted")
+	}
+	if got := l.Release(1); got != 60 {
+		t.Errorf("release returned %d, want 60", got)
+	}
+	if got := l.Release(1); got != -1 {
+		t.Errorf("double release returned %d, want -1", got)
+	}
+	if l.Used() != 40 || l.PeakUsed() != 100 {
+		t.Errorf("used=%d peak=%d, want 40/100", l.Used(), l.PeakUsed())
+	}
+	adm, ref := l.Counters()
+	if adm != 2 || ref == 0 {
+		t.Errorf("counters = %d admitted / %d refused, want 2 admitted, some refusals", adm, ref)
+	}
+}
+
+// TestLedgerInvariantUnderConcurrency is the over-commit property test at
+// the ledger layer: under concurrent random reserve/release from many
+// goroutines (run with -race), the reserved total never exceeds the pool
+// — sampled continuously and checked against the high-water mark — and
+// the books balance exactly once the dust settles.
+func TestLedgerInvariantUnderConcurrency(t *testing.T) {
+	const capacity = 1000
+	l, err := NewLedger(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if u := l.Used(); u < 0 || u > capacity {
+				t.Errorf("sampled over-commit: used %d of %d", u, capacity)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var next atomic.Uint64
+	var workers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			var held []uint64
+			for i := 0; i < 600; i++ {
+				if rng.Intn(2) == 0 {
+					id := next.Add(1)
+					if l.TryReserve(id, 1+rng.Intn(400)) {
+						held = append(held, id)
+					}
+				} else if len(held) > 0 {
+					k := rng.Intn(len(held))
+					if l.Release(held[k]) < 0 {
+						t.Errorf("goroutine %d: release of held id %d failed", g, held[k])
+					}
+					held[k] = held[len(held)-1]
+					held = held[:len(held)-1]
+				}
+			}
+			for _, id := range held {
+				if l.Release(id) < 0 {
+					t.Errorf("goroutine %d: final release of %d failed", g, id)
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if l.Used() != 0 || l.Residents() != 0 {
+		t.Errorf("books don't balance: used=%d residents=%d after releasing everything", l.Used(), l.Residents())
+	}
+	if p := l.PeakUsed(); p > capacity {
+		t.Errorf("peak %d exceeded capacity %d", p, capacity)
+	} else if p == 0 {
+		t.Error("no reservation ever landed — test exercised nothing")
+	}
+	adm, ref := l.Counters()
+	if adm == 0 || ref == 0 {
+		t.Errorf("counters %d/%d: want both admissions and refusals under contention", adm, ref)
+	}
+}

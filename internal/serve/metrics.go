@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/netplan"
+)
+
+// latencyWindow bounds the sojourn-latency reservoir: percentiles are
+// computed over the most recent latencyWindow completions, so a
+// long-running server's snapshot reflects current behaviour at fixed
+// memory.
+const latencyWindow = 8192
+
+// metricsState is the server's internal counter block, guarded by
+// Server.mu.
+type metricsState struct {
+	submitted        uint64
+	completed        uint64
+	failed           uint64
+	canceled         uint64
+	rejectedFull     uint64
+	rejectedTooLarge uint64
+	shedDeadline     uint64
+	queueHighWater   int
+
+	latencies [latencyWindow]time.Duration
+	latIdx    int
+	latCount  int
+}
+
+func (m *metricsState) sampleLatency(d time.Duration) {
+	m.latencies[m.latIdx] = d
+	m.latIdx = (m.latIdx + 1) % latencyWindow
+	if m.latCount < latencyWindow {
+		m.latCount++
+	}
+}
+
+// DeviceMetrics is one fleet device's snapshot.
+type DeviceMetrics struct {
+	Name string
+	// CapacityBytes is the SRAM pool size; UsedBytes the reserved bytes at
+	// snapshot time; PeakUsedBytes the lifetime high-water mark (never
+	// above CapacityBytes — the ledger invariant).
+	CapacityBytes int
+	UsedBytes     int
+	PeakUsedBytes int
+	// Utilization and PeakUtilization are the byte ratios of the above.
+	Utilization     float64
+	PeakUtilization float64
+	// Residents is the number of co-resident requests holding
+	// reservations; Active the subset currently running.
+	Residents int
+	Active    int
+	// Admitted/Refused are the ledger's lifetime reservation counts;
+	// Completed the requests that finished successfully on this device.
+	Admitted  uint64
+	Refused   uint64
+	Completed uint64
+}
+
+// Metrics is the server snapshot: counters, throughput, latency
+// percentiles, queue state, per-device pools, and plan-cache stats.
+type Metrics struct {
+	Uptime time.Duration
+	// Submitted counts accepted submissions (tickets created). Each one
+	// resolves into exactly one of Completed, Failed, Canceled, or
+	// ShedDeadline; the difference is the work still in flight.
+	Submitted uint64
+	Completed uint64
+	Failed    uint64
+	Canceled  uint64
+	// RejectedQueueFull counts submit-time rejections (no ticket was
+	// created); RejectedTooLarge counts registrations refused because the
+	// model's peak exceeds every pool; ShedDeadline counts queued requests
+	// shed at their admission deadline.
+	RejectedQueueFull uint64
+	RejectedTooLarge  uint64
+	ShedDeadline      uint64
+	// ThroughputRPS is completed requests per second of uptime.
+	ThroughputRPS float64
+	// Latency percentiles are sojourn times (submit → done) over the most
+	// recent completions (successful or failed), zero before the first.
+	LatencyP50     time.Duration
+	LatencyP95     time.Duration
+	LatencyP99     time.Duration
+	QueueDepth     int
+	QueueHighWater int
+	QueueCap       int
+	Devices        []DeviceMetrics
+	// Cache reports the serving plan cache (hits, misses, evictions,
+	// current length).
+	Cache netplan.CacheStats
+}
+
+// Metrics returns a consistent snapshot of the server's counters and the
+// fleet's pool state.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	out := Metrics{
+		Uptime:            time.Since(s.started),
+		Submitted:         s.m.submitted,
+		Completed:         s.m.completed,
+		Failed:            s.m.failed,
+		Canceled:          s.m.canceled,
+		RejectedQueueFull: s.m.rejectedFull,
+		RejectedTooLarge:  s.m.rejectedTooLarge,
+		ShedDeadline:      s.m.shedDeadline,
+		QueueDepth:        len(s.queue),
+		QueueHighWater:    s.m.queueHighWater,
+		QueueCap:          s.queueCap,
+	}
+	if sec := out.Uptime.Seconds(); sec > 0 {
+		out.ThroughputRPS = float64(out.Completed) / sec
+	}
+	samples := make([]time.Duration, s.m.latCount)
+	copy(samples, s.m.latencies[:s.m.latCount])
+	for _, d := range s.devices {
+		cap, used, peak := d.ledger.Capacity(), d.ledger.Used(), d.ledger.PeakUsed()
+		adm, ref := d.ledger.Counters()
+		out.Devices = append(out.Devices, DeviceMetrics{
+			Name:            d.name,
+			CapacityBytes:   cap,
+			UsedBytes:       used,
+			PeakUsedBytes:   peak,
+			Utilization:     float64(used) / float64(cap),
+			PeakUtilization: float64(peak) / float64(cap),
+			Residents:       d.ledger.Residents(),
+			Active:          d.active,
+			Admitted:        adm,
+			Refused:         ref,
+			Completed:       d.completed,
+		})
+	}
+	s.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	out.LatencyP50 = percentile(samples, 0.50)
+	out.LatencyP95 = percentile(samples, 0.95)
+	out.LatencyP99 = percentile(samples, 0.99)
+	out.Cache = s.cache.Stats()
+	return out
+}
+
+// percentile returns the q-quantile of sorted samples (nearest-rank), or 0
+// when empty.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,58 @@
+package serve
+
+import "time"
+
+// The admission queue is a bounded slice in arrival order shared by every
+// device dispatcher. Selection is strict priority with FIFO within a
+// priority, restricted to requests whose reserved peak fits the stealing
+// device's free pool bytes — a large queued model never head-of-line
+// blocks a small one that could run now, and a device with a co-residency
+// gap fills it with the best fitting request instead of idling.
+//
+// Both helpers run with Server.mu held.
+
+// takeLocked removes and returns the best admissible request for device d:
+// the highest-priority (earliest within a priority) request whose peak
+// fits d's free bytes, or nil when d is slot-saturated or nothing fits.
+func (s *Server) takeLocked(d *device) *request {
+	if d.active >= d.slots {
+		return nil
+	}
+	free := d.ledger.Free()
+	best := -1
+	for i, r := range s.queue {
+		if r.peak > free {
+			continue
+		}
+		// The scan runs in arrival order, so replacing only on strictly
+		// higher priority keeps FIFO within a priority.
+		if best == -1 || r.priority > s.queue[best].priority {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	r := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return r
+}
+
+// shedExpiredLocked removes every queued request whose admission deadline
+// has passed, resolving each ticket with ErrDeadline.
+func (s *Server) shedExpiredLocked(now time.Time) {
+	kept := s.queue[:0]
+	for _, r := range s.queue {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			s.m.shedDeadline++
+			r.resolve(Result{
+				Model:     r.mdl.name,
+				PeakBytes: r.peak,
+				Latency:   now.Sub(r.submitted),
+			}, ErrDeadline, StateRejected)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.queue = kept
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bareServer builds a dispatcherless server plus one device for
+// deterministic unit tests of the queue helpers (which run under
+// Server.mu in production; these tests are single-goroutine).
+func bareServer(t *testing.T, pool, slots int) (*Server, *device) {
+	t.Helper()
+	led, err := NewLedger(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &device{name: "dev", ledger: led, slots: slots}
+	s := &Server{queueCap: 16, models: make(map[string]*model)}
+	s.cond = sync.NewCond(&s.mu)
+	s.devices = []*device{d}
+	return s, d
+}
+
+func queued(id uint64, peak, priority int) *request {
+	return &request{
+		id: id, peak: peak, priority: priority,
+		mdl:    &model{name: "m"},
+		doneCh: make(chan struct{}),
+	}
+}
+
+func TestTakeLockedPriorityAndFIFO(t *testing.T) {
+	s, d := bareServer(t, 100, 4)
+	a, b, c, e := queued(1, 10, 0), queued(2, 10, 5), queued(3, 10, 5), queued(4, 10, 1)
+	s.queue = []*request{a, b, c, e}
+
+	// Highest priority first; FIFO between the two priority-5 entries.
+	for i, want := range []*request{b, c, e, a} {
+		got := s.takeLocked(d)
+		if got != want {
+			t.Fatalf("take %d: got id %d, want id %d", i, got.id, want.id)
+		}
+	}
+	if s.takeLocked(d) != nil {
+		t.Error("empty queue yielded a request")
+	}
+}
+
+func TestTakeLockedSkipsOversized(t *testing.T) {
+	s, d := bareServer(t, 100, 4)
+	big, small := queued(1, 90, 9), queued(2, 30, 0)
+	s.queue = []*request{big, small}
+	if !d.ledger.TryReserve(99, 40) {
+		t.Fatal("setup reservation failed")
+	}
+	// Only 60 bytes free: the high-priority 90-byte request must not
+	// head-of-line block the 30-byte one.
+	if got := s.takeLocked(d); got != small {
+		t.Fatalf("got id %d, want the small request", got.id)
+	}
+	if got := s.takeLocked(d); got != nil {
+		t.Fatalf("oversized request admitted with 60 free: id %d", got.id)
+	}
+	d.ledger.Release(99)
+	if got := s.takeLocked(d); got != big {
+		t.Fatal("freed pool did not admit the big request")
+	}
+}
+
+func TestTakeLockedRespectsSlots(t *testing.T) {
+	s, d := bareServer(t, 100, 1)
+	s.queue = []*request{queued(1, 10, 0)}
+	d.active = 1
+	if s.takeLocked(d) != nil {
+		t.Error("slot-saturated device stole work")
+	}
+	d.active = 0
+	if s.takeLocked(d) == nil {
+		t.Error("free slot refused work")
+	}
+}
+
+func TestShedExpiredLocked(t *testing.T) {
+	s, _ := bareServer(t, 100, 1)
+	now := time.Now()
+	fresh := queued(1, 10, 0)
+	fresh.deadline = now.Add(time.Hour)
+	stale := queued(2, 10, 0)
+	stale.deadline = now.Add(-time.Millisecond)
+	forever := queued(3, 10, 0) // zero deadline: never shed
+	s.queue = []*request{fresh, stale, forever}
+
+	s.shedExpiredLocked(now)
+	if len(s.queue) != 2 || s.queue[0] != fresh || s.queue[1] != forever {
+		t.Fatalf("queue after shed has %d entries", len(s.queue))
+	}
+	select {
+	case <-stale.doneCh:
+	default:
+		t.Fatal("shed request not resolved")
+	}
+	if _, err := (&Ticket{r: stale}).Result(); !errors.Is(err, ErrDeadline) {
+		t.Errorf("shed error = %v, want ErrDeadline", err)
+	}
+	if State(stale.state.Load()) != StateRejected {
+		t.Errorf("shed state = %v, want rejected", State(stale.state.Load()))
+	}
+	if s.m.shedDeadline != 1 {
+		t.Errorf("shedDeadline = %d, want 1", s.m.shedDeadline)
+	}
+}

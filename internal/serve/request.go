@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/netplan"
+)
+
+// State is one stage of the asynchronous request lifecycle:
+// submit → planned → queued → admitted → running → done, with rejected
+// and canceled as the terminal failure exits.
+type State int32
+
+const (
+	// StateSubmitted: the request exists but has not been planned yet.
+	StateSubmitted State = iota
+	// StatePlanned: the model's NetworkPlan was resolved through the plan
+	// cache; the plan's peak is the request's admission currency.
+	StatePlanned
+	// StateQueued: the request sits in the bounded admission queue.
+	StateQueued
+	// StateAdmitted: a device reserved the request's peak in its pool
+	// ledger; the request is resident but not yet running.
+	StateAdmitted
+	// StateRunning: the request is executing on its device.
+	StateRunning
+	// StateDone: the request finished (successfully or with an execution
+	// error — inspect Ticket.Result).
+	StateDone
+	// StateRejected: the request was shed before admission (deadline).
+	StateRejected
+	// StateCanceled: the request was canceled while queued.
+	StateCanceled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSubmitted:
+		return "submitted"
+	case StatePlanned:
+		return "planned"
+	case StateQueued:
+		return "queued"
+	case StateAdmitted:
+		return "admitted"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateRejected:
+		return "rejected"
+	case StateCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// The explicit rejection reasons a submission can resolve to. Submit-time
+// rejections (full queue, oversized model, closed server) are returned
+// from Submit directly; queue-time rejections (deadline shed, cancel)
+// resolve the ticket.
+var (
+	// ErrQueueFull rejects a submission when the bounded admission queue
+	// is at capacity (shed-on-full).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDeadline rejects a queued request whose admission deadline passed
+	// before any device could fit it.
+	ErrDeadline = errors.New("serve: admission deadline exceeded")
+	// ErrTooLarge rejects a model whose planned peak exceeds every
+	// device pool — it could never be admitted.
+	ErrTooLarge = errors.New("serve: planned peak exceeds every device pool")
+	// ErrCanceled resolves a ticket whose request was canceled while
+	// queued.
+	ErrCanceled = errors.New("serve: request canceled")
+	// ErrClosed rejects submissions and registrations after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrUnknownModel rejects a submission naming an unregistered model.
+	ErrUnknownModel = errors.New("serve: unknown model")
+)
+
+// SubmitOptions parameterize one inference request.
+type SubmitOptions struct {
+	// Priority orders admission: higher priorities are admitted first,
+	// FIFO within a priority. 0 means "use the model's priority".
+	Priority int
+	// Deadline is the absolute admission deadline: if no device admits
+	// the request by then, it is shed with ErrDeadline. The zero time
+	// applies the model's MaxQueueWait (if any).
+	Deadline time.Time
+	// Seed picks the deterministic weight stream the verification run
+	// executes with.
+	Seed int64
+}
+
+// Result reports one finished request.
+type Result struct {
+	// Model is the registered model name the request ran.
+	Model string
+	// Device names the fleet device the request was admitted to (empty
+	// when the request never reached admission).
+	Device string
+	// PeakBytes is the plan peak that was reserved in the device ledger —
+	// the request's byte-exact SRAM cost.
+	PeakBytes int
+	// Run is the executor's verified result (nil in ExecDryRun mode or
+	// when the request never ran).
+	Run *netplan.RunResult
+	// QueueWait is the time from submission to admission.
+	QueueWait time.Duration
+	// Latency is the time from submission to completion.
+	Latency time.Duration
+}
+
+// request is the server-internal lifecycle record behind a Ticket.
+type request struct {
+	id       uint64
+	srv      *Server
+	mdl      *model
+	priority int
+	deadline time.Time // zero means none
+	seed     int64
+	peak     int
+
+	submitted  time.Time
+	admittedAt time.Time   // written by the dispatcher before execute starts
+	timer      *time.Timer // deadline wake-up, armed before the request is enqueued
+
+	state  atomic.Int32
+	once   sync.Once
+	doneCh chan struct{}
+	result Result
+	err    error
+}
+
+func (r *request) setState(s State) { r.state.Store(int32(s)) }
+
+// stopTimer releases the deadline wake-up timer, if any, so pending
+// timers don't accumulate on a loaded server with long deadlines.
+func (r *request) stopTimer() {
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+}
+
+// resolve finishes the request exactly once: records the outcome, moves to
+// the terminal state, and releases every Ticket waiter.
+func (r *request) resolve(res Result, err error, terminal State) {
+	r.once.Do(func() {
+		r.stopTimer()
+		r.result, r.err = res, err
+		r.setState(terminal)
+		close(r.doneCh)
+	})
+}
+
+// Ticket is the caller's handle on an in-flight request.
+type Ticket struct{ r *request }
+
+// ID returns the server-unique request id.
+func (t *Ticket) ID() uint64 { return t.r.id }
+
+// Model returns the model name the request was submitted for.
+func (t *Ticket) Model() string { return t.r.mdl.name }
+
+// State returns the request's current lifecycle state.
+func (t *Ticket) State() State { return State(t.r.state.Load()) }
+
+// Done returns a channel closed when the request reaches a terminal state.
+func (t *Ticket) Done() <-chan struct{} { return t.r.doneCh }
+
+// Result blocks until the request finishes and returns its outcome. The
+// error is nil for a verified completion, an execution error for a failed
+// run, or one of the rejection sentinels (ErrDeadline, ErrCanceled).
+func (t *Ticket) Result() (Result, error) {
+	<-t.r.doneCh
+	return t.r.result, t.r.err
+}
+
+// Cancel removes the request from the admission queue, resolving the
+// ticket with ErrCanceled. It reports whether the cancel won the race: a
+// request already admitted (or finished) is not canceled — admitted work
+// always runs to completion so the ledger release discipline stays
+// trivial.
+func (t *Ticket) Cancel() bool {
+	return t.r.srv.cancel(t.r)
+}

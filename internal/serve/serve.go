@@ -1,0 +1,450 @@
+// Package serve is the multi-tenant inference serving subsystem: it runs
+// many concurrent requests for multiple registered models across a
+// simulated fleet of MCU devices, each with a fixed SRAM pool, using the
+// whole-network planner's exact per-plan peak as the admission currency.
+//
+// The pieces, bottom to top:
+//
+//   - Pool ledger (Ledger). Each device tracks reservations byte-exactly;
+//     a request is admitted only when its cached NetworkPlan peak fits the
+//     pool's remaining bytes. Co-resident models whose peaks pack together
+//     share one SRAM pool; over-commit is impossible by construction
+//     (TryReserve refuses reservations past capacity).
+//   - Admission queue. Submissions land in one bounded queue shared by the
+//     fleet: shed-on-full at submit, strict priority with FIFO within a
+//     priority, and per-request admission deadlines (defaulted per model)
+//     shed lazily whenever the dispatcher scans.
+//   - Work-stealing dispatch. Every device runs one dispatcher goroutine
+//     that steals the highest-priority fitting request from the shared
+//     queue whenever the device has free pool bytes and a free slot —
+//     there is no static model→device assignment, so a small device keeps
+//     serving small models while a large one absorbs the big ones.
+//   - Async lifecycle. Submit returns a Ticket immediately; the request
+//     moves submit → planned → queued → admitted → running → done (or an
+//     explicit rejection), every transition observable and every submit
+//     guaranteed to resolve. Execution is netplan.Run — the bit-exact
+//     whole-network verification executor — through the server's bounded
+//     plan cache (ExecDryRun skips the kernels for pure admission-control
+//     load tests).
+//   - Metrics. A snapshot struct reports throughput, sojourn-latency
+//     percentiles, queue depth, per-device pool utilization, and every
+//     rejection class, plus the plan cache's hit/miss/eviction counters.
+//
+// The whole subsystem is safe under -race; the property tests fuzz the
+// ledger invariant (admitted peaks never exceed a pool) under concurrent
+// submit/cancel.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/netplan"
+)
+
+// ExecMode selects what an admitted request executes.
+type ExecMode int
+
+const (
+	// ExecVerify (the default) runs netplan.Run: the full bit-exact
+	// whole-network verification on the admitting device's profile.
+	ExecVerify ExecMode = iota
+	// ExecDryRun skips the kernels: the request is planned, admitted, and
+	// released without executing, exercising only the admission machinery.
+	// Load generators use it to stress queue/ledger behaviour at request
+	// rates the simulated kernels could never sustain.
+	ExecDryRun
+)
+
+// DeviceConfig describes one simulated fleet device.
+type DeviceConfig struct {
+	// Name identifies the device in results and metrics.
+	Name string
+	// Profile is the simulated MCU the device's requests execute on.
+	Profile mcu.Profile
+	// PoolBytes is the SRAM pool the ledger partitions; 0 uses the
+	// profile's full RAM capacity.
+	PoolBytes int
+	// Slots caps concurrently running requests on the device; 0 uses
+	// DefaultSlots. Memory admission is always the ledger's job — slots
+	// only bound compute concurrency.
+	Slots int
+}
+
+// DefaultSlots is the per-device concurrent-run cap when
+// DeviceConfig.Slots is 0.
+const DefaultSlots = 4
+
+// DefaultQueueCap is the admission queue bound when Options.QueueCap is 0.
+const DefaultQueueCap = 256
+
+// DefaultCacheEntries is the plan-cache LRU bound when Options.CacheEntries
+// is 0.
+const DefaultCacheEntries = 64
+
+// Options configure a Server.
+type Options struct {
+	// Devices is the simulated fleet; at least one is required.
+	Devices []DeviceConfig
+	// QueueCap bounds the admission queue (shed-on-full); 0 uses
+	// DefaultQueueCap.
+	QueueCap int
+	// CacheEntries bounds the server's netplan plan cache (LRU eviction);
+	// 0 uses DefaultCacheEntries. Ignored when Cache is set.
+	CacheEntries int
+	// Cache optionally injects a plan cache (shared with other callers);
+	// nil builds a private bounded cache.
+	Cache *netplan.Cache
+	// Mode selects what admitted requests execute (default ExecVerify).
+	Mode ExecMode
+}
+
+// ModelConfig carries a registered model's serving defaults.
+type ModelConfig struct {
+	// Priority is the default admission priority for the model's
+	// requests (higher is sooner; SubmitOptions.Priority overrides).
+	Priority int
+	// MaxQueueWait is the default admission deadline, relative to
+	// submission; 0 means no deadline (SubmitOptions.Deadline overrides).
+	MaxQueueWait time.Duration
+}
+
+// model is one registered model: a backbone plus serving defaults. peak is
+// the planned whole-network peak, fixed at registration (plans are
+// deterministic, so re-solves after cache eviction reproduce it).
+type model struct {
+	name string
+	net  graph.Network
+	cfg  ModelConfig
+	peak int
+}
+
+// device pairs a fleet device with its ledger and dispatch state.
+type device struct {
+	name    string
+	profile mcu.Profile
+	ledger  *Ledger
+	slots   int
+	// active and completed are guarded by Server.mu.
+	active    int
+	completed uint64
+}
+
+// Server coordinates admission and execution across the fleet.
+type Server struct {
+	mode     ExecMode
+	cache    *netplan.Cache
+	devices  []*device
+	queueCap int
+	maxPool  int
+	started  time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	models map[string]*model
+	queue  []*request // arrival order
+	nextID uint64
+	closed bool
+	m      metricsState
+
+	dispatchers sync.WaitGroup
+	execs       sync.WaitGroup
+}
+
+// NewServer builds the fleet, starts one dispatcher per device, and
+// returns a serving server ready for Register/Submit.
+func NewServer(opts Options) (*Server, error) {
+	if len(opts.Devices) == 0 {
+		return nil, fmt.Errorf("serve: at least one device is required")
+	}
+	queueCap := opts.QueueCap
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	cache := opts.Cache
+	if cache == nil {
+		entries := opts.CacheEntries
+		if entries <= 0 {
+			entries = DefaultCacheEntries
+		}
+		cache = netplan.NewCacheWithCap(entries)
+	}
+	s := &Server{
+		mode:     opts.Mode,
+		cache:    cache,
+		queueCap: queueCap,
+		models:   make(map[string]*model),
+		started:  time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	seen := make(map[string]bool, len(opts.Devices))
+	for i, dc := range opts.Devices {
+		name := dc.Name
+		if name == "" {
+			name = fmt.Sprintf("dev%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("serve: duplicate device name %q", name)
+		}
+		seen[name] = true
+		pool := dc.PoolBytes
+		if pool == 0 {
+			pool = dc.Profile.RAMBytes()
+		}
+		led, err := NewLedger(pool)
+		if err != nil {
+			return nil, fmt.Errorf("serve: device %s: %w", name, err)
+		}
+		slots := dc.Slots
+		if slots <= 0 {
+			slots = DefaultSlots
+		}
+		d := &device{name: name, profile: dc.Profile, ledger: led, slots: slots}
+		s.devices = append(s.devices, d)
+		if pool > s.maxPool {
+			s.maxPool = pool
+		}
+	}
+	for _, d := range s.devices {
+		s.dispatchers.Add(1)
+		go s.dispatch(d)
+	}
+	return s, nil
+}
+
+// Register adds a model under name with serving defaults. The model is
+// planned immediately (through the plan cache), so registration rejects
+// unschedulable networks and models whose peak exceeds every device pool
+// (ErrTooLarge) before any request is taken.
+func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error {
+	if name == "" {
+		return fmt.Errorf("serve: model name must be non-empty")
+	}
+	np, _, err := s.cache.Plan(net, netplan.Options{})
+	if err != nil {
+		return fmt.Errorf("serve: model %s: %w", name, err)
+	}
+	if np.PeakBytes > s.maxPool {
+		s.mu.Lock()
+		s.m.rejectedTooLarge++
+		s.mu.Unlock()
+		return fmt.Errorf("serve: model %s needs %d bytes, largest pool is %d: %w",
+			name, np.PeakBytes, s.maxPool, ErrTooLarge)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.models[name]; dup {
+		return fmt.Errorf("serve: model %s already registered", name)
+	}
+	s.models[name] = &model{name: name, net: net, cfg: cfg, peak: np.PeakBytes}
+	return nil
+}
+
+// Submit enqueues one inference request for a registered model and returns
+// its Ticket. Rejections at submit time — unknown model, closed server,
+// full queue — return an error and no ticket; every returned ticket is
+// guaranteed to resolve (done, deadline-shed, or canceled).
+func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mdl, ok := s.models[modelName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
+	}
+
+	req := &request{
+		srv:       s,
+		mdl:       mdl,
+		seed:      opts.Seed,
+		submitted: time.Now(),
+		doneCh:    make(chan struct{}),
+	}
+	req.setState(StateSubmitted)
+
+	// The plan was resolved through the cache at registration and plans
+	// are deterministic, so the model's stored peak IS the request's
+	// admission currency — no re-solve on the submit path (the executor
+	// re-plans through the cache, off this path, if the entry was
+	// evicted). Registration also guarantees the peak fits some pool.
+	req.peak = mdl.peak
+	req.setState(StatePlanned)
+
+	req.priority = opts.Priority
+	if req.priority == 0 {
+		req.priority = mdl.cfg.Priority
+	}
+	req.deadline = opts.Deadline
+	if req.deadline.IsZero() && mdl.cfg.MaxQueueWait > 0 {
+		req.deadline = req.submitted.Add(mdl.cfg.MaxQueueWait)
+	}
+	if !req.deadline.IsZero() {
+		// Wake the dispatchers just past the deadline so an otherwise idle
+		// queue still sheds the request promptly. Armed before the request
+		// is visible to any dispatcher so resolve() can stop it race-free.
+		req.timer = time.AfterFunc(time.Until(req.deadline)+time.Millisecond, s.kick)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		req.stopTimer()
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.queueCap {
+		s.m.rejectedFull++
+		s.mu.Unlock()
+		req.stopTimer()
+		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
+	}
+	s.nextID++
+	req.id = s.nextID
+	req.setState(StateQueued)
+	s.queue = append(s.queue, req)
+	if len(s.queue) > s.m.queueHighWater {
+		s.m.queueHighWater = len(s.queue)
+	}
+	s.m.submitted++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return &Ticket{r: req}, nil
+}
+
+// kick wakes every dispatcher to rescan the queue (deadline timers).
+func (s *Server) kick() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// dispatch is one device's work-stealing loop: shed expired requests,
+// steal the best fitting one, reserve its peak, and hand it to an
+// executor goroutine. Exits when the server is closed and the queue is
+// fully drained.
+func (s *Server) dispatch(d *device) {
+	defer s.dispatchers.Done()
+	for {
+		s.mu.Lock()
+		var req *request
+		for {
+			s.shedExpiredLocked(time.Now())
+			req = s.takeLocked(d)
+			if req != nil || (s.closed && len(s.queue) == 0) {
+				break
+			}
+			s.cond.Wait()
+		}
+		if req == nil {
+			s.mu.Unlock()
+			return
+		}
+		// Only this dispatcher reserves on d, and takeLocked checked the
+		// fit under s.mu, so the reservation cannot fail (releases only
+		// grow the free space). Requeue defensively all the same.
+		if !d.ledger.TryReserve(req.id, req.peak) {
+			s.queue = append([]*request{req}, s.queue...)
+			s.mu.Unlock()
+			continue
+		}
+		req.admittedAt = time.Now()
+		req.setState(StateAdmitted)
+		d.active++
+		s.execs.Add(1)
+		go s.execute(d, req)
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one admitted request on its device and resolves the ticket.
+func (s *Server) execute(d *device, req *request) {
+	defer s.execs.Done()
+	req.setState(StateRunning)
+	var run *netplan.RunResult
+	var err error
+	switch s.mode {
+	case ExecDryRun:
+		// Admission-control stress mode: hold the reservation across a
+		// scheduling point so residency windows genuinely overlap.
+		runtime.Gosched()
+	default:
+		run, err = netplan.Run(d.profile, req.mdl.net, req.seed, netplan.Options{}, s.cache)
+		if err == nil && !run.AllVerified {
+			err = fmt.Errorf("serve: %s on %s: output verification failed", req.mdl.name, d.name)
+		}
+		if err == nil && run.Violations != 0 {
+			err = fmt.Errorf("serve: %s on %s: %d memory-safety violations", req.mdl.name, d.name, run.Violations)
+		}
+	}
+	freed := d.ledger.Release(req.id)
+	now := time.Now()
+
+	s.mu.Lock()
+	d.active--
+	if freed != req.peak && err == nil {
+		err = fmt.Errorf("serve: ledger released %d bytes for request %d, reserved %d", freed, req.id, req.peak)
+	}
+	if err != nil {
+		s.m.failed++
+	} else {
+		s.m.completed++
+		d.completed++
+	}
+	s.m.sampleLatency(now.Sub(req.submitted))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	req.resolve(Result{
+		Model:     req.mdl.name,
+		Device:    d.name,
+		PeakBytes: req.peak,
+		Run:       run,
+		QueueWait: req.admittedAt.Sub(req.submitted),
+		Latency:   now.Sub(req.submitted),
+	}, err, StateDone)
+}
+
+// cancel implements Ticket.Cancel: remove the request from the queue if it
+// is still there.
+func (s *Server) cancel(r *request) bool {
+	s.mu.Lock()
+	for i, q := range s.queue {
+		if q == r {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.m.canceled++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			r.resolve(Result{
+				Model:     r.mdl.name,
+				PeakBytes: r.peak,
+				Latency:   time.Since(r.submitted),
+			}, ErrCanceled, StateCanceled)
+			return true
+		}
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// Close drains the server gracefully: no new submissions are accepted,
+// every queued request is still admitted (or shed by its deadline), and
+// Close returns once all running requests have resolved. Safe to call
+// more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.dispatchers.Wait()
+	s.execs.Wait()
+	return nil
+}

@@ -29,6 +29,12 @@
 // and seams — on a concurrent executor, memoizing solved plans in a
 // process-wide cache.
 //
+// Above the scheduler sits the serving layer (internal/serve): NewServer
+// runs many concurrent inference requests for multiple registered models
+// across a simulated MCU fleet, admitting a request onto a device only
+// when its plan's peak fits the device pool's remaining bytes — the
+// planner's exact accounting reused as a multi-tenant admission currency.
+//
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package vmcu
 
@@ -40,6 +46,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
 	"github.com/vmcu-project/vmcu/internal/plan"
+	"github.com/vmcu-project/vmcu/internal/serve"
 	"github.com/vmcu-project/vmcu/internal/tensor"
 )
 
@@ -256,6 +263,83 @@ func RunNetwork(profile Profile, net Network, seed int64) (*NetworkRunResult, er
 	return netplan.Run(profile, net, seed,
 		netplan.Options{BudgetBytes: profile.RAMBytes()}, netplan.Default)
 }
+
+// Server is the multi-tenant inference serving subsystem: many concurrent
+// requests for multiple registered models across a simulated fleet of MCU
+// devices, each with a fixed SRAM pool. Admission is byte-exact — a
+// request lands on a device only when its cached NetworkPlan peak fits
+// the pool's remaining bytes, so co-resident models pack into one pool
+// and over-commit is impossible by construction. See internal/serve for
+// the ledger/queue/dispatch design and DESIGN.md §5d.
+type Server = serve.Server
+
+// ServeOptions configure a Server: the device fleet, the admission queue
+// bound, the plan-cache bound, and the execution mode.
+type ServeOptions = serve.Options
+
+// ServeDevice describes one simulated fleet device: its MCU profile, its
+// SRAM pool, and its concurrent-run slot cap.
+type ServeDevice = serve.DeviceConfig
+
+// ServeModelConfig carries a registered model's serving defaults: its
+// admission priority and its maximum queue wait (deadline).
+type ServeModelConfig = serve.ModelConfig
+
+// SubmitOptions parameterize one inference request: priority, absolute
+// admission deadline, and the deterministic verification seed.
+type SubmitOptions = serve.SubmitOptions
+
+// Ticket is the asynchronous handle on a submitted request: its state,
+// its done channel, its result, and cancellation.
+type Ticket = serve.Ticket
+
+// ServeResult reports one finished request: the admitting device, the
+// reserved peak, the verified run, and queue/sojourn timings.
+type ServeResult = serve.Result
+
+// RequestState is one stage of the request lifecycle
+// (submit → planned → queued → admitted → running → done).
+type RequestState = serve.State
+
+// ServeMetrics is the server snapshot: throughput, latency percentiles,
+// queue depth, per-device pool utilization, rejection counts, and plan
+// cache stats.
+type ServeMetrics = serve.Metrics
+
+// ServeDeviceMetrics is one fleet device's snapshot within ServeMetrics.
+type ServeDeviceMetrics = serve.DeviceMetrics
+
+// ServeExecMode selects what admitted requests execute: the full
+// bit-exact verification run, or admission-only dry runs for load tests.
+type ServeExecMode = serve.ExecMode
+
+// The serving execution modes.
+const (
+	ExecVerify = serve.ExecVerify
+	ExecDryRun = serve.ExecDryRun
+)
+
+// The serving layer's explicit rejection reasons.
+var (
+	ErrServeQueueFull    = serve.ErrQueueFull
+	ErrServeDeadline     = serve.ErrDeadline
+	ErrServeTooLarge     = serve.ErrTooLarge
+	ErrServeCanceled     = serve.ErrCanceled
+	ErrServeClosed       = serve.ErrClosed
+	ErrServeUnknownModel = serve.ErrUnknownModel
+)
+
+// NewServer builds a serving fleet and starts its per-device dispatchers.
+// Register models with Server.Register, submit with Server.Submit, and
+// inspect Server.Metrics; Close drains gracefully (every accepted request
+// still resolves).
+func NewServer(opts ServeOptions) (*Server, error) { return serve.NewServer(opts) }
+
+// NewPlanCache returns a netplan plan cache bounded to capEntries plans
+// (LRU eviction; capEntries <= 0 means unbounded), for callers that want
+// to share one cache between PlanNetworkWithOptions-style planning and a
+// serving fleet via ServeOptions.Cache.
+func NewPlanCache(capEntries int) *netplan.Cache { return netplan.NewCacheWithCap(capEntries) }
 
 // MemoryProfile executes a pointwise layer with occupancy tracing and
 // renders an ASCII timeline of live pool bytes — the input draining while

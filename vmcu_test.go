@@ -1,6 +1,7 @@
 package vmcu
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -168,5 +169,54 @@ func TestPublicSplitSchedule(t *testing.T) {
 	if off.Split != nil || off.PeakBytes != np.NoSplitPeakBytes {
 		t.Errorf("disabled-split plan peak %d (split %v), want %d without split",
 			off.PeakBytes, off.Split, np.NoSplitPeakBytes)
+	}
+}
+
+func TestPublicServing(t *testing.T) {
+	s, err := NewServer(ServeOptions{
+		Devices: []ServeDevice{
+			{Name: "m4", Profile: CortexM4()},
+			{Name: "m7", Profile: CortexM7()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("vww", VWW(), ServeModelConfig{Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tk, err := s.Submit("vww", SubmitOptions{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	for i, tk := range tickets {
+		res, err := tk.Result()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if res.Run == nil || !res.Run.AllVerified {
+			t.Errorf("request %d not verified on %s", i, res.Device)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Completed != n || m.Failed != 0 || m.QueueDepth != 0 {
+		t.Errorf("serving metrics: %+v", m)
+	}
+	for _, d := range m.Devices {
+		if d.UsedBytes != 0 || d.PeakUsedBytes > d.CapacityBytes {
+			t.Errorf("device %s pool state: %+v", d.Name, d)
+		}
+	}
+	// Rejection sentinels round-trip through the public surface.
+	if _, err := s.Submit("vww", SubmitOptions{}); !errors.Is(err, ErrServeClosed) {
+		t.Errorf("submit after close: %v, want ErrServeClosed", err)
 	}
 }
