@@ -10,6 +10,7 @@
 //
 //	vmcu-bench                 # print the snapshot JSON to stdout
 //	vmcu-bench -o BENCH_2.json # write it to a file
+//	vmcu-bench -quick          # CI smoke: skip the serving flood, fewer plan rounds
 package main
 
 import (
@@ -62,10 +63,31 @@ type ServingSnapshot struct {
 	MaxPoolPeakUtil  float64  `json:"max_pool_peak_utilization"`
 }
 
-// Snapshot is the full benchmark artifact.
+// CostSnapshot is one backbone's analytic cost-model measurements: the
+// frontier size and the two objective endpoints priced on both boards,
+// plus how long the Pareto enumeration itself takes (the planning cost a
+// serving registration pays).
+type CostSnapshot struct {
+	Network          string  `json:"network"`
+	ParetoMicros     float64 `json:"pareto_us"`
+	FrontierPlans    int     `json:"frontier_plans"`
+	MinPeakKB        float64 `json:"min_peak_kb"`
+	MinPeakM4Ms      float64 `json:"min_peak_m4_ms"`
+	MinPeakM7Ms      float64 `json:"min_peak_m7_ms"`
+	MinPeakM4MJ      float64 `json:"min_peak_m4_mj"`
+	LatencyOptKB     float64 `json:"latency_opt_kb"`
+	LatencyOptM4Ms   float64 `json:"latency_opt_m4_ms"`
+	LatencyOptM7Ms   float64 `json:"latency_opt_m7_ms"`
+	LatencyOptM4MJ   float64 `json:"latency_opt_m4_mj"`
+	LatencyOptRecomp int     `json:"latency_opt_recomputed_rows"`
+}
+
+// Snapshot is the full benchmark artifact. Serving is nil in -quick mode
+// (the smoke run skips the verification flood).
 type Snapshot struct {
 	Networks []NetworkSnapshot `json:"networks"`
-	Serving  ServingSnapshot   `json:"serving"`
+	Costs    []CostSnapshot    `json:"costs"`
+	Serving  *ServingSnapshot  `json:"serving,omitempty"`
 }
 
 // servingRequests sizes the fixed serving workload.
@@ -131,8 +153,58 @@ func measureServing() (ServingSnapshot, error) {
 	return snap, nil
 }
 
-func measure(net graph.Network) (NetworkSnapshot, error) {
-	const coldRounds = 5
+// measureCost times the Pareto enumeration and prices the frontier's two
+// endpoints on both boards.
+func measureCost(net graph.Network) (CostSnapshot, error) {
+	m4, m7 := mcu.CortexM4(), mcu.CortexM7()
+	t0 := time.Now()
+	vs, err := netplan.Pareto(m4, net, netplan.Options{})
+	if err != nil {
+		return CostSnapshot{}, err
+	}
+	elapsed := float64(time.Since(t0).Microseconds())
+	memOpt, latOpt := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v.Plan.PeakBytes < memOpt.Plan.PeakBytes {
+			memOpt = v
+		}
+		if v.Est.Cycles < latOpt.Est.Cycles {
+			latOpt = v
+		}
+	}
+	// A failed estimate is a hard error: zeros in the archived snapshot
+	// would read as a plausible measurement, not a regression.
+	price := func(v netplan.Variant, prof mcu.Profile) (float64, float64, error) {
+		est, err := netplan.EstimatePlan(prof, net, v.Plan)
+		if err != nil {
+			return 0, 0, fmt.Errorf("estimate %s: %w", v.Desc, err)
+		}
+		return 1e3 * est.LatencySeconds, 1e3 * est.EnergyJoules, nil
+	}
+	s := CostSnapshot{
+		Network:          net.Name,
+		ParetoMicros:     elapsed,
+		FrontierPlans:    len(vs),
+		MinPeakKB:        eval.KB(memOpt.Plan.PeakBytes),
+		LatencyOptKB:     eval.KB(latOpt.Plan.PeakBytes),
+		LatencyOptRecomp: latOpt.RecomputedRows,
+	}
+	if s.MinPeakM4Ms, s.MinPeakM4MJ, err = price(memOpt, m4); err != nil {
+		return CostSnapshot{}, err
+	}
+	if s.MinPeakM7Ms, _, err = price(memOpt, m7); err != nil {
+		return CostSnapshot{}, err
+	}
+	if s.LatencyOptM4Ms, s.LatencyOptM4MJ, err = price(latOpt, m4); err != nil {
+		return CostSnapshot{}, err
+	}
+	if s.LatencyOptM7Ms, _, err = price(latOpt, m7); err != nil {
+		return CostSnapshot{}, err
+	}
+	return s, nil
+}
+
+func measure(net graph.Network, coldRounds, cachedRounds int) (NetworkSnapshot, error) {
 	t0 := time.Now()
 	var np *netplan.NetworkPlan
 	var err error
@@ -142,20 +214,19 @@ func measure(net graph.Network) (NetworkSnapshot, error) {
 			return NetworkSnapshot{}, err
 		}
 	}
-	cold := float64(time.Since(t0).Microseconds()) / coldRounds
+	cold := float64(time.Since(t0).Microseconds()) / float64(coldRounds)
 
 	cache := netplan.NewCache()
 	if _, _, err := cache.Plan(net, netplan.Options{}); err != nil {
 		return NetworkSnapshot{}, err
 	}
-	const cachedRounds = 1000
 	t1 := time.Now()
 	for i := 0; i < cachedRounds; i++ {
 		if _, hit, err := cache.Plan(net, netplan.Options{}); err != nil || !hit {
 			return NetworkSnapshot{}, fmt.Errorf("cache miss on warmed key (hit=%v err=%v)", hit, err)
 		}
 	}
-	cached := float64(time.Since(t1).Microseconds()) / cachedRounds
+	cached := float64(time.Since(t1).Microseconds()) / float64(cachedRounds)
 
 	disjoint, err := netplan.Plan(net, netplan.Options{Handoff: netplan.HandoffDisjoint})
 	if err != nil {
@@ -183,23 +254,36 @@ func measure(net graph.Network) (NetworkSnapshot, error) {
 
 func main() {
 	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+	quick := flag.Bool("quick", false, "CI smoke mode: fewer plan rounds, skip the serving flood")
 	flag.Parse()
 
+	coldRounds, cachedRounds := 5, 1000
+	if *quick {
+		coldRounds, cachedRounds = 1, 50
+	}
 	snap := Snapshot{}
 	for _, net := range []graph.Network{graph.VWW(), graph.ImageNet()} {
-		s, err := measure(net)
+		s, err := measure(net, coldRounds, cachedRounds)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vmcu-bench: %s: %v\n", net.Name, err)
 			os.Exit(1)
 		}
 		snap.Networks = append(snap.Networks, s)
+		c, err := measureCost(net)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmcu-bench: %s cost: %v\n", net.Name, err)
+			os.Exit(1)
+		}
+		snap.Costs = append(snap.Costs, c)
 	}
-	sv, err := measureServing()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vmcu-bench: serving: %v\n", err)
-		os.Exit(1)
+	if !*quick {
+		sv, err := measureServing()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmcu-bench: serving: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Serving = &sv
 	}
-	snap.Serving = sv
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)

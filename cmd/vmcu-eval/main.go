@@ -8,7 +8,8 @@
 //	vmcu-eval -experiment fig9,fig10,table3
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, table3, fig11,
-// fig12.
+// fig12, cost (the whole-network latency/energy comparison from the
+// analytic cost model — the paper's Figure 7/9 reduction trend).
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "comma-separated experiments to run (all, table1, table2, fig7, fig8, fig9, fig10, table3, fig11, fig12, ablations)")
+	which := flag.String("experiment", "all", "comma-separated experiments to run (all, table1, table2, fig7, fig8, fig9, fig10, table3, fig11, fig12, cost, ablations)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -75,6 +76,13 @@ func main() {
 	}
 	if sel("fig12") {
 		fmt.Println(eval.RenderScaling("Figure 12: iso-memory channel increase vs TinyEngine budget", eval.Figure12()))
+	}
+	if sel("cost") {
+		rows, err := eval.NetworkCosts()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.RenderNetworkCosts(rows))
 	}
 	if sel("ablations") {
 		fmt.Println(eval.RenderSegmentSweep(20, 20, 48, 24,

@@ -14,6 +14,8 @@
 //	vmcu-plan -network imagenet -split=false
 //	vmcu-plan -network imagenet -split-depth 2 -split-patches 8
 //	vmcu-plan -network imagenet -handoff disjoint
+//	vmcu-plan -network imagenet -objective latency -budget 131072
+//	vmcu-plan -network imagenet -objective pareto -cost-profile m7
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/baseline"
 	"github.com/vmcu-project/vmcu/internal/eval"
 	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
@@ -38,6 +41,9 @@ func main() {
 	splitMax := flag.Int("split-max", 0, "cap the searched patch counts (0 = default)")
 	handoff := flag.String("handoff", "stream",
 		"non-connectable boundary mode (-network): stream seam kernels where possible, or disjoint")
+	objective := flag.String("objective", "peak",
+		"schedule objective (-network): peak (min RAM), latency (min est. cycles under -budget), or pareto (print the whole frontier)")
+	costProf := flag.String("cost-profile", "m4", "profile pricing the cost model: m4 or m7")
 	hw := flag.Int("hw", 80, "image height/width (pointwise, conv, dw, module)")
 	m := flag.Int("m", 1, "rows (fc)")
 	c := flag.Int("c", 16, "input channels / fc reduction dim")
@@ -72,18 +78,78 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown handoff mode %q (want stream or disjoint)\n", *handoff)
 			os.Exit(1)
 		}
+		var prof mcu.Profile
+		switch *costProf {
+		case "m4":
+			prof = mcu.CortexM4()
+		case "m7":
+			prof = mcu.CortexM7()
+		default:
+			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown cost profile %q (want m4 or m7)\n", *costProf)
+			os.Exit(1)
+		}
 		opts := netplan.Options{Handoff: hm, Split: netplan.SplitOptions{
 			Disable:    !*split,
 			Depth:      *splitDepth,
 			Patches:    *splitPatches,
 			MaxPatches: *splitMax,
 		}}
+		budgetSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "budget" {
+				budgetSet = true
+			}
+		})
+		switch *objective {
+		case "peak":
+		case "latency":
+			opts.Objective = netplan.MinLatency
+			opts.BudgetBytes = *budget
+			opts.CostProfile = prof
+		case "pareto":
+			// The frontier prints in full by default; -budget restricts it
+			// only when passed explicitly (the flag's default exists for
+			// the peak report's fits-budget verdict).
+			if budgetSet {
+				opts.BudgetBytes = *budget
+				fmt.Printf("Pareto frontier: %s under %.1f KB budget, priced on %s\n",
+					net.Name, eval.KB(*budget), prof.Name)
+			} else {
+				fmt.Printf("Pareto frontier: %s (unbounded), priced on %s\n", net.Name, prof.Name)
+			}
+			vs, err := netplan.Pareto(prof, net, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vmcu-plan: %v\n", err)
+				os.Exit(1)
+			}
+			for _, v := range vs {
+				fmt.Printf("  %-30s peak %6.1f KB  est %8.1f ms  %7.2f mJ  (%d halo rows recomputed)\n",
+					v.Desc, eval.KB(v.Plan.PeakBytes), 1e3*v.Est.LatencySeconds,
+					1e3*v.Est.EnergyJoules, v.RecomputedRows)
+			}
+			fmt.Printf("%d non-dominated plan(s); first is memory-optimal, last latency-optimal\n", len(vs))
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown objective %q (want peak, latency, or pareto)\n", *objective)
+			os.Exit(1)
+		}
 		rows, s, err := eval.NetworkScheduleWithOptions(net, *budget, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vmcu-plan: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(eval.RenderNetworkSchedule(rows, s, *budget))
+		if *objective == "latency" {
+			// Served from the process-wide cache: the eval render above
+			// already solved this exact key, so no second enumeration runs.
+			np, _, err := netplan.Default.Plan(net, opts)
+			if err == nil {
+				if est, err2 := netplan.EstimatePlan(prof, net, np); err2 == nil {
+					fmt.Printf("estimated on %s: %.1f ms, %.2f mJ (min-latency objective under the budget)\n",
+						prof.Name, 1e3*est.LatencySeconds, 1e3*est.EnergyJoules)
+				}
+			}
+		}
 		return
 	}
 

@@ -18,6 +18,8 @@
 //	vmcu-serve                                     # closed loop, m4+m7 fleet
 //	vmcu-serve -requests 128 -mix vww=7,imagenet=1 # heavier mixed closed loop
 //	vmcu-serve -open -rate 200 -duration 3s -dry   # admission-only open loop
+//	vmcu-serve -seed 42 -requests 64               # reproducible CI run
+//	vmcu-serve -pareto -latency-budget 600ms       # frontier variants + budget accounting
 //	vmcu-serve -o serve-snapshot.json              # write the JSON snapshot
 package main
 
@@ -46,20 +48,23 @@ type DeviceSnapshot struct {
 
 // Snapshot is the JSON artifact the load generator emits.
 type Snapshot struct {
-	Loop           string           `json:"loop"` // "closed" | "open"
-	Mode           string           `json:"mode"` // "verify" | "dry"
-	Mix            string           `json:"mix"`
-	Submitted      uint64           `json:"submitted"`
-	Completed      uint64           `json:"completed"`
-	Failed         uint64           `json:"failed"`
-	RejectedFull   uint64           `json:"rejected_queue_full"`
-	ShedDeadline   uint64           `json:"shed_deadline"`
-	SustainedRPS   float64          `json:"sustained_rps"`
-	LatencyP50Ms   float64          `json:"latency_p50_ms"`
-	LatencyP95Ms   float64          `json:"latency_p95_ms"`
-	LatencyP99Ms   float64          `json:"latency_p99_ms"`
-	QueueHighWater int              `json:"queue_high_water"`
-	Devices        []DeviceSnapshot `json:"devices"`
+	Loop            string           `json:"loop"` // "closed" | "open"
+	Mode            string           `json:"mode"` // "verify" | "dry"
+	Mix             string           `json:"mix"`
+	Submitted       uint64           `json:"submitted"`
+	Completed       uint64           `json:"completed"`
+	Failed          uint64           `json:"failed"`
+	RejectedFull    uint64           `json:"rejected_queue_full"`
+	ShedDeadline    uint64           `json:"shed_deadline"`
+	VariantUpgrades uint64           `json:"variant_upgrades"`
+	BudgetMet       uint64           `json:"latency_budget_met"`
+	BudgetMissed    uint64           `json:"latency_budget_missed"`
+	SustainedRPS    float64          `json:"sustained_rps"`
+	LatencyP50Ms    float64          `json:"latency_p50_ms"`
+	LatencyP95Ms    float64          `json:"latency_p95_ms"`
+	LatencyP99Ms    float64          `json:"latency_p99_ms"`
+	QueueHighWater  int              `json:"queue_high_water"`
+	Devices         []DeviceSnapshot `json:"devices"`
 }
 
 // parseFleet turns "m4,m7,m7" into device configs with unique names.
@@ -125,6 +130,9 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "open loop: generation window")
 	dry := flag.Bool("dry", false, "admission-only dry runs (no kernel execution)")
 	deadline := flag.Duration("deadline", 0, "per-request admission deadline (0 = none)")
+	seed := flag.Int64("seed", 0, "base verification seed; request i runs seed+i, so runs are reproducible")
+	pareto := flag.Bool("pareto", false, "register each model's Pareto plan-variant frontier (admission picks the fastest fitting variant)")
+	latencyBudget := flag.Duration("latency-budget", 0, "per-request on-device inference budget in simulated device time (0 = none)")
 	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
 	flag.Parse()
 
@@ -150,15 +158,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := s.Register("vww", vmcu.VWW(), vmcu.ServeModelConfig{}); err != nil {
+	mdlCfg := vmcu.ServeModelConfig{Pareto: *pareto, LatencyBudget: *latencyBudget}
+	if err := s.Register("vww", vmcu.VWW(), mdlCfg); err != nil {
 		fatal(err)
 	}
-	if err := s.Register("imagenet", vmcu.ImageNet(), vmcu.ServeModelConfig{}); err != nil {
+	if err := s.Register("imagenet", vmcu.ImageNet(), mdlCfg); err != nil {
 		fatal(err)
 	}
 
 	submit := func(i int) (*vmcu.Ticket, error) {
-		opts := vmcu.SubmitOptions{Seed: int64(i)}
+		opts := vmcu.SubmitOptions{Seed: *seed + int64(i)}
 		if *deadline > 0 {
 			opts.Deadline = time.Now().Add(*deadline)
 		}
@@ -216,19 +225,22 @@ func main() {
 
 	m := s.Metrics()
 	snap := Snapshot{
-		Loop:           "closed",
-		Mode:           "verify",
-		Mix:            *mixSpec,
-		Submitted:      m.Submitted,
-		Completed:      m.Completed,
-		Failed:         m.Failed,
-		RejectedFull:   m.RejectedQueueFull,
-		ShedDeadline:   m.ShedDeadline,
-		SustainedRPS:   float64(m.Completed) / elapsed.Seconds(),
-		LatencyP50Ms:   float64(m.LatencyP50.Microseconds()) / 1e3,
-		LatencyP95Ms:   float64(m.LatencyP95.Microseconds()) / 1e3,
-		LatencyP99Ms:   float64(m.LatencyP99.Microseconds()) / 1e3,
-		QueueHighWater: m.QueueHighWater,
+		Loop:            "closed",
+		Mode:            "verify",
+		Mix:             *mixSpec,
+		Submitted:       m.Submitted,
+		Completed:       m.Completed,
+		Failed:          m.Failed,
+		RejectedFull:    m.RejectedQueueFull,
+		ShedDeadline:    m.ShedDeadline,
+		VariantUpgrades: m.VariantUpgrades,
+		BudgetMet:       m.LatencyBudgetMet,
+		BudgetMissed:    m.LatencyBudgetMissed,
+		SustainedRPS:    float64(m.Completed) / elapsed.Seconds(),
+		LatencyP50Ms:    float64(m.LatencyP50.Microseconds()) / 1e3,
+		LatencyP95Ms:    float64(m.LatencyP95.Microseconds()) / 1e3,
+		LatencyP99Ms:    float64(m.LatencyP99.Microseconds()) / 1e3,
+		QueueHighWater:  m.QueueHighWater,
 	}
 	if *open {
 		snap.Loop = "open"

@@ -1,0 +1,98 @@
+// Pareto: navigate the memory↔latency frontier of a whole-network
+// schedule. The planner's default objective minimizes peak SRAM — on
+// ImageNet that means spatial patch splitting with halo recompute, which
+// costs cycles. The analytic cost model (vmcu.EstimateCost) prices every
+// candidate schedule without executing it, so the scheduler can instead
+// return the full non-dominated (peak bytes, est. cycles, est. energy)
+// set, pick the fastest plan under a byte budget, and let a serving fleet
+// upgrade requests to faster variants whenever pool bytes are spare.
+//
+//	go run ./examples/pareto
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vmcu-project/vmcu"
+)
+
+func main() {
+	m4 := vmcu.CortexM4()
+	net := vmcu.ImageNet()
+
+	// 1. The memory-optimal schedule and its predicted cost.
+	minPeak, err := vmcu.PlanNetworkWithOptions(net, vmcu.ScheduleOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := vmcu.EstimateCost(m4, net, minPeak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min-peak schedule: %.1f KB peak, est. %.1f ms / %.2f mJ on the M4\n",
+		vmcu.KB(minPeak.PeakBytes), 1e3*est.LatencySeconds, 1e3*est.EnergyJoules)
+
+	// 2. The whole frontier: every non-dominated schedule between
+	// memory-optimal and latency-optimal.
+	frontier, err := vmcu.PlanNetworkPareto(m4, net, vmcu.ScheduleOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPareto frontier (%d plans):\n", len(frontier))
+	for _, v := range frontier {
+		fmt.Printf("  %-30s %6.1f KB  %8.1f ms  %d halo rows recomputed\n",
+			v.Desc, vmcu.KB(v.Plan.PeakBytes), 1e3*v.Est.LatencySeconds, v.RecomputedRows)
+	}
+
+	// 3. The fastest schedule that still fits the M4's 128 KB.
+	fast, err := vmcu.PlanNetworkWithOptions(net, vmcu.ScheduleOptions{
+		Objective:   vmcu.ObjectiveMinLatency,
+		BudgetBytes: m4.RAMBytes(),
+		CostProfile: m4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	estFast, err := vmcu.EstimateCost(m4, net, fast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmin-latency under %d KB: %.1f KB peak, est. %.1f ms (%.1f%% faster than min-peak)\n",
+		m4.RAMBytes()/1024, vmcu.KB(fast.PeakBytes), 1e3*estFast.LatencySeconds,
+		100*(1-estFast.LatencySeconds/est.LatencySeconds))
+	if estFast.LatencySeconds > est.LatencySeconds {
+		log.Fatalf("min-latency schedule slower than min-peak (%.1f > %.1f ms)",
+			1e3*estFast.LatencySeconds, 1e3*est.LatencySeconds)
+	}
+
+	// 4. Serving with the frontier registered: a roomy device upgrades the
+	// request to the fastest fitting variant; the metrics account it.
+	srv, err := vmcu.NewServer(vmcu.ServeOptions{
+		Devices: []vmcu.ServeDevice{{Name: "m7", Profile: vmcu.CortexM7()}},
+		Mode:    vmcu.ExecDryRun,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Register("imagenet", net, vmcu.ServeModelConfig{Pareto: true}); err != nil {
+		log.Fatal(err)
+	}
+	tk, err := srv.Submit("imagenet", vmcu.SubmitOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tk.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("\nserved with variant %q: %.1f KB reserved, est. %v on-device (%d upgrade)\n",
+		res.Variant, vmcu.KB(res.PeakBytes), res.EstimatedLatency, m.VariantUpgrades)
+	if m.VariantUpgrades != 1 {
+		log.Fatalf("expected the roomy device to upgrade the variant, got %d", m.VariantUpgrades)
+	}
+}

@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestMainRuns is the smoke wrapper CI relies on: the example must run
+// to completion (a failure path calls log.Fatal, which fails the test
+// binary), so the Pareto walkthrough cannot rot silently.
+func TestMainRuns(t *testing.T) { main() }

@@ -47,13 +47,20 @@ func NetworkSchedule(net graph.Network, budgetBytes int) ([]SchedRow, SchedSumma
 }
 
 // NetworkScheduleWithOptions is NetworkSchedule with explicit scheduler
-// options (forced policies, split pinning). opts.BudgetBytes is ignored in
-// favour of budgetBytes, and unlike netplan.Plan an over-budget schedule
-// is not an error here: the report still renders, with FitsBudget false —
-// the eval surface exists to show exactly that case.
+// options (forced policies, split pinning). Under the default min-peak
+// objective opts.BudgetBytes is ignored in favour of budgetBytes, and
+// unlike netplan.Plan an over-budget schedule is not an error here: the
+// report still renders, with FitsBudget false — the eval surface exists to
+// show exactly that case. The min-latency objective keeps its budget: the
+// bytes are part of the objective itself, not just a feasibility check.
 func NetworkScheduleWithOptions(net graph.Network, budgetBytes int, opts netplan.Options) ([]SchedRow, SchedSummary, error) {
-	opts.BudgetBytes = 0
-	np, err := netplan.Plan(net, opts)
+	if opts.Objective == netplan.MinPeak {
+		opts.BudgetBytes = 0
+	}
+	// Through the process-wide cache: a CLI that renders the schedule and
+	// then estimates the same key pays for one solve, not two (plans are
+	// read-only, so sharing is safe).
+	np, _, err := netplan.Default.Plan(net, opts)
 	if err != nil {
 		return nil, SchedSummary{}, err
 	}

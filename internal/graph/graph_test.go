@@ -182,12 +182,25 @@ func RunModuleOrDie(t *testing.T, cfg plan.Bottleneck) ExecResult {
 }
 
 func TestRunModuleUnfusedRejectsUnsupported(t *testing.T) {
-	if _, err := RunModuleUnfused(mcu.CortexM4(), VWW().Modules[0], 1); err == nil {
-		t.Error("residual module accepted")
-	}
 	b1 := ImageNet().Modules[0] // conv1 stride 2
 	if _, err := RunModuleUnfused(mcu.CortexM4(), b1, 1); err == nil {
 		t.Error("strided pointwise accepted")
+	}
+}
+
+func TestRunModuleUnfusedResidual(t *testing.T) {
+	// A residual module runs per-layer too: conv1 keeps A pinned disjoint,
+	// the chain ends in the elementwise add, and the result is bit-exact
+	// against the golden composition including the skip connection.
+	r, err := RunModuleUnfused(mcu.CortexM4(), VWW().Modules[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputOK {
+		t.Error("residual unfused output mismatched the golden composition")
+	}
+	if r.Violations != 0 {
+		t.Errorf("%d shadow-state violations (the pinned A was clobbered?)", r.Violations)
 	}
 }
 

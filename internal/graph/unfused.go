@@ -11,26 +11,26 @@ import (
 	"github.com/vmcu-project/vmcu/internal/seg"
 )
 
-// RunModuleUnfused executes the three layers of a non-residual,
-// pointwise-stride-1 inverted bottleneck separately — each with its own
-// §4 single-layer plan — chained through one circular pool with the
-// offsets solved by plan.PlanChain (the Eq. 2 difference system). The
-// intermediate expansion tensor materializes in full, which is exactly
-// what the fused kernel avoids; this is the fusion ablation.
+// RunModuleUnfused executes the layers of a pointwise-stride-1 inverted
+// bottleneck separately — each with its own §4 single-layer plan — chained
+// through one circular pool with the offsets solved by plan.PlanChain (the
+// Eq. 2 difference system). The intermediate expansion tensor materializes
+// in full, which is exactly what the fused kernel avoids; this is the
+// fusion ablation, and — because it computes each expansion pixel once
+// instead of once per depthwise window row — the latency end of the
+// scheduler's policy tradeoff. A residual module pins its input disjoint
+// above the chain (conv1 keeps it) and finishes with the elementwise add
+// writing E over D's storage.
 func RunModuleUnfused(profile mcu.Profile, cfg plan.Bottleneck, seed int64) (ExecResult, error) {
-	if cfg.Residual() {
-		return ExecResult{}, fmt.Errorf("graph: unfused execution does not support residual modules (%s)", cfg.Name)
+	stages, eligible := plan.UnfusedStages(cfg)
+	if !eligible {
+		return ExecResult{}, fmt.Errorf("graph: module %s does not support unfused execution (strided pointwise or unchainable segments)", cfg.Name)
 	}
-	if cfg.S1 != 1 || cfg.S3 != 1 {
-		return ExecResult{}, fmt.Errorf("graph: unfused execution supports stride-1 pointwise convs only (%s)", cfg.Name)
-	}
+	residual := cfg.Residual()
 	h1, w1, h2, w2, _, _ := cfg.Grids()
 	pad := cfg.Pad()
-
-	p1 := plan.Pointwise(cfg.H, cfg.W, cfg.Cin, cfg.Cmid)
-	pd := plan.Depthwise(h1, w1, cfg.Cmid, cfg.R, cfg.S, cfg.S2, pad)
-	p2 := plan.Pointwise(h2, w2, cfg.Cmid, cfg.Cout)
-	chain, err := plan.PlanChainWithin([]plan.Plan{p1, pd, p2}, profile.RAMBytes())
+	p1, pd, p2 := stages[0], stages[1], stages[2]
+	chain, err := plan.PlanChainWithin(stages, profile.RAMBytes())
 	if err != nil {
 		return ExecResult{}, fmt.Errorf("graph: unfused %s: %w", cfg.Name, err)
 	}
@@ -47,7 +47,8 @@ func RunModuleUnfused(profile mcu.Profile, cfg plan.Bottleneck, seed int64) (Exe
 	}
 	ctx := intrin.NewCtx(dev, pool)
 
-	conv1 := &kernels.Pointwise{H: cfg.H, W: cfg.W, C: cfg.Cin, K: cfg.Cmid, Req: wt.Req1}
+	conv1 := &kernels.Pointwise{H: cfg.H, W: cfg.W, C: cfg.Cin, K: cfg.Cmid, Req: wt.Req1,
+		KeepInput: residual}
 	if conv1.Weight, err = kernels.PackInt8(dev, wt.W1); err != nil {
 		return ExecResult{}, err
 	}
@@ -88,10 +89,18 @@ func RunModuleUnfused(profile mcu.Profile, cfg plan.Bottleneck, seed int64) (Exe
 	if err != nil {
 		return ExecResult{}, err
 	}
+	outPl := dPl
+	if residual {
+		add := &kernels.Add{N: dPl.Bytes}
+		outPl, err = add.Run(ctx, dPl, aPl)
+		if err != nil {
+			return ExecResult{}, err
+		}
+	}
 
-	got := kernels.Extract(ctx, dPl)
+	got := kernels.Extract(ctx, outPl)
 	want := kernels.GoldenBottleneck(in, cfg.H, cfg.W, cfg.Cin, cfg.Cmid, cfg.Cout,
-		cfg.R, cfg.S, cfg.S1, cfg.S2, cfg.S3, wt, false)
+		cfg.R, cfg.S, cfg.S1, cfg.S2, cfg.S3, wt, residual)
 	ok := len(got) == len(want)
 	if ok {
 		for i := range want {

@@ -22,6 +22,11 @@ type FC struct {
 	Weight  mcu.FlashRef
 	Bias    mcu.FlashRef
 	Req     tensor.Requant
+	// KeepInput suppresses the streaming input-row frees: the caller keeps
+	// the input tensor live past this kernel (a residual chain's conv1,
+	// whose input the skip add still needs). The plan must then hold the
+	// output disjoint from the input.
+	KeepInput bool
 }
 
 // Validate checks dimensions against the §5.3 segment-size rule.
@@ -91,9 +96,12 @@ func (f *FC) Run(c *intrin.Ctx, p plan.Plan, in Placement) (Placement, error) {
 			}
 			c.RAMStore(outOff+m*f.N+n0, oBuf, outID, m*f.N+n0)
 		}
-		// Free the consumed input row (paper: RAMFree after the n loop).
-		for ks := 0; ks < kSegs; ks++ {
-			c.RAMFree(in.Off+m*f.K+ks*seg, seg, in.ID)
+		// Free the consumed input row (paper: RAMFree after the n loop),
+		// unless the caller still needs the input tensor.
+		if !f.KeepInput {
+			for ks := 0; ks < kSegs; ks++ {
+				c.RAMFree(in.Off+m*f.K+ks*seg, seg, in.ID)
+			}
 		}
 	}
 	return Placement{ID: outID, Off: outOff, Bytes: f.M * f.N}, nil
@@ -106,6 +114,8 @@ type Pointwise struct {
 	Weight     mcu.FlashRef // [K][C]
 	Bias       mcu.FlashRef // [K] int32
 	Req        tensor.Requant
+	// KeepInput passes through to the FC kernel: no input-row frees.
+	KeepInput bool
 }
 
 // Plan returns the §4 memory plan for this layer.
@@ -113,7 +123,8 @@ func (pw *Pointwise) Plan() plan.Plan { return plan.Pointwise(pw.H, pw.W, pw.C, 
 
 // Run executes the pointwise convolution via the FC kernel.
 func (pw *Pointwise) Run(c *intrin.Ctx, p plan.Plan, in Placement) (Placement, error) {
-	fc := &FC{M: pw.H * pw.W, K: pw.C, N: pw.K, Weight: pw.Weight, Bias: pw.Bias, Req: pw.Req}
+	fc := &FC{M: pw.H * pw.W, K: pw.C, N: pw.K, Weight: pw.Weight, Bias: pw.Bias,
+		Req: pw.Req, KeepInput: pw.KeepInput}
 	out, err := fc.Run(c, p, in)
 	if err != nil {
 		return Placement{}, fmt.Errorf("pointwise %dx%d c%d k%d: %w", pw.H, pw.W, pw.C, pw.K, err)

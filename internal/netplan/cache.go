@@ -65,10 +65,16 @@ func NewCacheWithCap(capEntries int) *Cache {
 // Default is the package-level cache used by the public vmcu API.
 var Default = NewCache()
 
-// Key builds the deterministic cache key for a network/options pair.
+// Key builds the deterministic cache key for a network/options pair. Every
+// field that can change the solved plan is covered: the budget, the split
+// pinning, the handoff mode, the objective, and — because MinLatency picks
+// its schedule by priced cycles — the full cost-profile coefficients (a
+// zero profile and an explicit CortexM4 are distinct keys for the same
+// plan, a harmless split).
 func Key(net graph.Network, opts Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|budget=%d|split=%+v|handoff=%v", net.Name, opts.BudgetBytes, opts.Split, opts.Handoff)
+	fmt.Fprintf(&b, "%s|budget=%d|split=%+v|handoff=%v|objective=%v|costprofile=%+v",
+		net.Name, opts.BudgetBytes, opts.Split, opts.Handoff, opts.Objective, opts.CostProfile)
 	for _, m := range net.Modules {
 		fmt.Fprintf(&b, "|%+v", m)
 	}

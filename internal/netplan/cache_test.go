@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
@@ -103,5 +104,53 @@ func TestCacheBoundedConcurrent(t *testing.T) {
 	// Evicting never loses correctness, only work: every key re-solves.
 	if _, _, err := c.Plan(tinyNet(4), Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCacheKeyCoversObjectiveFields is the same class of bug the Handoff
+// field fix closed: every objective-bearing option must reach the cache
+// key, or a min-latency plan could be served where a min-peak plan was
+// asked for (and vice versa).
+func TestCacheKeyCoversObjectiveFields(t *testing.T) {
+	net := graph.ImageNet()
+	base := Options{}
+	distinct := []Options{
+		{Objective: MinLatency},
+		{Objective: MinLatency, CostProfile: mcu.CortexM7()},
+		{Objective: MinLatency, BudgetBytes: 70000},
+		{BudgetBytes: 70000},
+	}
+	seen := map[string]Options{Key(net, base): base}
+	for _, o := range distinct {
+		k := Key(net, o)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("options %+v collide with %+v under key %q", o, prev, k)
+		}
+		seen[k] = o
+	}
+
+	// And the collision would be observable: the two objectives solve to
+	// different plans, so a shared cache must hand back different results.
+	cache := NewCache()
+	peak, _, err := cache.Plan(net, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, hit, err := cache.Plan(net, Options{Objective: MinLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("min-latency request served from the min-peak entry")
+	}
+	if peak.Fingerprint() == lat.Fingerprint() {
+		t.Fatal("objectives produced identical plans; collision test is vacuous")
+	}
+	again, hit, err := cache.Plan(net, Options{Objective: MinLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || again.Fingerprint() != lat.Fingerprint() {
+		t.Errorf("min-latency entry not memoized under its own key (hit=%v)", hit)
 	}
 }

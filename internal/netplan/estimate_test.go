@@ -1,0 +1,282 @@
+package netplan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+// sumExecuted adds up the device counters of every unit a run executed.
+func sumExecuted(res *RunResult) mcu.Stats {
+	var st mcu.Stats
+	for _, r := range res.Modules {
+		st.Add(r.Stats)
+	}
+	for _, r := range res.Seams {
+		st.Add(r.Stats)
+	}
+	return st
+}
+
+// TestEstimateMatchesExecutedCounters is the validation contract of the
+// cost model: across every scheduling policy and both handoff modes, the
+// analytic estimate's executed portion must land within ±10% of the summed
+// device cycle/energy counters of a real run, on both boards. The replay
+// estimators are in fact bit-exact, which the count equality asserts — the
+// tolerance is the stated contract future kernel changes must keep.
+func TestEstimateMatchesExecutedCounters(t *testing.T) {
+	cases := []struct {
+		name string
+		net  graph.Network
+		opts Options
+	}{
+		// VWW schedules fused+unfused mixes with streamed seams.
+		{"vww-stream", graph.VWW(), Options{}},
+		{"vww-disjoint", graph.VWW(), Options{Handoff: HandoffDisjoint}},
+		// Forced baseline and unfused policies on the eligible S3.
+		{"vww-forced", graph.VWW(), Options{Force: map[string]Policy{
+			"S3": PolicyUnfused, "S6": PolicyBaseline}}},
+		// ImageNet adopts the patch-split region and keeps one
+		// non-streamable boundary (B12>B13) as glue in both modes.
+		{"imagenet-stream", graph.ImageNet(), Options{}},
+		{"imagenet-disjoint", graph.ImageNet(), Options{Handoff: HandoffDisjoint}},
+		{"imagenet-nosplit", graph.ImageNet(), Options{Split: SplitOptions{Disable: true}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cache := NewCache()
+			res, err := Run(mcu.CortexM7(), tc.net, 21, tc.opts, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllVerified || res.Violations != 0 {
+				t.Fatalf("run failed verification (ok=%v violations=%d)", res.AllVerified, res.Violations)
+			}
+			measured := sumExecuted(res)
+			for _, prof := range []mcu.Profile{mcu.CortexM4(), mcu.CortexM7()} {
+				est, err := EstimatePlan(prof, tc.net, res.Plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if est.Executed != measured {
+					t.Errorf("%s: executed counts diverge\nestimate %+v\nmeasured %+v",
+						prof.Name, est.Executed, measured)
+				}
+				for _, q := range []struct {
+					metric string
+					g, w   float64
+				}{
+					{"cycles", est.ExecutedCycles, measured.Cycles(prof)},
+					{"energy", est.ExecutedEnergyJoules, measured.EnergyJoules(prof)},
+				} {
+					if rel := q.g/q.w - 1; rel > 0.10 || rel < -0.10 {
+						t.Errorf("%s %s: estimate %.4g vs measured %.4g (%.1f%% off, tolerance ±10%%)",
+							prof.Name, q.metric, q.g, q.w, 100*rel)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEstimateSeparatesGlueFromExecuted(t *testing.T) {
+	// Under HandoffDisjoint every handoff is modeled glue; under
+	// HandoffStream only the non-streamable boundary remains. Glue never
+	// enters the executed (validated) portion, but the total — what a real
+	// deployment would run — always includes the boundary work.
+	net := graph.ImageNet()
+	prof := mcu.CortexM4()
+	stream, err := Plan(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint, err := Plan(net, Options{Handoff: HandoffDisjoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estS, err := EstimatePlan(prof, net, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estD, err := EstimatePlan(prof, net, disjoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estS.Glue.Cycles(prof) == 0 {
+		t.Error("streamed ImageNet plan must still model the non-streamable B12>B13 glue")
+	}
+	if estD.Glue.Cycles(prof) <= estS.Glue.Cycles(prof) {
+		t.Errorf("disjoint glue %.0f must exceed streamed glue %.0f",
+			estD.Glue.Cycles(prof), estS.Glue.Cycles(prof))
+	}
+	glueUnits := 0
+	for _, u := range estD.Units {
+		if u.Kind == "glue" {
+			if u.Executed {
+				t.Errorf("glue unit %s marked executed", u.Name)
+			}
+			glueUnits++
+		}
+	}
+	if glueUnits != disjoint.Handoffs {
+		t.Errorf("%d glue units for %d handoffs", glueUnits, disjoint.Handoffs)
+	}
+}
+
+// TestParetoFrontierImageNet is the acceptance bar: the frontier holds at
+// least three non-dominated plans, its memory-optimal plan is the 66.0 KB
+// split schedule with 125 recomputed halo rows, and the latency-optimal
+// plan buys its speed with strictly fewer recomputed rows.
+func TestParetoFrontierImageNet(t *testing.T) {
+	net := graph.ImageNet()
+	vs, err := Pareto(mcu.CortexM4(), net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) < 3 {
+		t.Fatalf("frontier has %d plans, want ≥ 3", len(vs))
+	}
+	memOpt, latOpt := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v.Plan.PeakBytes < memOpt.Plan.PeakBytes {
+			memOpt = v
+		}
+		if v.Est.Cycles < latOpt.Est.Cycles {
+			latOpt = v
+		}
+	}
+	minPeak, err := Plan(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memOpt.Plan.PeakBytes != minPeak.PeakBytes {
+		t.Errorf("frontier memory-optimal peak %d, scheduler's min-peak %d",
+			memOpt.Plan.PeakBytes, minPeak.PeakBytes)
+	}
+	if memOpt.Plan.PeakBytes != 65968 { // the 66.0 KB schedule of the peak table
+		t.Errorf("memory-optimal peak %d bytes, want 65968 (66.0 KB)", memOpt.Plan.PeakBytes)
+	}
+	if memOpt.RecomputedRows != 125 {
+		t.Errorf("memory-optimal recomputes %d rows, want 125", memOpt.RecomputedRows)
+	}
+	if latOpt.RecomputedRows >= memOpt.RecomputedRows {
+		t.Errorf("latency-optimal recomputes %d rows, not below the memory-optimal's %d",
+			latOpt.RecomputedRows, memOpt.RecomputedRows)
+	}
+	if latOpt.Est.Cycles >= memOpt.Est.Cycles {
+		t.Errorf("latency-optimal %.0f cycles not below memory-optimal %.0f",
+			latOpt.Est.Cycles, memOpt.Est.Cycles)
+	}
+	// Every frontier plan re-derives exactly through its pinned options —
+	// the property serve's variant execution depends on.
+	for _, v := range []Variant{memOpt, latOpt} {
+		np, err := Plan(net, v.Opts)
+		if err != nil {
+			t.Fatalf("%s: pinned re-solve failed: %v", v.Desc, err)
+		}
+		if np.Fingerprint() != v.Plan.Fingerprint() {
+			t.Errorf("%s: pinned options do not reproduce the frontier plan", v.Desc)
+		}
+	}
+	// No frontier member dominates another.
+	for i, a := range vs {
+		for j, b := range vs {
+			if i == j {
+				continue
+			}
+			if b.Plan.PeakBytes <= a.Plan.PeakBytes && b.Est.Cycles <= a.Est.Cycles &&
+				b.Est.EnergyJoules <= a.Est.EnergyJoules &&
+				(b.Plan.PeakBytes < a.Plan.PeakBytes || b.Est.Cycles < a.Est.Cycles ||
+					b.Est.EnergyJoules < a.Est.EnergyJoules) {
+				t.Errorf("frontier member %q dominates %q", b.Desc, a.Desc)
+			}
+		}
+	}
+}
+
+func TestMinLatencyObjective(t *testing.T) {
+	net := graph.ImageNet()
+	prof := mcu.CortexM4()
+	minPeak, err := Plan(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estPeak, err := EstimatePlan(prof, net, minPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbounded: the fastest schedule, paying peak bytes for it.
+	fast, err := Plan(net, Options{Objective: MinLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estFast, err := EstimatePlan(prof, net, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estFast.Cycles >= estPeak.Cycles {
+		t.Errorf("min-latency %.0f cycles not below min-peak %.0f", estFast.Cycles, estPeak.Cycles)
+	}
+	if fast.PeakBytes <= minPeak.PeakBytes {
+		t.Errorf("min-latency peak %d unexpectedly at/below min-peak %d (no tradeoff left?)",
+			fast.PeakBytes, minPeak.PeakBytes)
+	}
+
+	// Under the min-peak budget: latency objective must respect the bytes
+	// and can only pick schedules that fit — including the min-peak one.
+	tight, err := Plan(net, Options{Objective: MinLatency, BudgetBytes: minPeak.PeakBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.PeakBytes > minPeak.PeakBytes {
+		t.Errorf("budgeted min-latency peak %d exceeds budget %d", tight.PeakBytes, minPeak.PeakBytes)
+	}
+	estTight, err := EstimatePlan(prof, net, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estTight.Cycles > estPeak.Cycles {
+		t.Errorf("budgeted min-latency %.0f cycles above min-peak schedule's %.0f",
+			estTight.Cycles, estPeak.Cycles)
+	}
+
+	// An impossible budget fails, like the min-peak objective does.
+	if _, err := Plan(net, Options{Objective: MinLatency, BudgetBytes: 1024}); err == nil {
+		t.Error("1 KB budget must be infeasible")
+	}
+	if _, err := Plan(net, Options{Objective: Objective(99)}); err == nil {
+		t.Error("unknown objective must error")
+	}
+}
+
+func TestParetoRespectsPins(t *testing.T) {
+	net := graph.ImageNet()
+	prof := mcu.CortexM7()
+	vs, err := Pareto(prof, net, Options{Split: SplitOptions{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Plan.Split != nil {
+			t.Errorf("%s: split adopted with the split search disabled", v.Desc)
+		}
+	}
+	vs, err = Pareto(prof, net, Options{Split: SplitOptions{Depth: 2, Patches: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Plan.Split == nil || v.Plan.Split.Depth != 2 || v.Plan.Split.Patches != 8 {
+			t.Errorf("%s: pinned split 2×8 not honored: %+v", v.Desc, v.Plan.Split)
+		}
+	}
+	// The Disable+pin conflict surfaces as the same explicit error Plan
+	// raises, not as a misleading "no feasible candidate".
+	_, err = Pareto(prof, net, Options{Split: SplitOptions{Disable: true, Depth: 2}})
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Errorf("Disable+pinned split: got %v, want the options-conflict error", err)
+	}
+}

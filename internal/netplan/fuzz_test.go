@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/vmcu-project/vmcu/internal/cost"
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/plan"
@@ -114,6 +115,42 @@ func TestFuzzPlanAndRun(t *testing.T) {
 		}
 		if len(res.Seams) != np.StreamedHandoffs {
 			t.Fatalf("iter %d: %d seam results for %d streamed handoffs", iter, len(res.Seams), np.StreamedHandoffs)
+		}
+
+		// Invariant (cost model): the analytic estimate's executed portion
+		// reproduces the summed device counters of the run exactly — the
+		// random chains reach kernel geometry (tiny planes, w3 = 1 column
+		// caches, upsample glue) the Table-2 backbones never exercise.
+		est, err := EstimatePlan(profile, net, np)
+		if err != nil {
+			t.Fatalf("iter %d: estimate failed: %v", iter, err)
+		}
+		if measured := sumExecuted(res); est.Executed != measured {
+			t.Fatalf("iter %d %+v: estimate diverges from counters\nestimate %+v\nmeasured %+v",
+				iter, net.Modules, est.Executed, measured)
+		}
+
+		// Invariant (cost model): estimated cycles are monotone in the halo
+		// recompute and never fall below the zero-recompute lower bound.
+		if np.Split != nil {
+			region := np.Split.Plan
+			prevCycles, prevRows := 0.0, -1
+			for n := 2; n <= region.Spec.Patches; n++ {
+				sp, err := plan.PlanSplit(plan.SplitSpec{Modules: region.Spec.Modules, Patches: n})
+				if err != nil {
+					continue
+				}
+				cyc := cost.SplitRegion(sp).Cycles(profile)
+				if floor := cost.SplitRegionFloor(sp).Cycles(profile); cyc < floor {
+					t.Fatalf("iter %d: split ×%d estimate %.0f below zero-recompute floor %.0f",
+						iter, n, cyc, floor)
+				}
+				if sp.RecomputedRows > prevRows && cyc < prevCycles {
+					t.Fatalf("iter %d: split ×%d cycles %.0f fell while recompute rose to %d",
+						iter, n, cyc, sp.RecomputedRows)
+				}
+				prevCycles, prevRows = cyc, sp.RecomputedRows
+			}
 		}
 		executed++
 	}

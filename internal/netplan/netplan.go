@@ -40,6 +40,7 @@ import (
 
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/ilp"
+	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
@@ -241,6 +242,31 @@ type SplitOptions struct {
 // recompute grows while the windows shrink only marginally.
 const defaultMaxPatches = 32
 
+// Objective selects what the schedule search minimizes.
+type Objective int
+
+const (
+	// MinPeak (the default) minimizes the lifetime-aware network peak —
+	// the scheduler's original, memory-only objective.
+	MinPeak Objective = iota
+	// MinLatency minimizes the estimated execution cycles (the
+	// internal/cost model priced under Options.CostProfile) among the
+	// candidate schedules that fit Options.BudgetBytes — the
+	// "min latency under budget" point of the Pareto frontier. The full
+	// frontier itself is exposed by Pareto.
+	MinLatency
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinPeak:
+		return "min-peak"
+	case MinLatency:
+		return "min-latency"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}
+
 // Options configure the scheduler.
 type Options struct {
 	// BudgetBytes is the device RAM budget; 0 disables the check.
@@ -255,6 +281,21 @@ type Options struct {
 	// seam kernels where possible (HandoffStream, the default) or the
 	// fully disjoint glue placement everywhere (HandoffDisjoint).
 	Handoff HandoffMode
+	// Objective selects what the search minimizes: the network peak
+	// (MinPeak, the default) or the estimated cycles under the budget
+	// (MinLatency).
+	Objective Objective
+	// CostProfile prices the cost model for the MinLatency objective (and
+	// is part of the cache identity). The zero value means CortexM4.
+	CostProfile mcu.Profile
+}
+
+// costProfile resolves the pricing profile, defaulting to CortexM4.
+func (o Options) costProfile() mcu.Profile {
+	if o.CostProfile.ClockHz == 0 {
+		return mcu.CortexM4()
+	}
+	return o.CostProfile
 }
 
 // Plan schedules the network into one pool. It does not consult any cache;
@@ -294,6 +335,13 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 	if opts.Split.Disable && (opts.Split.Depth > 0 || opts.Split.Patches > 0) {
 		return nil, fmt.Errorf("netplan: split options conflict: Disable set together with pinned depth/patches (%d/%d)",
 			opts.Split.Depth, opts.Split.Patches)
+	}
+	switch opts.Objective {
+	case MinPeak:
+	case MinLatency:
+		return planMinLatency(net, opts)
+	default:
+		return nil, fmt.Errorf("netplan: unknown objective %v", opts.Objective)
 	}
 
 	base, err := solve(net, opts, nil)
@@ -507,11 +555,30 @@ func solve(net graph.Network, opts Options, sp *plan.SplitPlan) (*NetworkPlan, e
 		case PolicyUnfused:
 			names := [3]string{".B", ".C", ".out"}
 			kinds := [3]string{".conv1", ".dw", ".conv2"}
+			residual := cfg.Residual()
+			if residual {
+				names[2] = ".D"
+			}
+			in := cur
 			for si, sp := range ms.Plans {
 				out := addTensor(cfg.Name+names[si], sp.OutBytes)
 				constrain(cur, out, sp.GapBytes())
-				addStep(cfg.Name+kinds[si], mi, sp.WorkspaceBytes, cur, out)
+				live := []int{cur, out}
+				if residual && cur != in {
+					// The skip add pins A across the whole chain.
+					live = append(live, in)
+				}
+				addStep(cfg.Name+kinds[si], mi, sp.WorkspaceBytes, live...)
 				cur = out
+			}
+			if residual {
+				// The elementwise add writes E over D's storage (equality
+				// pair) while still reading the pinned input.
+				e := addTensor(cfg.Name+".out", np.Tensors[cur].Bytes)
+				constrain(cur, e, 0)
+				constrain(e, cur, 0)
+				addStep(cfg.Name+".add", mi, 0, in, cur, e)
+				cur = e
 			}
 		}
 		np.Modules = append(np.Modules, ms)
@@ -759,23 +826,11 @@ func scheduleModule(cfg plan.Bottleneck, forced Policy, hasForce bool) (ModuleSc
 }
 
 // UnfusedStages returns the three per-layer plans (conv1, depthwise, conv2)
-// of the module if per-layer execution is supported: non-residual, stride-1
-// pointwise convs, and stages whose segment layouts connect with the raw
-// tensor sizes (no segment padding at any seam).
+// of the module if per-layer execution is supported (plan.UnfusedStages:
+// stride-1 pointwise convs and zero-padding segment sizes; residual
+// modules qualify, running with a pinned input and an add tail).
 func UnfusedStages(cfg plan.Bottleneck) ([]plan.Plan, bool) {
-	if cfg.Residual() || cfg.S1 != 1 || cfg.S3 != 1 {
-		return nil, false
-	}
-	h1, w1, h2, w2, _, _ := cfg.Grids()
-	p1 := plan.Pointwise(cfg.H, cfg.W, cfg.Cin, cfg.Cmid)
-	pd := plan.Depthwise(h1, w1, cfg.Cmid, cfg.R, cfg.S, cfg.S2, cfg.Pad())
-	p2 := plan.Pointwise(h2, w2, cfg.Cmid, cfg.Cout)
-	a, bb, c, d, _ := cfg.TensorBytes()
-	if p1.InBytes != a || p1.OutBytes != bb || pd.InBytes != bb ||
-		pd.OutBytes != c || p2.InBytes != c || p2.OutBytes != d {
-		return nil, false
-	}
-	return []plan.Plan{p1, pd, p2}, true
+	return plan.UnfusedStages(cfg)
 }
 
 // BaselinePlan is the disjoint fallback placement: the fused kernel with a

@@ -196,9 +196,27 @@ func TestForcePolicy(t *testing.T) {
 		t.Errorf("forced plan peak %d below searched peak %d — search missed a better schedule",
 			np.PeakBytes, def.PeakBytes)
 	}
-	// S1 is residual: unfused execution is unsupported.
-	if _, err := Plan(net, Options{Force: map[string]Policy{"S1": PolicyUnfused}}); err == nil {
-		t.Error("forcing unfused on a residual module accepted")
+	// S1 is residual: unfused execution pins A disjoint above the chain
+	// plus the elementwise add, so the forced schedule carries the extra
+	// add step and can only peak higher than the searched plan.
+	res := planOK(t, net, Options{Force: map[string]Policy{"S1": PolicyUnfused}})
+	if res.Modules[0].Policy != PolicyUnfused {
+		t.Errorf("S1 forced unfused, got %v", res.Modules[0].Policy)
+	}
+	if res.PeakBytes < def.PeakBytes {
+		t.Errorf("residual-unfused plan peak %d below searched %d", res.PeakBytes, def.PeakBytes)
+	}
+	foundAdd := false
+	for _, st := range res.Steps {
+		if st.Name == "S1.add" {
+			foundAdd = true
+			if len(st.Live) != 3 {
+				t.Errorf("S1.add live set %v, want A, D and E", st.Live)
+			}
+		}
+	}
+	if !foundAdd {
+		t.Error("residual unfused schedule lacks the S1.add step")
 	}
 	// Forcing a module that does not exist is an error, not a silent no-op.
 	if _, err := Plan(net, Options{Force: map[string]Policy{"S9": PolicyFused}}); err == nil {
@@ -254,8 +272,8 @@ func TestBaselinePlanDisjoint(t *testing.T) {
 // TestUnfusedStagesEligibility mirrors the executor's support matrix.
 func TestUnfusedStagesEligibility(t *testing.T) {
 	vww := graph.VWW()
-	if _, ok := UnfusedStages(vww.Modules[0]); ok {
-		t.Error("residual S1 reported unfused-eligible")
+	if _, ok := UnfusedStages(graph.ImageNet().Modules[0]); ok {
+		t.Error("strided-conv1 B1 reported unfused-eligible")
 	}
 	stages, ok := UnfusedStages(vww.Modules[2])
 	if !ok || len(stages) != 3 {
@@ -264,6 +282,24 @@ func TestUnfusedStagesEligibility(t *testing.T) {
 	// The stages must connect (PlanChain accepts them).
 	if _, err := plan.PlanChain(stages); err != nil {
 		t.Errorf("S3 unfused stages do not chain: %v", err)
+	}
+	// Residual S1 chains too, with conv1 widened so B never overlaps the
+	// pinned A (the skip add's source).
+	rstages, ok := UnfusedStages(vww.Modules[0])
+	if !ok {
+		t.Fatal("residual S1 should be unfused-eligible")
+	}
+	if got := rstages[0].GapBytes(); got < rstages[0].OutBytes {
+		t.Errorf("residual conv1 gap %d below OutBytes %d — B would overlap the pinned A", got, rstages[0].OutBytes)
+	}
+	// gcd chaining: B5's conv2 pads under min(C,K); the chain segment rule
+	// falls back to gcd so the stages still connect at raw tensor sizes.
+	b5stages, ok := UnfusedStages(graph.ImageNet().Modules[4])
+	if !ok {
+		t.Fatal("B5 should be unfused-eligible under the gcd segment rule")
+	}
+	if _, err := plan.PlanChain(b5stages); err != nil {
+		t.Errorf("B5 unfused stages do not chain: %v", err)
 	}
 }
 

@@ -117,6 +117,53 @@ func PointwiseWithSeg(h, w, c, k, seg int) Plan {
 	})
 }
 
+// chainSeg is the §5.3 segment rule tightened for per-layer chaining: the
+// default min(C, K) wherever it pads neither side, else the largest
+// zero-waste size, gcd(C, K) — the same rule the streamed seam kernels use
+// (PlanSeam), for the same reason: a chained stage's output is the next
+// stage's input at its raw tensor size, so segment padding would break the
+// chain.
+func chainSeg(c, k int) int {
+	seg := minInt(c, k)
+	if c%seg == 0 && k%seg == 0 {
+		return seg
+	}
+	return gcdInt(c, k)
+}
+
+// UnfusedStages returns the three per-layer plans (conv1, depthwise,
+// conv2) of a module if per-layer execution is supported: stride-1
+// pointwise convs (the FC kernel walks pixels densely; residual modules
+// are stride-1 by definition) and zero-padding segment sizes on every
+// seam (chainSeg guarantees this whenever the channel counts share any
+// common divisor, i.e. always).
+//
+// For a residual module the skip add pins the input A across the whole
+// chain, so conv1's plan is widened to the disjoint gap (B wholly below
+// A, which conv1 must not free) and the chain ends in an elementwise add
+// writing E over D's storage — PlanChain's footprint then accounts A plus
+// the materialized expansion, the RAM price per-layer execution pays to
+// skip the fused kernel's per-row window recompute.
+func UnfusedStages(cfg Bottleneck) ([]Plan, bool) {
+	if cfg.S1 != 1 || cfg.S3 != 1 {
+		return nil, false
+	}
+	h1, w1, h2, w2, _, _ := cfg.Grids()
+	p1 := PointwiseWithSeg(cfg.H, cfg.W, cfg.Cin, cfg.Cmid, chainSeg(cfg.Cin, cfg.Cmid))
+	pd := Depthwise(h1, w1, cfg.Cmid, cfg.R, cfg.S, cfg.S2, cfg.Pad())
+	p2 := PointwiseWithSeg(h2, w2, cfg.Cmid, cfg.Cout, chainSeg(cfg.Cmid, cfg.Cout))
+	a, bb, c, d, _ := cfg.TensorBytes()
+	if p1.InBytes != a || p1.OutBytes != bb || pd.InBytes != bb ||
+		pd.OutBytes != c || p2.InBytes != c || p2.OutBytes != d {
+		return nil, false
+	}
+	if cfg.Residual() {
+		p1 = WithGapSegs(p1, ceilDiv(p1.OutBytes, p1.SegBytes))
+		p1.Note += " (residual: B disjoint from pinned A)"
+	}
+	return []Plan{p1, pd, p2}, true
+}
+
 // PointwiseModuloOps returns the number of circular-buffer boundary
 // checks the pointwise kernel performs at segment size seg: one per
 // segment load (each input segment is re-read once per output block of

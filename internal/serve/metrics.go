@@ -16,14 +16,17 @@ const latencyWindow = 8192
 // metricsState is the server's internal counter block, guarded by
 // Server.mu.
 type metricsState struct {
-	submitted        uint64
-	completed        uint64
-	failed           uint64
-	canceled         uint64
-	rejectedFull     uint64
-	rejectedTooLarge uint64
-	shedDeadline     uint64
-	queueHighWater   int
+	submitted           uint64
+	completed           uint64
+	failed              uint64
+	canceled            uint64
+	rejectedFull        uint64
+	rejectedTooLarge    uint64
+	shedDeadline        uint64
+	variantUpgrades     uint64
+	latencyBudgetMet    uint64
+	latencyBudgetMissed uint64
+	queueHighWater      int
 
 	latencies [latencyWindow]time.Duration
 	latIdx    int
@@ -79,6 +82,16 @@ type Metrics struct {
 	RejectedQueueFull uint64
 	RejectedTooLarge  uint64
 	ShedDeadline      uint64
+	// VariantUpgrades counts admissions where the selected plan variant's
+	// peak exceeded the model's minimal one — spare pool bytes traded for
+	// estimated latency (always 0 for models registered without Pareto).
+	VariantUpgrades uint64
+	// LatencyBudgetMet and LatencyBudgetMissed account requests that
+	// carried an on-device latency budget at admission: whether the
+	// fastest fitting variant's estimated latency met it. Requests shed
+	// before admission are counted in ShedDeadline, not here.
+	LatencyBudgetMet    uint64
+	LatencyBudgetMissed uint64
 	// ThroughputRPS is completed requests per second of uptime.
 	ThroughputRPS float64
 	// Latency percentiles are sojourn times (submit → done) over the most
@@ -100,17 +113,20 @@ type Metrics struct {
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	out := Metrics{
-		Uptime:            time.Since(s.started),
-		Submitted:         s.m.submitted,
-		Completed:         s.m.completed,
-		Failed:            s.m.failed,
-		Canceled:          s.m.canceled,
-		RejectedQueueFull: s.m.rejectedFull,
-		RejectedTooLarge:  s.m.rejectedTooLarge,
-		ShedDeadline:      s.m.shedDeadline,
-		QueueDepth:        len(s.queue),
-		QueueHighWater:    s.m.queueHighWater,
-		QueueCap:          s.queueCap,
+		Uptime:              time.Since(s.started),
+		Submitted:           s.m.submitted,
+		Completed:           s.m.completed,
+		Failed:              s.m.failed,
+		Canceled:            s.m.canceled,
+		RejectedQueueFull:   s.m.rejectedFull,
+		RejectedTooLarge:    s.m.rejectedTooLarge,
+		ShedDeadline:        s.m.shedDeadline,
+		VariantUpgrades:     s.m.variantUpgrades,
+		LatencyBudgetMet:    s.m.latencyBudgetMet,
+		LatencyBudgetMissed: s.m.latencyBudgetMissed,
+		QueueDepth:          len(s.queue),
+		QueueHighWater:      s.m.queueHighWater,
+		QueueCap:            s.queueCap,
 	}
 	if sec := out.Uptime.Seconds(); sec > 0 {
 		out.ThroughputRPS = float64(out.Completed) / sec

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+)
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	one := []time.Duration{42 * time.Millisecond}
+	for _, q := range []float64{0.0, 0.5, 0.95, 0.99, 1.0} {
+		if got := percentile(one, q); got != one[0] {
+			t.Errorf("single-sample p%.0f = %v, want %v", 100*q, got, one[0])
+		}
+	}
+	sorted := []time.Duration{1, 2, 3, 4}
+	if got := percentile(sorted, 0.5); got != 2 {
+		t.Errorf("p50 of 1..4 = %v, want 2", got)
+	}
+	if got := percentile(sorted, 1.0); got != 4 {
+		t.Errorf("p100 of 1..4 = %v, want 4", got)
+	}
+}
+
+// TestMetricsEmptySnapshot: a freshly started server reports a fully
+// coherent snapshot — zero percentiles, zero throughput, idle pools — with
+// nothing submitted.
+func TestMetricsEmptySnapshot(t *testing.T) {
+	s, err := NewServer(Options{Devices: []DeviceConfig{{Name: "m4", Profile: mcu.CortexM4()}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := s.Metrics()
+	if m.LatencyP50 != 0 || m.LatencyP95 != 0 || m.LatencyP99 != 0 {
+		t.Errorf("empty percentiles %v/%v/%v, want zeros", m.LatencyP50, m.LatencyP95, m.LatencyP99)
+	}
+	if m.Submitted != 0 || m.Completed != 0 || m.ThroughputRPS != 0 {
+		t.Errorf("empty counters: %+v", m)
+	}
+	if m.QueueDepth != 0 || m.QueueHighWater != 0 {
+		t.Errorf("queue not idle: depth %d highwater %d", m.QueueDepth, m.QueueHighWater)
+	}
+	if len(m.Devices) != 1 || m.Devices[0].UsedBytes != 0 || m.Devices[0].Utilization != 0 {
+		t.Errorf("device pool not idle: %+v", m.Devices)
+	}
+}
+
+// TestMetricsSingleSampleWindow: after exactly one completion the latency
+// reservoir holds one sample, and every percentile reports it.
+func TestMetricsSingleSampleWindow(t *testing.T) {
+	s, err := NewServer(Options{
+		Devices: []DeviceConfig{{Name: "m4", Profile: mcu.CortexM4()}},
+		Mode:    ExecDryRun,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("vww", graph.VWW(), ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit("vww", SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Completed != 1 {
+		t.Fatalf("completed %d, want 1", m.Completed)
+	}
+	if m.LatencyP50 != m.LatencyP95 || m.LatencyP95 != m.LatencyP99 {
+		t.Errorf("single-sample percentiles diverge: %v/%v/%v", m.LatencyP50, m.LatencyP95, m.LatencyP99)
+	}
+	if m.LatencyP50 != res.Latency {
+		t.Errorf("p50 %v != the lone completion's latency %v", m.LatencyP50, res.Latency)
+	}
+	if m.LatencyP50 <= 0 {
+		t.Errorf("lone sample %v not positive", m.LatencyP50)
+	}
+	if m.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v not positive after a completion", m.ThroughputRPS)
+	}
+}
+
+// TestMetricsBudgetCountersIdle: budget counters stay untouched when no
+// request carries a latency budget.
+func TestMetricsBudgetCountersIdle(t *testing.T) {
+	s, err := NewServer(Options{
+		Devices: []DeviceConfig{{Name: "m4", Profile: mcu.CortexM4()}},
+		Mode:    ExecDryRun,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("vww", graph.VWW(), ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit("vww", SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.LatencyBudgetMet != 0 || m.LatencyBudgetMissed != 0 {
+		t.Errorf("budget counters moved without budgets: met %d missed %d",
+			m.LatencyBudgetMet, m.LatencyBudgetMissed)
+	}
+}

@@ -90,6 +90,13 @@ type SubmitOptions struct {
 	// the request by then, it is shed with ErrDeadline. The zero time
 	// applies the model's MaxQueueWait (if any).
 	Deadline time.Time
+	// LatencyBudget is the on-device inference deadline in simulated
+	// device time: admission selects the fastest registered plan variant
+	// that fits the device, and a request whose selected variant's
+	// estimated latency still exceeds the budget is accounted as a miss
+	// (Result.MetLatencyBudget, Metrics.LatencyBudgetMissed). 0 applies
+	// the model's LatencyBudget (if any).
+	LatencyBudget time.Duration
 	// Seed picks the deterministic weight stream the verification run
 	// executes with.
 	Seed int64
@@ -103,8 +110,19 @@ type Result struct {
 	// when the request never reached admission).
 	Device string
 	// PeakBytes is the plan peak that was reserved in the device ledger —
-	// the request's byte-exact SRAM cost.
+	// the request's byte-exact SRAM cost (the selected variant's peak).
 	PeakBytes int
+	// Variant names the plan variant admission selected (the fastest one
+	// fitting the device's free pool; empty before admission).
+	Variant string
+	// EstimatedLatency is the selected variant's predicted on-device
+	// inference time (simulated device seconds, from the analytic cost
+	// model priced under the admitting device's profile).
+	EstimatedLatency time.Duration
+	// MetLatencyBudget reports whether EstimatedLatency fit the request's
+	// latency budget (true when no budget was set; meaningful only for
+	// requests that reached admission).
+	MetLatencyBudget bool
 	// Run is the executor's verified result (nil in ExecDryRun mode or
 	// when the request never ran).
 	Run *netplan.RunResult
@@ -122,11 +140,22 @@ type request struct {
 	priority int
 	deadline time.Time // zero means none
 	seed     int64
-	peak     int
+	// peak is the request's current admission currency: the model's
+	// minimal variant peak while queued (the fit check), rewritten under
+	// Server.mu to the selected variant's peak at admission.
+	peak int
+	// latencyBudget is the resolved on-device inference deadline (0 none).
+	latencyBudget time.Duration
 
 	submitted  time.Time
 	admittedAt time.Time   // written by the dispatcher before execute starts
 	timer      *time.Timer // deadline wake-up, armed before the request is enqueued
+
+	// Written by the admitting dispatcher under Server.mu, read by execute
+	// and resolve after admission.
+	variant    *modelVariant
+	estLatency time.Duration
+	metBudget  bool
 
 	state  atomic.Int32
 	once   sync.Once

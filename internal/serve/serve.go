@@ -38,6 +38,7 @@ package serve
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -111,16 +112,61 @@ type ModelConfig struct {
 	// MaxQueueWait is the default admission deadline, relative to
 	// submission; 0 means no deadline (SubmitOptions.Deadline overrides).
 	MaxQueueWait time.Duration
+	// Pareto registers the model's whole plan-variant frontier
+	// (netplan.Pareto) instead of only the memory-optimal plan: admission
+	// then picks the fastest variant that fits the admitting device's
+	// remaining pool bytes, trading spare SRAM for estimated latency.
+	Pareto bool
+	// LatencyBudget is the default on-device inference deadline, in
+	// simulated device time: a request whose selected variant's estimated
+	// latency exceeds it is still served but accounted as a budget miss
+	// (SubmitOptions.LatencyBudget overrides; 0 means none).
+	LatencyBudget time.Duration
 }
 
-// model is one registered model: a backbone plus serving defaults. peak is
-// the planned whole-network peak, fixed at registration (plans are
-// deterministic, so re-solves after cache eviction reproduce it).
+// modelVariant is one admissible schedule of a registered model: the
+// pinned scheduler options that re-derive it through the plan cache, its
+// reservation peak, and its estimated operation counts (priced per device
+// profile at admission).
+type modelVariant struct {
+	desc  string
+	opts  netplan.Options
+	peak  int
+	stats mcu.Stats
+}
+
+// model is one registered model: a backbone plus serving defaults and its
+// admissible plan variants, fastest first (estimated cycles under the
+// fleet's reference profile), fixed at registration. Plans are
+// deterministic, so re-solves after cache eviction reproduce them.
 type model struct {
-	name string
-	net  graph.Network
-	cfg  ModelConfig
-	peak int
+	name     string
+	net      graph.Network
+	cfg      ModelConfig
+	variants []modelVariant
+	minPeak  int
+}
+
+// pick returns the fastest variant fitting free pool bytes under the
+// admitting device's own profile, or nil. Pricing per device matters on a
+// heterogeneous fleet: the boards weight the operation classes
+// differently (e.g. DivMod is 8× an ALU op on the M4 but 10× on the M7),
+// so the registration-time ordering is only a deterministic base order,
+// not the per-device ranking.
+func (m *model) pick(free int, prof mcu.Profile) *modelVariant {
+	var best *modelVariant
+	bestCycles := 0.0
+	for i := range m.variants {
+		v := &m.variants[i]
+		if v.peak > free {
+			continue
+		}
+		if c := v.stats.Cycles(prof); best == nil || c < bestCycles ||
+			(c == bestCycles && v.peak < best.peak) {
+			best, bestCycles = v, c
+		}
+	}
+	return best
 }
 
 // device pairs a fleet device with its ledger and dispatch state.
@@ -141,7 +187,10 @@ type Server struct {
 	devices  []*device
 	queueCap int
 	maxPool  int
-	started  time.Time
+	// refProfile prices variant ordering at registration: the profile of
+	// the largest-pool device (per-device pricing happens at admission).
+	refProfile mcu.Profile
+	started    time.Time
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -207,6 +256,7 @@ func NewServer(opts Options) (*Server, error) {
 		s.devices = append(s.devices, d)
 		if pool > s.maxPool {
 			s.maxPool = pool
+			s.refProfile = dc.Profile
 		}
 	}
 	for _, d := range s.devices {
@@ -218,22 +268,42 @@ func NewServer(opts Options) (*Server, error) {
 
 // Register adds a model under name with serving defaults. The model is
 // planned immediately (through the plan cache), so registration rejects
-// unschedulable networks and models whose peak exceeds every device pool
-// (ErrTooLarge) before any request is taken.
+// unschedulable networks and models whose minimal peak exceeds every
+// device pool (ErrTooLarge) before any request is taken.
+//
+// With cfg.Pareto the whole plan-variant frontier is registered: every
+// non-dominated (peak, estimated cycles, estimated energy) schedule whose
+// peak some device pool could ever hold, fastest first. Without it, the
+// memory-optimal plan is the model's only variant — the pre-cost-model
+// behaviour, still carrying its estimate so latency budgets are accounted
+// either way.
 func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error {
 	if name == "" {
 		return fmt.Errorf("serve: model name must be non-empty")
 	}
-	np, _, err := s.cache.Plan(net, netplan.Options{})
+	variants, err := s.planVariants(net, cfg)
 	if err != nil {
 		return fmt.Errorf("serve: model %s: %w", name, err)
 	}
-	if np.PeakBytes > s.maxPool {
+	minPeak := variants[len(variants)-1].peak
+	for _, v := range variants {
+		if v.peak < minPeak {
+			minPeak = v.peak
+		}
+	}
+	if minPeak > s.maxPool {
 		s.mu.Lock()
 		s.m.rejectedTooLarge++
 		s.mu.Unlock()
 		return fmt.Errorf("serve: model %s needs %d bytes, largest pool is %d: %w",
-			name, np.PeakBytes, s.maxPool, ErrTooLarge)
+			name, minPeak, s.maxPool, ErrTooLarge)
+	}
+	// Variants no pool could ever admit are unreachable; drop them.
+	kept := variants[:0]
+	for _, v := range variants {
+		if v.peak <= s.maxPool {
+			kept = append(kept, v)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,8 +313,52 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 	if _, dup := s.models[name]; dup {
 		return fmt.Errorf("serve: model %s already registered", name)
 	}
-	s.models[name] = &model{name: name, net: net, cfg: cfg, peak: np.PeakBytes}
+	s.models[name] = &model{name: name, net: net, cfg: cfg, variants: kept, minPeak: minPeak}
 	return nil
+}
+
+// planVariants solves a model's admissible schedules, fastest first under
+// the fleet's reference profile (the largest-pool device).
+func (s *Server) planVariants(net graph.Network, cfg ModelConfig) ([]modelVariant, error) {
+	if !cfg.Pareto {
+		np, _, err := s.cache.Plan(net, netplan.Options{})
+		if err != nil {
+			return nil, err
+		}
+		est, err := netplan.EstimatePlan(s.refProfile, net, np)
+		if err != nil {
+			return nil, err
+		}
+		return []modelVariant{{desc: "min-peak", opts: netplan.Options{}, peak: np.PeakBytes, stats: est.Total}}, nil
+	}
+	frontier, err := netplan.Pareto(s.refProfile, net, netplan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	variants := make([]modelVariant, 0, len(frontier))
+	for _, v := range frontier {
+		// Warm the serving cache under the variant's pinned options so the
+		// first admission under any variant executes against a memoized
+		// plan instead of paying a whole-network re-solve on the service
+		// path (Pareto's own solves bypass the cache).
+		if _, _, err := s.cache.Plan(net, v.Opts); err != nil {
+			return nil, err
+		}
+		variants = append(variants, modelVariant{
+			desc:  v.Desc,
+			opts:  v.Opts,
+			peak:  v.Plan.PeakBytes,
+			stats: v.Est.Total,
+		})
+	}
+	sort.Slice(variants, func(i, j int) bool {
+		ci, cj := variants[i].stats.Cycles(s.refProfile), variants[j].stats.Cycles(s.refProfile)
+		if ci != cj {
+			return ci < cj
+		}
+		return variants[i].peak < variants[j].peak
+	})
+	return variants, nil
 }
 
 // Submit enqueues one inference request for a registered model and returns
@@ -272,17 +386,23 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 	}
 	req.setState(StateSubmitted)
 
-	// The plan was resolved through the cache at registration and plans
-	// are deterministic, so the model's stored peak IS the request's
-	// admission currency — no re-solve on the submit path (the executor
-	// re-plans through the cache, off this path, if the entry was
-	// evicted). Registration also guarantees the peak fits some pool.
-	req.peak = mdl.peak
+	// The plans were resolved through the cache at registration and plans
+	// are deterministic, so the model's stored variant peaks ARE the
+	// request's admission currency — no re-solve on the submit path (the
+	// executor re-plans through the cache, off this path, if the entry was
+	// evicted). Registration also guarantees the minimal peak fits some
+	// pool. The peak starts at the minimal variant's (the queue fit
+	// check); the dispatcher rewrites it to the selected variant's.
+	req.peak = mdl.minPeak
 	req.setState(StatePlanned)
 
 	req.priority = opts.Priority
 	if req.priority == 0 {
 		req.priority = mdl.cfg.Priority
+	}
+	req.latencyBudget = opts.LatencyBudget
+	if req.latencyBudget == 0 {
+		req.latencyBudget = mdl.cfg.LatencyBudget
 	}
 	req.deadline = opts.Deadline
 	if req.deadline.IsZero() && mdl.cfg.MaxQueueWait > 0 {
@@ -348,13 +468,43 @@ func (s *Server) dispatch(d *device) {
 			s.mu.Unlock()
 			return
 		}
-		// Only this dispatcher reserves on d, and takeLocked checked the
-		// fit under s.mu, so the reservation cannot fail (releases only
-		// grow the free space). Requeue defensively all the same.
-		if !d.ledger.TryReserve(req.id, req.peak) {
+		// Variant selection: the fastest registered schedule (priced under
+		// this device's profile) whose peak fits the device's free pool
+		// right now. takeLocked admitted on the minimal peak, so at least
+		// that variant always fits; a device with spare bytes upgrades to
+		// a faster, larger-peak plan.
+		v := req.mdl.pick(d.ledger.Free(), d.profile)
+		if v == nil {
+			// A concurrent release shrank nothing — free only grows — so
+			// this cannot happen; requeue defensively.
 			s.queue = append([]*request{req}, s.queue...)
 			s.mu.Unlock()
 			continue
+		}
+		req.variant = v
+		req.peak = v.peak
+		req.estLatency = time.Duration(v.stats.LatencySeconds(d.profile) * float64(time.Second))
+		req.metBudget = req.latencyBudget == 0 || req.estLatency <= req.latencyBudget
+		// Only this dispatcher reserves on d, and the variant was chosen
+		// against the free bytes under s.mu, so the reservation cannot
+		// fail (releases only grow the free space). Requeue defensively
+		// all the same — before the admission metrics, so a retry cannot
+		// double-count them.
+		if !d.ledger.TryReserve(req.id, req.peak) {
+			req.peak = req.mdl.minPeak
+			s.queue = append([]*request{req}, s.queue...)
+			s.mu.Unlock()
+			continue
+		}
+		if v.peak > req.mdl.minPeak {
+			s.m.variantUpgrades++
+		}
+		if req.latencyBudget > 0 {
+			if req.metBudget {
+				s.m.latencyBudgetMet++
+			} else {
+				s.m.latencyBudgetMissed++
+			}
 		}
 		req.admittedAt = time.Now()
 		req.setState(StateAdmitted)
@@ -377,7 +527,7 @@ func (s *Server) execute(d *device, req *request) {
 		// scheduling point so residency windows genuinely overlap.
 		runtime.Gosched()
 	default:
-		run, err = netplan.Run(d.profile, req.mdl.net, req.seed, netplan.Options{}, s.cache)
+		run, err = netplan.Run(d.profile, req.mdl.net, req.seed, req.variant.opts, s.cache)
 		if err == nil && !run.AllVerified {
 			err = fmt.Errorf("serve: %s on %s: output verification failed", req.mdl.name, d.name)
 		}
@@ -404,12 +554,15 @@ func (s *Server) execute(d *device, req *request) {
 	s.mu.Unlock()
 
 	req.resolve(Result{
-		Model:     req.mdl.name,
-		Device:    d.name,
-		PeakBytes: req.peak,
-		Run:       run,
-		QueueWait: req.admittedAt.Sub(req.submitted),
-		Latency:   now.Sub(req.submitted),
+		Model:            req.mdl.name,
+		Device:           d.name,
+		PeakBytes:        req.peak,
+		Variant:          req.variant.desc,
+		EstimatedLatency: req.estLatency,
+		MetLatencyBudget: req.metBudget,
+		Run:              run,
+		QueueWait:        req.admittedAt.Sub(req.submitted),
+		Latency:          now.Sub(req.submitted),
 	}, err, StateDone)
 }
 

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/netplan"
+)
+
+// imagenetBudget returns a latency budget strictly between the fastest and
+// slowest frontier variants' estimated latencies on the profile, so a
+// server restricted to the memory-optimal plan must miss it while variant
+// selection can meet it.
+func imagenetBudget(t *testing.T, prof mcu.Profile) (budget, fast, slow time.Duration) {
+	t.Helper()
+	vs, err := netplan.Pareto(prof, graph.ImageNet(), netplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		d := time.Duration(v.Est.Total.LatencySeconds(prof) * float64(time.Second))
+		if fast == 0 || d < fast {
+			fast = d
+		}
+		if d > slow {
+			slow = d
+		}
+	}
+	if fast >= slow {
+		t.Fatalf("frontier latencies degenerate: fast %v slow %v", fast, slow)
+	}
+	return fast + (slow-fast)/2, fast, slow
+}
+
+// TestVariantSelectionMeetsPreviouslyMissedBudgets is the acceptance bar:
+// with only the memory-optimal plan registered, an ImageNet request's
+// estimated on-device latency misses a budget between the frontier's
+// extremes; registering the Pareto frontier lets admission select a faster
+// variant that meets the same budget on the same device — with zero
+// ledger over-commits either way.
+func TestVariantSelectionMeetsPreviouslyMissedBudgets(t *testing.T) {
+	prof := mcu.CortexM7()
+	budget, _, _ := imagenetBudget(t, prof)
+
+	run := func(pareto bool) (Result, Metrics) {
+		s, err := NewServer(Options{
+			Devices: []DeviceConfig{{Name: "m7", Profile: prof}},
+			Mode:    ExecDryRun,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Register("imagenet", graph.ImageNet(), ModelConfig{
+			Pareto:        pareto,
+			LatencyBudget: budget,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		tk, err := s.Submit("imagenet", SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return res, s.Metrics()
+	}
+
+	before, mBefore := run(false)
+	if before.MetLatencyBudget {
+		t.Fatalf("memory-optimal-only serving met the %v budget (estimated %v) — no headroom to win",
+			budget, before.EstimatedLatency)
+	}
+	if mBefore.LatencyBudgetMissed != 1 || mBefore.LatencyBudgetMet != 0 {
+		t.Errorf("miss accounting: met %d missed %d, want 0/1",
+			mBefore.LatencyBudgetMet, mBefore.LatencyBudgetMissed)
+	}
+	if mBefore.VariantUpgrades != 0 {
+		t.Errorf("single-variant model recorded %d upgrades", mBefore.VariantUpgrades)
+	}
+
+	after, mAfter := run(true)
+	if !after.MetLatencyBudget {
+		t.Fatalf("frontier serving still missed the budget: estimated %v > %v (variant %q)",
+			after.EstimatedLatency, budget, after.Variant)
+	}
+	if after.EstimatedLatency >= before.EstimatedLatency {
+		t.Errorf("selected variant %q (%v) not faster than the memory-optimal %v",
+			after.Variant, after.EstimatedLatency, before.EstimatedLatency)
+	}
+	if after.PeakBytes <= before.PeakBytes {
+		t.Errorf("faster variant's peak %d not above the memory-optimal %d — speed was free?",
+			after.PeakBytes, before.PeakBytes)
+	}
+	if mAfter.LatencyBudgetMet != 1 || mAfter.LatencyBudgetMissed != 0 {
+		t.Errorf("met accounting: met %d missed %d, want 1/0",
+			mAfter.LatencyBudgetMet, mAfter.LatencyBudgetMissed)
+	}
+	if mAfter.VariantUpgrades != 1 {
+		t.Errorf("upgrade accounting: %d, want 1", mAfter.VariantUpgrades)
+	}
+	for _, m := range []Metrics{mBefore, mAfter} {
+		for _, d := range m.Devices {
+			if d.PeakUsedBytes > d.CapacityBytes {
+				t.Errorf("device %s over-committed: peak %d of %d", d.Name, d.PeakUsedBytes, d.CapacityBytes)
+			}
+			if d.Refused != 0 {
+				t.Errorf("device %s refused %d reservations", d.Name, d.Refused)
+			}
+		}
+	}
+}
+
+// TestVariantSelectionDegradesUnderPoolPressure: when the pool only holds
+// the memory-optimal variant, admission falls back to it and the budget
+// miss is accounted — the deadline-miss side of variant selection.
+func TestVariantSelectionDegradesUnderPoolPressure(t *testing.T) {
+	prof := mcu.CortexM7()
+	budget, _, _ := imagenetBudget(t, prof)
+	minPeak, err := netplan.Plan(graph.ImageNet(), netplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Options{
+		// Exactly the memory-optimal plan's bytes: no upgrade is possible.
+		Devices: []DeviceConfig{{Name: "tight", Profile: prof, PoolBytes: minPeak.PeakBytes}},
+		Mode:    ExecDryRun,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("imagenet", graph.ImageNet(), ModelConfig{
+		Pareto:        true,
+		LatencyBudget: budget,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit("imagenet", SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBytes != minPeak.PeakBytes {
+		t.Errorf("admitted peak %d, want the memory-optimal %d", res.PeakBytes, minPeak.PeakBytes)
+	}
+	if res.MetLatencyBudget {
+		t.Error("tight pool cannot meet the budget, yet the miss was not accounted")
+	}
+	m := s.Metrics()
+	if m.VariantUpgrades != 0 || m.LatencyBudgetMissed != 1 {
+		t.Errorf("upgrades %d missed %d, want 0/1", m.VariantUpgrades, m.LatencyBudgetMissed)
+	}
+}
+
+// TestVariantExecutionVerifies proves an upgraded variant's execution path
+// is the real one: the selected options re-derive the variant's plan
+// through the cache and the bit-exact verifier passes on it.
+func TestVariantExecutionVerifies(t *testing.T) {
+	prof := mcu.CortexM7()
+	s, err := NewServer(Options{Devices: []DeviceConfig{{Name: "m7", Profile: prof}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("vww", graph.VWW(), ModelConfig{Pareto: true}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit("vww", SubmitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Run == nil || !res.Run.AllVerified || res.Run.Violations != 0 {
+		t.Fatalf("variant execution did not verify: %+v", res.Run)
+	}
+	if res.Variant == "" {
+		t.Error("result carries no variant name")
+	}
+	if res.Run.Plan.PeakBytes != res.PeakBytes {
+		t.Errorf("executed plan peak %d differs from reserved %d", res.Run.Plan.PeakBytes, res.PeakBytes)
+	}
+}
+
+// TestVariantSelectionConcurrent floods a small fleet with frontier-
+// registered requests under -race: every ticket resolves, no ledger
+// over-commit, and co-resident variant mixes stay within every pool.
+func TestVariantSelectionConcurrent(t *testing.T) {
+	prof := mcu.CortexM7()
+	minPeak, err := netplan.Plan(graph.ImageNet(), netplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Options{
+		Devices: []DeviceConfig{
+			// Three memory-optimal residents, or one upgraded plus change.
+			{Name: "a", Profile: prof, PoolBytes: 3*minPeak.PeakBytes + 4096, Slots: 3},
+			{Name: "b", Profile: prof, PoolBytes: minPeak.PeakBytes + 1024, Slots: 2},
+		},
+		Mode: ExecDryRun,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("imagenet", graph.ImageNet(), ModelConfig{Pareto: true}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := s.Submit("imagenet", SubmitOptions{Seed: int64(i)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = tk.Result()
+		}(i)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Completed != n {
+		t.Errorf("completed %d of %d", m.Completed, n)
+	}
+	for _, d := range m.Devices {
+		if d.PeakUsedBytes > d.CapacityBytes {
+			t.Errorf("device %s over-committed: peak %d of %d", d.Name, d.PeakUsedBytes, d.CapacityBytes)
+		}
+	}
+}

@@ -40,6 +40,7 @@ package vmcu
 
 import (
 	"github.com/vmcu-project/vmcu/internal/codegen"
+	"github.com/vmcu-project/vmcu/internal/cost"
 	"github.com/vmcu-project/vmcu/internal/eval"
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/ir"
@@ -262,6 +263,52 @@ func PlanNetworkWithOptions(net Network, opts ScheduleOptions) (*NetworkPlan, er
 func RunNetwork(profile Profile, net Network, seed int64) (*NetworkRunResult, error) {
 	return netplan.Run(profile, net, seed,
 		netplan.Options{BudgetBytes: profile.RAMBytes()}, netplan.Default)
+}
+
+// CostEstimate is the analytic per-plan cost prediction: per-unit operation
+// counts priced under a profile's cycle/energy model, split into the
+// executed portion (validated bit-exactly against device counters) and the
+// modeled glue of disjoint handoffs.
+type CostEstimate = cost.Estimate
+
+// CostUnit is one priced execution unit of a CostEstimate.
+type CostUnit = cost.Unit
+
+// EstimateCost predicts a solved network plan's latency and energy under a
+// profile without executing it: the analytic cost model replays each
+// scheduled unit's loop structure (fused/unfused/baseline kernels, the
+// patch-split region with its halo recompute, streamed seams, disjoint
+// handoff glue) and prices the operation counts through the profile. The
+// executed portion is within ±10% of the real device counters (bit-exact
+// today; the tolerance is the stated contract).
+func EstimateCost(profile Profile, net Network, np *NetworkPlan) (*CostEstimate, error) {
+	return netplan.EstimatePlan(profile, net, np)
+}
+
+// ScheduleObjective selects what PlanNetworkWithOptions minimizes: the
+// network peak (ObjectiveMinPeak, the default) or the estimated execution
+// cycles under the byte budget (ObjectiveMinLatency).
+type ScheduleObjective = netplan.Objective
+
+// The schedule objectives.
+const (
+	ObjectiveMinPeak    = netplan.MinPeak
+	ObjectiveMinLatency = netplan.MinLatency
+)
+
+// PlanVariant is one point of a network's Pareto frontier: a solved
+// schedule, the pinned options that re-derive it, and its cost estimate.
+type PlanVariant = netplan.Variant
+
+// PlanNetworkPareto enumerates the network's schedule space along the
+// planner's cost-bearing dimensions (the spatial patch split's
+// memory↔recompute axis and latency-driven per-module policy flips) and
+// returns the non-dominated (peak bytes, est. cycles, est. energy) plan
+// set, sorted by ascending peak: the first variant is memory-optimal, the
+// last latency-optimal. The serving layer registers this frontier so
+// admission can trade spare SRAM for speed per request.
+func PlanNetworkPareto(profile Profile, net Network, opts ScheduleOptions) ([]PlanVariant, error) {
+	return netplan.Pareto(profile, net, opts)
 }
 
 // Server is the multi-tenant inference serving subsystem: many concurrent

@@ -220,3 +220,53 @@ func TestPublicServing(t *testing.T) {
 		t.Errorf("submit after close: %v, want ErrServeClosed", err)
 	}
 }
+
+func TestPublicCostAndPareto(t *testing.T) {
+	m4 := CortexM4()
+	net := VWW()
+	np, err := PlanNetwork(m4, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCost(m4, net, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cycles <= 0 || est.LatencySeconds <= 0 || est.EnergyJoules <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	if len(est.Units) == 0 {
+		t.Fatal("estimate carries no units")
+	}
+
+	frontier, err := PlanNetworkPareto(m4, net, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) < 2 {
+		t.Fatalf("frontier has %d plans, want the memory/latency tradeoff visible", len(frontier))
+	}
+	first, last := frontier[0], frontier[len(frontier)-1]
+	if first.Plan.PeakBytes > last.Plan.PeakBytes || first.Est.Cycles < last.Est.Cycles {
+		t.Errorf("frontier not ordered memory-optimal → latency-optimal")
+	}
+
+	fast, err := PlanNetworkWithOptions(net, ScheduleOptions{
+		Objective:   ObjectiveMinLatency,
+		BudgetBytes: m4.RAMBytes(),
+		CostProfile: m4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estFast, err := EstimateCost(m4, net, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estFast.Cycles > est.Cycles {
+		t.Errorf("min-latency plan %.0f cycles above min-peak %.0f", estFast.Cycles, est.Cycles)
+	}
+	if fast.PeakBytes > m4.RAMBytes() {
+		t.Errorf("budgeted min-latency peak %d exceeds the M4 RAM", fast.PeakBytes)
+	}
+}
