@@ -28,6 +28,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
+	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
@@ -55,6 +56,8 @@ func main() {
 	s1 := flag.Int("s1", 1, "module stride of conv1")
 	s2 := flag.Int("s2", 1, "module stride of the depthwise")
 	s3 := flag.Int("s3", 1, "module stride of conv2")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace_event JSON of the planner/search spans to this file (-network only)")
 	flag.Parse()
 
 	if *network != "" {
@@ -94,6 +97,27 @@ func main() {
 			Patches:    *splitPatches,
 			MaxPatches: *splitMax,
 		}}
+		var tracer *obs.Tracer
+		if *traceOut != "" {
+			tracer = obs.New(obs.Options{})
+			opts.Tracer = tracer
+		}
+		writeTrace := func() {
+			if tracer == nil {
+				return
+			}
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = obs.WriteChromeTrace(f, tracer.Snapshot())
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vmcu-plan: trace-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		budgetSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "budget" {
@@ -128,6 +152,7 @@ func main() {
 					1e3*v.Est.EnergyJoules, v.RecomputedRows)
 			}
 			fmt.Printf("%d non-dominated plan(s); first is memory-optimal, last latency-optimal\n", len(vs))
+			writeTrace()
 			return
 		default:
 			fmt.Fprintf(os.Stderr, "vmcu-plan: unknown objective %q (want peak, latency, or pareto)\n", *objective)
@@ -150,6 +175,7 @@ func main() {
 				}
 			}
 		}
+		writeTrace()
 		return
 	}
 

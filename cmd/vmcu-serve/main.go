@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -118,6 +119,22 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// writeExport writes one tracer export ("-" means stdout).
+func writeExport(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	fleet := flag.String("devices", "m4,m7", "fleet spec: comma list of m4/m7")
 	queueCap := flag.Int("queue", 256, "admission queue bound (shed-on-full)")
@@ -134,6 +151,8 @@ func main() {
 	pareto := flag.Bool("pareto", false, "register each model's Pareto plan-variant frontier (admission picks the fastest fitting variant)")
 	latencyBudget := flag.Duration("latency-budget", 0, "per-request on-device inference budget in simulated device time (0 = none)")
 	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of every request lifecycle to this file (enables tracing)")
+	promOut := flag.String("prom-out", "", "write a Prometheus text-format metrics dump to this file (enables tracing)")
 	flag.Parse()
 
 	devices, err := parseFleet(*fleet)
@@ -154,7 +173,13 @@ func main() {
 	for i := range devices {
 		devices[i].Slots = *slots
 	}
-	s, err := vmcu.NewServer(vmcu.ServeOptions{Devices: devices, QueueCap: *queueCap, Mode: mode})
+	var tracer *vmcu.Tracer
+	if *traceOut != "" || *promOut != "" {
+		tracer = vmcu.NewTracer(vmcu.TracerOptions{})
+	}
+	s, err := vmcu.NewServer(vmcu.ServeOptions{
+		Devices: devices, QueueCap: *queueCap, Mode: mode, Tracer: tracer,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -222,6 +247,24 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if tracer != nil {
+		ts := tracer.Snapshot()
+		if *traceOut != "" {
+			if err := writeExport(*traceOut, func(w io.Writer) error {
+				return vmcu.WriteChromeTrace(w, ts)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *promOut != "" {
+			if err := writeExport(*promOut, func(w io.Writer) error {
+				return vmcu.WritePrometheus(w, ts)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	m := s.Metrics()
 	snap := Snapshot{

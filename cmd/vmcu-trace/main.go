@@ -1,0 +1,290 @@
+// Command vmcu-trace summarizes a Chrome trace_event JSON produced by
+// vmcu-serve -trace-out or vmcu-plan -trace-out: a per-stage latency
+// breakdown of the request lifecycle, request outcome accounting, and the
+// per-device simulated-cycle totals carried by the kernel unit spans.
+//
+// With -check it instead validates the trace for CI: the JSON must parse,
+// every lifecycle stage must appear at least once, and every completed
+// request must carry a fully connected span tree
+// (submit → queue → admit → dispatch → execute → complete under one root,
+// with at least one kernel unit span under execute).
+//
+// Usage:
+//
+//	vmcu-serve -requests 16 -trace-out /tmp/t.json
+//	vmcu-trace -in /tmp/t.json
+//	vmcu-trace -in /tmp/t.json -check   # exit 1 unless the lifecycle is complete
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// event mirrors the exporter's trace_event entry (internal/obs/export.go).
+type event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+type trace struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+// span is one wall-clock complete event with its rebuilt identity.
+type span struct {
+	event
+	id, parent, trace uint64
+}
+
+// The exporter's process rows: pid 1 is the wall clock, pid 2 the
+// simulated device-cycle clock (every span is duplicated there, so the
+// summarizer reads pid 1 only).
+const wallPID = 1
+
+// lifecycleStages are the serve request stages, in lifecycle order.
+var lifecycleStages = []string{"submit", "queue", "admit", "dispatch", "execute", "complete"}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vmcu-trace: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "Chrome trace_event JSON to read (required)")
+	check := flag.Bool("check", false,
+		"validate the trace instead of summarizing: every lifecycle stage present, every completed request's span tree connected")
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required (a vmcu-serve/vmcu-plan -trace-out file)"))
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var tr trace
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		fatal(fmt.Errorf("%s: %w", *in, err))
+	}
+
+	spans := make([]span, 0, len(tr.TraceEvents))
+	for _, e := range tr.TraceEvents {
+		if e.Phase != "X" || e.PID != wallPID {
+			continue
+		}
+		spans = append(spans, span{
+			event:  e,
+			id:     argID(e, "span_id"),
+			parent: argID(e, "parent_id"),
+			trace:  argID(e, "trace_id"),
+		})
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("%s: no wall-clock spans (is this a -trace-out file?)", *in))
+	}
+
+	if *check {
+		if err := validate(spans); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vmcu-trace: %s OK (%d spans, %d completed requests, all lifecycle stages present and connected)\n",
+			*in, len(spans), countRoots(spans, isCompleted))
+		return
+	}
+	summarize(spans)
+}
+
+// argID reads a span-identity arg; the exporter writes them as JSON
+// numbers.
+func argID(e event, key string) uint64 {
+	if v, ok := e.Args[key].(float64); ok {
+		return uint64(v)
+	}
+	return 0
+}
+
+func argStr(e event, key string) string {
+	s, _ := e.Args[key].(string)
+	return s
+}
+
+// isCompleted reports whether a root request span finished execution
+// (successfully or failed after admission) rather than being rejected,
+// shed, or canceled.
+func isCompleted(root span) bool {
+	st := argStr(root.event, "state")
+	return st == "done" || st == "failed"
+}
+
+func countRoots(spans []span, pred func(span) bool) int {
+	n := 0
+	for _, s := range spans {
+		if s.Cat == "request" && pred(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// validate is the CI gate: every lifecycle stage appears, and every
+// completed request's tree is connected end to end.
+func validate(spans []span) error {
+	byName := map[string]int{}
+	children := map[uint64][]span{}
+	for _, s := range spans {
+		byName[s.Name]++
+		if s.parent != 0 {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	for _, st := range lifecycleStages {
+		if byName[st] == 0 {
+			return fmt.Errorf("lifecycle stage %q has no spans", st)
+		}
+	}
+	completed := 0
+	for _, s := range spans {
+		if s.Cat != "request" || !isCompleted(s) {
+			continue
+		}
+		completed++
+		var execID uint64
+		have := map[string]bool{}
+		for _, c := range children[s.id] {
+			have[c.Name] = true
+			if c.Name == "execute" {
+				execID = c.id
+			}
+		}
+		for _, st := range lifecycleStages {
+			if !have[st] {
+				return fmt.Errorf("completed request span %d is missing stage %q", s.id, st)
+			}
+		}
+		units := 0
+		for _, c := range children[execID] {
+			if c.Cat == "unit" {
+				units++
+			}
+		}
+		if units == 0 {
+			return fmt.Errorf("completed request span %d has no kernel unit spans under execute", s.id)
+		}
+	}
+	if completed == 0 {
+		return fmt.Errorf("trace has no completed requests")
+	}
+	return nil
+}
+
+// summarize prints the per-stage latency breakdown, request outcomes, and
+// per-device cycle totals.
+func summarize(spans []span) {
+	durs := map[string][]float64{} // stage name → wall durations (µs)
+	outcomes := map[string]int{}
+	type devRow struct {
+		units  int
+		cycles float64
+	}
+	devices := map[int]*devRow{}
+	for _, s := range spans {
+		switch s.Cat {
+		case "request":
+			outcomes[argStr(s.event, "state")]++
+			durs["request (total)"] = append(durs["request (total)"], s.Dur)
+		case "stage":
+			durs[s.Name] = append(durs[s.Name], s.Dur)
+		case "unit":
+			d := devices[s.TID]
+			if d == nil {
+				d = &devRow{}
+				devices[s.TID] = d
+			}
+			d.units++
+			if c, ok := s.Args["cycles"].(float64); ok {
+				d.cycles += c
+			}
+		case "plan":
+			durs[s.Name] = append(durs[s.Name], s.Dur)
+		}
+	}
+
+	fmt.Printf("%-18s %7s %10s %10s %10s %10s\n", "stage", "count", "mean ms", "p50 ms", "p95 ms", "max ms")
+	fmt.Println(strings.Repeat("-", 70))
+	order := append([]string{}, lifecycleStages...)
+	order = append(order, "ledger.reserve", "ledger.release", "request (total)",
+		"netplan.plan", "netplan.solve", "netplan.pareto")
+	seen := map[string]bool{}
+	printRow := func(name string) {
+		ds := durs[name]
+		if len(ds) == 0 || seen[name] {
+			return
+		}
+		seen[name] = true
+		sort.Float64s(ds)
+		sum := 0.0
+		for _, d := range ds {
+			sum += d
+		}
+		q := func(p float64) float64 {
+			i := int(p*float64(len(ds))+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(ds) {
+				i = len(ds) - 1
+			}
+			return ds[i]
+		}
+		fmt.Printf("%-18s %7d %10.3f %10.3f %10.3f %10.3f\n", name, len(ds),
+			sum/float64(len(ds))/1e3, q(0.50)/1e3, q(0.95)/1e3, ds[len(ds)-1]/1e3)
+	}
+	for _, name := range order {
+		printRow(name)
+	}
+	var rest []string
+	for name := range durs {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		printRow(name)
+	}
+
+	if len(outcomes) > 0 {
+		keys := make([]string, 0, len(outcomes))
+		for k := range outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("\nrequests by outcome:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, outcomes[k])
+		}
+		fmt.Println()
+	}
+	if len(devices) > 0 {
+		tids := make([]int, 0, len(devices))
+		for t := range devices {
+			tids = append(tids, t)
+		}
+		sort.Ints(tids)
+		fmt.Println("\nkernel units per device thread (simulated cycles):")
+		for _, t := range tids {
+			d := devices[t]
+			fmt.Printf("  tid %-3d %6d units  %14.0f cycles\n", t, d.units, d.cycles)
+		}
+	}
+}

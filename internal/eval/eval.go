@@ -18,6 +18,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/intrin"
 	"github.com/vmcu-project/vmcu/internal/kernels"
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/plan"
 	"github.com/vmcu-project/vmcu/internal/seg"
 	"github.com/vmcu-project/vmcu/internal/tensor"
@@ -105,14 +106,28 @@ func RunVMCUPointwise(profile mcu.Profile, c PointwiseCase, seed int64) (mcu.Sta
 // and renders the live-byte timeline: the input draining while the output
 // refills the freed segments.
 func PointwiseMemoryTrace(profile mcu.Profile, c PointwiseCase, seed int64, width, height int) (string, error) {
-	_, ok, nViol, samples, err := runVMCUPointwise(profile, c, seed, 32)
+	samples, err := PointwiseMemoryProfile(profile, c, seed, nil, "")
 	if err != nil {
 		return "", err
 	}
-	if !ok || nViol != 0 {
-		return "", fmt.Errorf("eval: traced run failed verification (ok=%v violations=%d)", ok, nViol)
-	}
 	return RenderMemoryProfile(samples, width, height), nil
+}
+
+// PointwiseMemoryProfile executes one case with occupancy tracing enabled
+// and returns the raw live-byte samples behind the Figure 1 timeline. When
+// tr is an enabled tracer the samples are also recorded as a "pool_bytes"
+// series under the given device name, so the occupancy curve exports as a
+// counter track alongside the span timeline.
+func PointwiseMemoryProfile(profile mcu.Profile, c PointwiseCase, seed int64, tr *obs.Tracer, device string) ([]int, error) {
+	_, ok, nViol, samples, err := runVMCUPointwise(profile, c, seed, 32)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || nViol != 0 {
+		return nil, fmt.Errorf("eval: traced run failed verification (ok=%v violations=%d)", ok, nViol)
+	}
+	tr.RecordSeries("pool_bytes", device, "bytes", samples)
+	return samples, nil
 }
 
 func runVMCUPointwise(profile mcu.Profile, c PointwiseCase, seed int64, traceEvery int) (mcu.Stats, bool, int, []int, error) {

@@ -14,16 +14,27 @@ func RenderMemoryProfile(samples []int, width, height int) string {
 		return "(no samples)\n"
 	}
 	// Downsample to width columns by max-pooling (peaks must survive).
+	// With width > len(samples) the floor arithmetic assigns several
+	// columns to the same sample, so the window is clamped explicitly:
+	// lo always names a real sample and hi > lo, never past the slice —
+	// a degenerate window repeats its nearest sample instead of
+	// max-pooling an empty slice into a false zero column.
 	cols := make([]int, width)
 	peak := 0
 	for c := 0; c < width; c++ {
 		lo := c * len(samples) / width
 		hi := (c + 1) * len(samples) / width
+		if lo > len(samples)-1 {
+			lo = len(samples) - 1
+		}
 		if hi <= lo {
 			hi = lo + 1
 		}
-		m := 0
-		for _, v := range samples[lo:min(hi, len(samples))] {
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		m := samples[lo]
+		for _, v := range samples[lo+1 : hi] {
 			if v > m {
 				m = v
 			}
@@ -59,11 +70,4 @@ func RenderMemoryProfile(samples []int, width, height int) string {
 	}
 	b.WriteString("        +" + strings.Repeat("-", width) + "> kernel progress\n")
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
+)
+
+// TestRenderMemoryProfileDownsampling pins the downsampler's window
+// arithmetic across the width/len(samples) ratios, in particular
+// width > len(samples), where naive floor windows go empty and would
+// render false zero columns (or read past the slice).
+func TestRenderMemoryProfileDownsampling(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int
+		width   int
+		height  int
+	}{
+		{"width much greater than samples", []int{100, 300, 200}, 17, 4},
+		{"width equals samples", []int{100, 300, 200, 50}, 4, 4},
+		{"width less than samples", []int{1, 2, 3, 4, 5, 6, 7, 8, 900, 10}, 3, 4},
+		{"single sample wide render", []int{4200}, 9, 3},
+		{"width one", []int{100, 300, 200}, 1, 4},
+		{"all zero samples", []int{0, 0, 0}, 5, 3},
+		{"height one", []int{100, 300}, 6, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RenderMemoryProfile(tc.samples, tc.width, tc.height)
+			lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+			if len(lines) != tc.height+1 {
+				t.Fatalf("rendered %d lines, want %d rows + axis:\n%s", len(lines), tc.height+1, got)
+			}
+			peak := 0
+			for _, v := range tc.samples {
+				if v > peak {
+					peak = v
+				}
+			}
+			// Every chart row must span exactly width columns after the
+			// 9-character gutter ("%6.1fK |" / "       |").
+			for i, ln := range lines[:tc.height] {
+				if len(ln) != 9+tc.width {
+					t.Errorf("row %d is %d chars, want %d: %q", i, len(ln), 9+tc.width, ln)
+				}
+			}
+			// The peak must survive max-pooling: the top row carries at
+			// least one '#' whenever any sample is nonzero.
+			if peak > 0 && !strings.Contains(lines[0], "#") {
+				t.Errorf("peak row lost the maximum sample:\n%s", got)
+			}
+			// The bottom row's threshold is peak/height; when every sample
+			// clears it, every column's window holds a qualifying sample and
+			// the bottom row must be solid. With width > len(samples) this
+			// is exactly where naive empty windows would max-pool to zero
+			// and punch false gaps.
+			solid := len(tc.samples) > 0 && peak > 0
+			for _, v := range tc.samples {
+				if v < peak*1/tc.height {
+					solid = false
+				}
+			}
+			if solid {
+				bottom := lines[tc.height-1][9:]
+				if strings.Contains(bottom, " ") {
+					t.Errorf("false zero column in bottom row %q:\n%s", bottom, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRenderMemoryProfileDegenerate pins the guard inputs.
+func TestRenderMemoryProfileDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		samples []int
+		width   int
+		height  int
+	}{
+		{"no samples", nil, 10, 4},
+		{"zero width", []int{1, 2}, 0, 4},
+		{"zero height", []int{1, 2}, 10, 0},
+	} {
+		if got := RenderMemoryProfile(tc.samples, tc.width, tc.height); got != "(no samples)\n" {
+			t.Errorf("%s: got %q, want placeholder", tc.name, got)
+		}
+	}
+}
+
+// TestPointwiseMemoryProfileSeries proves the Figure 1 occupancy samples
+// land in the tracer as an exportable pool_bytes series.
+func TestPointwiseMemoryProfileSeries(t *testing.T) {
+	tr := obs.New(obs.Options{})
+	c := Figure7Cases()[3] // H/W80,C16,K8 — the paper's Figure 1 shape
+	samples, err := PointwiseMemoryProfile(mcu.CortexM4(), c, 42, tr, "m4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("traced run produced no occupancy samples")
+	}
+	snap := tr.Snapshot()
+	if len(snap.Series) != 1 {
+		t.Fatalf("recorded %d series, want 1", len(snap.Series))
+	}
+	s := snap.Series[0]
+	if s.Name != "pool_bytes" || s.Device != "m4" || s.Unit != "bytes" {
+		t.Errorf("series metadata = %+v", s)
+	}
+	if len(s.Samples) != len(samples) {
+		t.Errorf("series has %d samples, want %d", len(s.Samples), len(samples))
+	}
+	// A nil tracer must be a no-op, not a panic.
+	if _, err := PointwiseMemoryProfile(mcu.CortexM4(), c, 42, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+}

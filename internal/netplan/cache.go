@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/obs"
 )
 
 // Cache memoizes solved network plans by a deterministic key over the
@@ -34,6 +35,9 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// Tracer counter handles, mirroring the lifetime counters above onto
+	// an attached obs.Tracer (all nil until SetTracer; nil-safe to Inc).
+	trHits, trMisses, trEvictions *obs.Counter
 }
 
 // cacheEntry is one in-flight or completed solve; ready closes when np/err
@@ -64,6 +68,29 @@ func NewCacheWithCap(capEntries int) *Cache {
 
 // Default is the package-level cache used by the public vmcu API.
 var Default = NewCache()
+
+// Tracer counter names published by an attached cache.
+const (
+	MetricCacheHits      = "vmcu_plancache_hits"
+	MetricCacheMisses    = "vmcu_plancache_misses"
+	MetricCacheEvictions = "vmcu_plancache_evictions"
+)
+
+// SetTracer attaches an observability tracer: from now on every hit, miss,
+// and eviction also increments the vmcu_plancache_* counters on tr (the
+// CacheStats counters are lifetime totals, so the two agree exactly when
+// the tracer is attached before first use). A nil tr detaches.
+func (c *Cache) SetTracer(tr *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tr == nil {
+		c.trHits, c.trMisses, c.trEvictions = nil, nil, nil
+		return
+	}
+	c.trHits = tr.Counter(MetricCacheHits)
+	c.trMisses = tr.Counter(MetricCacheMisses)
+	c.trEvictions = tr.Counter(MetricCacheEvictions)
+}
 
 // Key builds the deterministic cache key for a network/options pair. Every
 // field that can change the solved plan is covered: the budget, the split
@@ -110,6 +137,7 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 		<-e.ready
 		c.mu.Lock()
 		c.hits++
+		c.trHits.Inc()
 		// Refresh recency, unless the entry was evicted or Reset away while
 		// we waited (its plan is still valid for this caller either way).
 		if e.elem != nil && c.entries[key] == e {
@@ -129,6 +157,7 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 	close(e.ready)
 	c.mu.Lock()
 	c.misses++
+	c.trMisses.Inc()
 	if e.err != nil {
 		// Drop the failed entry so the next request re-attempts (unless a
 		// Reset already replaced the map).
@@ -163,6 +192,7 @@ func (c *Cache) evict() {
 		}
 		c.lru.Remove(back)
 		c.evictions++
+		c.trEvictions.Inc()
 	}
 }
 

@@ -15,7 +15,15 @@ import (
 	"github.com/vmcu-project/vmcu/internal/cost"
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/plan"
+)
+
+// Tracer counter names published by the Pareto enumeration: candidates
+// examined and candidates that solved feasibly (enumeration progress).
+const (
+	MetricParetoCandidates = "vmcu_pareto_candidates"
+	MetricParetoSolved     = "vmcu_pareto_solved"
 )
 
 // EstimatePlan predicts the execution cost of a solved plan under a
@@ -138,10 +146,16 @@ func Pareto(profile mcu.Profile, net graph.Network, opts Options) ([]Variant, er
 	if opts.Objective != MinPeak && opts.Objective != MinLatency {
 		return nil, fmt.Errorf("netplan: unknown objective %v", opts.Objective)
 	}
+	tr := opts.Tracer
+	pspan := tr.Start("netplan.pareto", obs.KindPlan)
+	pspan.Attr(obs.Str("network", net.Name))
+	defer pspan.End()
+
 	candidates, err := paretoCandidates(net, opts)
 	if err != nil {
 		return nil, err
 	}
+	tr.Counter(MetricParetoCandidates).Add(uint64(len(candidates)))
 	variants := make([]Variant, 0, len(candidates))
 	solved := 0
 	for _, c := range candidates {
@@ -152,6 +166,7 @@ func Pareto(profile mcu.Profile, net graph.Network, opts Options) ([]Variant, er
 			continue
 		}
 		solved++
+		tr.Counter(MetricParetoSolved).Inc()
 		est, err := EstimatePlan(profile, net, np)
 		if err != nil {
 			return nil, err
@@ -166,7 +181,11 @@ func Pareto(profile mcu.Profile, net graph.Network, opts Options) ([]Variant, er
 		return nil, fmt.Errorf("netplan: no candidate schedule of %s is feasible under budget %d",
 			net.Name, opts.BudgetBytes)
 	}
-	return frontier(variants), nil
+	front := frontier(variants)
+	pspan.Attr(obs.Int("candidates", int64(len(candidates))),
+		obs.Int("solved", int64(solved)),
+		obs.Int("frontier", int64(len(front))))
+	return front, nil
 }
 
 // candidateOpts is one enumerated schedule of the Pareto search.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
@@ -38,8 +39,26 @@ type RunResult struct {
 // per-module seeds, exactly like graph.Network.Run), so they run
 // concurrently on a bounded worker pool; results keep network order.
 func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache *Cache) (*RunResult, error) {
+	return RunTraced(profile, net, seed, opts, cache, nil, 0, 0, "")
+}
+
+// RunTraced is Run with per-unit observability: when tr (or opts.Tracer)
+// is enabled, every executed unit — module, split region, streamed seam —
+// is recorded as a KindUnit span carrying the unit's device counters
+// (cycles, MACs, RAM traffic, peak bytes, verification outcome) under the
+// given parent/trace span IDs (0 for standalone roots). Units execute
+// concurrently on the worker pool, so their wall times overlap; the
+// simulated cycle axis is laid out cumulatively in network order — the
+// timeline the single-core device would execute — which is what the
+// exported device-cycle track renders. device names the simulated device
+// in the span ("" for host-only traces).
+func RunTraced(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache *Cache,
+	tr *obs.Tracer, parentID, traceID uint64, device string) (*RunResult, error) {
 	if cache == nil {
 		cache = Default
+	}
+	if tr == nil {
+		tr = opts.Tracer
 	}
 	np, _, err := cache.Plan(net, opts)
 	if err != nil {
@@ -63,6 +82,13 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 	}
 	results := make([]graph.ExecResult, len(units))
 	errs := make([]error, len(units))
+	// Per-unit wall timestamps, captured only when tracing (nil slices keep
+	// the untraced hot path free of clock reads).
+	var startNs, endNs []int64
+	if tr.Enabled() {
+		startNs = make([]int64, len(units))
+		endNs = make([]int64, len(units))
+	}
 	jobs := make(chan int)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(units) {
@@ -77,6 +103,9 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 		go func() {
 			defer wg.Done()
 			for u := range jobs {
+				if startNs != nil {
+					startNs[u] = tr.Now()
+				}
 				switch mi := units[u]; {
 				case mi <= -2:
 					s := np.Seams[-2-mi]
@@ -85,6 +114,9 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 					results[u], errs[u] = graph.RunSplitRegion(profile, np.Split.Plan, seed)
 				default:
 					results[u], errs[u] = runModule(profile, net.Modules[mi], np.Modules[mi], seed+int64(mi))
+				}
+				if endNs != nil {
+					endNs[u] = tr.Now()
 				}
 			}
 		}()
@@ -112,7 +144,52 @@ func Run(profile mcu.Profile, net graph.Network, seed int64, opts Options, cache
 		}
 		out.Violations += r.Violations
 	}
+	if tr.Enabled() {
+		emitUnitSpans(tr, profile, net, np, units, results, startNs, endNs, parentID, traceID, device)
+	}
 	return out, nil
+}
+
+// emitUnitSpans records one KindUnit span per executed unit, in network
+// order. Wall times are the measured per-worker times; the simulated cycle
+// axis is cumulative in network order, placing every kernel where the
+// single-core device would execute it.
+func emitUnitSpans(tr *obs.Tracer, profile mcu.Profile, net graph.Network, np *NetworkPlan,
+	units []int, results []graph.ExecResult, startNs, endNs []int64, parentID, traceID uint64, device string) {
+	cursor := 0.0
+	for u, mi := range units {
+		r := results[u]
+		cyc := r.Stats.Cycles(profile)
+		var name string
+		switch {
+		case mi <= -2:
+			name = np.Seams[-2-mi].Name + " seam"
+		case mi == -1:
+			name = splitName(np.Split)
+		default:
+			name = fmt.Sprintf("%s(%s)", net.Modules[mi].Name, np.Modules[mi].Policy)
+		}
+		verified := int64(0)
+		if r.OutputOK {
+			verified = 1
+		}
+		tr.Emit(obs.SpanData{
+			Parent: parentID, Trace: traceID,
+			Name: name, Kind: obs.KindUnit, Device: device,
+			Start: startNs[u], End: endNs[u],
+			StartCycles: cursor, EndCycles: cursor + cyc,
+			Attrs: []obs.Attr{
+				obs.Float("cycles", cyc),
+				obs.Int("macs", int64(r.Stats.MACs)),
+				obs.Int("ram_read_bytes", int64(r.Stats.RAMReadBytes)),
+				obs.Int("ram_write_bytes", int64(r.Stats.RAMWriteBytes)),
+				obs.Int("peak_bytes", int64(r.PeakBytes)),
+				obs.Int("violations", int64(r.Violations)),
+				obs.Int("verified", verified),
+			},
+		})
+		cursor += cyc
+	}
 }
 
 func runModule(profile mcu.Profile, cfg plan.Bottleneck, ms ModuleSchedule, seed int64) (graph.ExecResult, error) {

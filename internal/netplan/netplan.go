@@ -41,6 +41,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/ilp"
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/plan"
 )
 
@@ -288,6 +289,11 @@ type Options struct {
 	// CostProfile prices the cost model for the MinLatency objective (and
 	// is part of the cache identity). The zero value means CortexM4.
 	CostProfile mcu.Profile
+	// Tracer opts the scheduler into planner spans (whole-network solves,
+	// split-search probes, Pareto enumeration progress); nil is a no-op.
+	// Deliberately NOT part of the cache identity: Key ignores it, so
+	// traced and untraced requests share memoized plans.
+	Tracer *obs.Tracer
 }
 
 // costProfile resolves the pricing profile, defaulting to CortexM4.
@@ -344,13 +350,31 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 		return nil, fmt.Errorf("netplan: unknown objective %v", opts.Objective)
 	}
 
-	base, err := solve(net, opts, nil)
+	return planMinPeak(net, opts)
+}
+
+// planMinPeak is the MinPeak objective body: the non-split base solve plus
+// the split search, wrapped in one planner span when opts.Tracer is set.
+func planMinPeak(net graph.Network, opts Options) (np *NetworkPlan, err error) {
+	tr := opts.Tracer
+	pspan := tr.Start("netplan.plan", obs.KindPlan)
+	pspan.Attr(obs.Str("network", net.Name),
+		obs.Str("objective", opts.Objective.String()),
+		obs.Str("handoff", opts.Handoff.String()))
+	defer func() {
+		if np != nil {
+			pspan.Attr(obs.Int("peak_bytes", int64(np.PeakBytes)))
+		}
+		pspan.End()
+	}()
+
+	base, err := solveTraced(tr, pspan, net, opts, nil, "no-split")
 	if err != nil {
 		return nil, err
 	}
 	best := base
 	if !opts.Split.Disable {
-		split, err := searchSplit(net, opts, base)
+		split, err := searchSplit(net, opts, base, tr, pspan)
 		if err != nil {
 			return nil, err
 		}
@@ -364,6 +388,21 @@ func Plan(net graph.Network, opts Options) (*NetworkPlan, error) {
 			net.Name, best.PeakBytes, opts.BudgetBytes)
 	}
 	return best, nil
+}
+
+// solveTraced wraps one schedule solve in a planner span naming the
+// candidate ("no-split", "split 2×8 probe", ...) and recording its peak.
+func solveTraced(tr *obs.Tracer, parent *obs.Span, net graph.Network, opts Options, sp *plan.SplitPlan, label string) (*NetworkPlan, error) {
+	s := tr.StartChild(parent, "netplan.solve", obs.KindPlan)
+	s.Attr(obs.Str("candidate", label))
+	np, err := solve(net, opts, sp)
+	if err == nil {
+		s.Attr(obs.Int("peak_bytes", int64(np.PeakBytes)))
+	} else {
+		s.Attr(obs.Str("error", err.Error()))
+	}
+	s.End()
+	return np, err
 }
 
 // splitDepthLimit returns the longest split-eligible prefix: non-residual
@@ -389,7 +428,7 @@ func splitDepthLimit(net graph.Network, opts Options) int {
 // winning plan, or nil when no candidate beats the non-split base. Pinned
 // depth/patch options restrict the enumeration and force adoption; pinning
 // an ineligible region is an error.
-func searchSplit(net graph.Network, opts Options, base *NetworkPlan) (*NetworkPlan, error) {
+func searchSplit(net graph.Network, opts Options, base *NetworkPlan, tr *obs.Tracer, pspan *obs.Span) (*NetworkPlan, error) {
 	pinned := opts.Split.Depth > 0 || opts.Split.Patches > 0
 	limit := splitDepthLimit(net, opts)
 	depths := make([]int, 0, limit)
@@ -428,7 +467,8 @@ func searchSplit(net graph.Network, opts Options, base *NetworkPlan) (*NetworkPl
 			if err != nil {
 				return nil, fmt.Errorf("netplan: %w", err)
 			}
-			np, err := solve(net, opts, &sp)
+			np, err := solveTraced(tr, pspan, net, opts, &sp,
+				fmt.Sprintf("split %d×%d", k, opts.Split.Patches))
 			if err != nil {
 				return nil, err
 			}
@@ -465,7 +505,8 @@ func searchSplit(net graph.Network, opts Options, base *NetworkPlan) (*NetworkPl
 			continue
 		}
 		spProbe := plans[probe]
-		npProbe, err := solve(net, opts, &spProbe)
+		npProbe, err := solveTraced(tr, pspan, net, opts, &spProbe,
+			fmt.Sprintf("split %d×%d probe", k, probe))
 		if err != nil {
 			if pinned {
 				return nil, err
@@ -484,7 +525,8 @@ func searchSplit(net graph.Network, opts Options, base *NetworkPlan) (*NetworkPl
 			continue
 		}
 		spBest := plans[chosen]
-		npBest, err := solve(net, opts, &spBest)
+		npBest, err := solveTraced(tr, pspan, net, opts, &spBest,
+			fmt.Sprintf("split %d×%d", k, chosen))
 		if err != nil || npBest.PeakBytes > npProbe.PeakBytes {
 			// The cheap model mispredicted; keep the probe's exact result.
 			consider(npProbe, spProbe)

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exporters. Two formats are supported:
+//
+//   - Chrome trace_event JSON (WriteChromeTrace): loadable in
+//     chrome://tracing or Perfetto. Spans become complete ("X") events on
+//     two process rows — pid 1 is the wall clock, pid 2 the simulated
+//     device cycle clock (cycles plotted as microseconds) — with one
+//     thread per device (tid 0 is the host). Recorded series become
+//     counter ("C") events, so the Figure-1 pool-occupancy curve renders
+//     as a chart. Every event's args carry span_id/parent_id/trace_id, so
+//     a consumer can rebuild the exact span forest the tracer saw.
+//   - Prometheus text exposition (WritePrometheus): counters, gauges, and
+//     histograms in the classic scrape format (histogram buckets are
+//     cumulative with the "le" label), deterministically ordered.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// The two exported process rows.
+const (
+	wallPID  = 1 // wall-clock spans
+	cyclePID = 2 // simulated device-cycle spans (cycles as microseconds)
+)
+
+// WriteChromeTrace writes the snapshot as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
+	// Deterministic device → tid mapping: tid 0 is the host, devices get
+	// 1..N in sorted order.
+	devs := map[string]int{}
+	var names []string
+	for _, s := range snap.Spans {
+		if s.Device != "" && devs[s.Device] == 0 {
+			devs[s.Device] = -1
+			names = append(names, s.Device)
+		}
+	}
+	for _, sr := range snap.Series {
+		if sr.Device != "" && devs[sr.Device] == 0 {
+			devs[sr.Device] = -1
+			names = append(names, sr.Device)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		devs[n] = i + 1
+	}
+
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	meta := func(pid int, procName string) {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": procName},
+		})
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "host"},
+		})
+		for _, n := range names {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: devs[n],
+				Args: map[string]any{"name": n},
+			})
+		}
+	}
+	meta(wallPID, "wall clock")
+	meta(cyclePID, "device cycles")
+
+	for _, s := range snap.Spans {
+		args := map[string]any{
+			"span_id":   s.ID,
+			"parent_id": s.Parent,
+			"trace_id":  s.Trace,
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value()
+		}
+		tid := devs[s.Device]
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Kind, Phase: "X",
+			TS: float64(s.Start) / 1e3, Dur: float64(s.End-s.Start) / 1e3,
+			PID: wallPID, TID: tid, Args: args,
+		})
+		if s.EndCycles > s.StartCycles {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: s.Kind, Phase: "X",
+				TS: s.StartCycles, Dur: s.EndCycles - s.StartCycles,
+				PID: cyclePID, TID: tid, Args: args,
+			})
+		}
+	}
+	for _, sr := range snap.Series {
+		key := sr.Name
+		if sr.Unit != "" {
+			key = sr.Name + " (" + sr.Unit + ")"
+		}
+		for i, v := range sr.Samples {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: sr.Name, Phase: "C",
+				TS: float64(i), PID: wallPID, TID: devs[sr.Device],
+				Args: map[string]any{key: v},
+			})
+		}
+	}
+	buf, err := json.MarshalIndent(&tr, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// promName sanitizes a metric name to the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot's metrics as a Prometheus-style
+// text exposition (deterministic name order).
+func WritePrometheus(w io.Writer, snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
+	var b strings.Builder
+	sortedKeys := func(n int, collect func(func(string))) []string {
+		keys := make([]string, 0, n)
+		collect(func(k string) { keys = append(keys, k) })
+		sort.Strings(keys)
+		return keys
+	}
+	for _, k := range sortedKeys(len(snap.Counters), func(add func(string)) {
+		for k := range snap.Counters {
+			add(k)
+		}
+	}) {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[k])
+	}
+	for _, k := range sortedKeys(len(snap.Gauges), func(add func(string)) {
+		for k := range snap.Gauges {
+			add(k)
+		}
+	}) {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, snap.Gauges[k])
+	}
+	for _, k := range sortedKeys(len(snap.Histograms), func(add func(string)) {
+		for k := range snap.Histograms {
+			add(k)
+		}
+	}) {
+		h := snap.Histograms[k]
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", n, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %g\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters, gauges, and histograms live in per-tracer registries keyed by
+// name: the first Counter/Gauge/Histogram call for a name creates the
+// instrument, later calls return the same one, so instrumented call sites
+// need no registration step. Handles are cheap to hold and every method
+// is nil-receiver-safe (a nil tracer hands out nil instruments).
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into cumulative-style buckets: an
+// observation v lands in the first bucket whose upper bound is >= v
+// (Prometheus "le" semantics), or in the implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1, last is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramData is a histogram's snapshot: per-bucket (non-cumulative)
+// counts aligned with Bounds, plus the +Inf overflow in Counts[len(Bounds)].
+type HistogramData struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+func (h *Histogram) snapshot() HistogramData {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramData{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// metricsRegistry is the tracer's instrument store, guarded by Tracer.mu.
+type metricsRegistry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+func (r *metricsRegistry) init() {
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.histograms = map[string]*Histogram{}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil tracer).
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.metrics.counters[name]
+	if !ok {
+		c = &Counter{}
+		t.metrics.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// tracer).
+func (t *Tracer) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.metrics.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		t.metrics.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket upper bounds on first use (later calls ignore bounds;
+// nil on a nil tracer).
+func (t *Tracer) Histogram(name string, bounds []float64) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.metrics.histograms[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		t.metrics.histograms[name] = h
+	}
+	return h
+}
+
+// fill copies the registries into a snapshot. Caller holds Tracer.mu.
+func (r *metricsRegistry) fill(snap *Snapshot) {
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		snap.Histograms[name] = h.snapshot()
+	}
+}

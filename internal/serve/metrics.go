@@ -13,6 +13,28 @@ import (
 // memory.
 const latencyWindow = 8192
 
+// latencyBuckets are the sojourn-latency histogram's upper bounds, le
+// semantics: a completion counts into the first bucket whose bound it
+// does not exceed, with one implicit overflow bucket past the last bound.
+// Roughly 1-2-5 exponential from 1ms to 30s, covering sub-millisecond
+// dry-run admissions through multi-second verification backlogs.
+var latencyBuckets = []time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+}
+
 // metricsState is the server's internal counter block, guarded by
 // Server.mu.
 type metricsState struct {
@@ -31,6 +53,14 @@ type metricsState struct {
 	latencies [latencyWindow]time.Duration
 	latIdx    int
 	latCount  int
+
+	// Bucketed latency histogram over every completion since start (the
+	// reservoir above is windowed; the histogram is cumulative, which is
+	// what a Prometheus-style scrape needs). latHist[i] counts completions
+	// in bucket i (len(latencyBuckets)+1 buckets, last is overflow).
+	latHist  []uint64
+	latSum   time.Duration
+	latTotal uint64
 }
 
 func (m *metricsState) sampleLatency(d time.Duration) {
@@ -39,6 +69,32 @@ func (m *metricsState) sampleLatency(d time.Duration) {
 	if m.latCount < latencyWindow {
 		m.latCount++
 	}
+	if m.latHist == nil {
+		m.latHist = make([]uint64, len(latencyBuckets)+1)
+	}
+	m.latHist[latencyBucketIndex(d)]++
+	m.latSum += d
+	m.latTotal++
+}
+
+// latencyBucketIndex returns the histogram bucket for one completion:
+// the first bound >= d, or the overflow bucket.
+func latencyBucketIndex(d time.Duration) int {
+	return sort.Search(len(latencyBuckets), func(i int) bool {
+		return d <= latencyBuckets[i]
+	})
+}
+
+// LatencyHistogram is the bucketed sojourn-latency distribution.
+type LatencyHistogram struct {
+	// Bounds are the bucket upper bounds (le semantics). Counts has
+	// len(Bounds)+1 entries — one per bucket plus the overflow bucket —
+	// and is NOT cumulative; a Prometheus exposition accumulates it.
+	Bounds []time.Duration
+	Counts []uint64
+	// Count and Sum cover every completion since server start.
+	Count uint64
+	Sum   time.Duration
 }
 
 // DeviceMetrics is one fleet device's snapshot.
@@ -96,13 +152,17 @@ type Metrics struct {
 	ThroughputRPS float64
 	// Latency percentiles are sojourn times (submit → done) over the most
 	// recent completions (successful or failed), zero before the first.
-	LatencyP50     time.Duration
-	LatencyP95     time.Duration
-	LatencyP99     time.Duration
-	QueueDepth     int
-	QueueHighWater int
-	QueueCap       int
-	Devices        []DeviceMetrics
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+	// LatencyHistogram is the bucketed sojourn-latency distribution over
+	// every completion since start (not windowed) — the shape a
+	// Prometheus-style exporter scrapes.
+	LatencyHistogram LatencyHistogram
+	QueueDepth       int
+	QueueHighWater   int
+	QueueCap         int
+	Devices          []DeviceMetrics
 	// Cache reports the serving plan cache (hits, misses, evictions,
 	// current length).
 	Cache netplan.CacheStats
@@ -131,6 +191,13 @@ func (s *Server) Metrics() Metrics {
 	if sec := out.Uptime.Seconds(); sec > 0 {
 		out.ThroughputRPS = float64(out.Completed) / sec
 	}
+	out.LatencyHistogram = LatencyHistogram{
+		Bounds: append([]time.Duration(nil), latencyBuckets...),
+		Counts: make([]uint64, len(latencyBuckets)+1),
+		Count:  s.m.latTotal,
+		Sum:    s.m.latSum,
+	}
+	copy(out.LatencyHistogram.Counts, s.m.latHist)
 	samples := make([]time.Duration, s.m.latCount)
 	copy(samples, s.m.latencies[:s.m.latCount])
 	for _, d := range s.devices {

@@ -45,6 +45,7 @@ func (s *Server) shedExpiredLocked(now time.Time) {
 	for _, r := range s.queue {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			s.m.shedDeadline++
+			s.traceQueueExit(r, "shed-deadline")
 			r.resolve(Result{
 				Model:     r.mdl.name,
 				PeakBytes: r.peak,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/vmcu-project/vmcu/internal/netplan"
+	"github.com/vmcu-project/vmcu/internal/obs"
 )
 
 // State is one stage of the asynchronous request lifecycle:
@@ -156,6 +157,16 @@ type request struct {
 	variant    *modelVariant
 	estLatency time.Duration
 	metBudget  bool
+
+	// Lifecycle spans, all nil unless the server's tracer is enabled. Each
+	// is owned by one goroutine at a time: Submit until the request is
+	// enqueued, then whichever dispatcher holds Server.mu, then the
+	// executor goroutine. queueSpan is ended exactly once, by the path
+	// that removes the request from the queue (admit, shed, or cancel —
+	// all under Server.mu).
+	rootSpan     *obs.Span
+	queueSpan    *obs.Span
+	dispatchSpan *obs.Span
 
 	state  atomic.Int32
 	once   sync.Once

@@ -45,6 +45,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/graph"
 	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
+	"github.com/vmcu-project/vmcu/internal/obs"
 )
 
 // ExecMode selects what an admitted request executes.
@@ -102,6 +103,10 @@ type Options struct {
 	Cache *netplan.Cache
 	// Mode selects what admitted requests execute (default ExecVerify).
 	Mode ExecMode
+	// Tracer opts the server into request-lifecycle tracing and serving
+	// metrics (see trace.go for the span tree). nil (the default) is the
+	// no-op tracer: every instrumented path reduces to a nil check.
+	Tracer *obs.Tracer
 }
 
 // ModelConfig carries a registered model's serving defaults.
@@ -184,6 +189,7 @@ type device struct {
 type Server struct {
 	mode     ExecMode
 	cache    *netplan.Cache
+	tr       *obs.Tracer // nil unless Options.Tracer opted in
 	devices  []*device
 	queueCap int
 	maxPool  int
@@ -222,9 +228,15 @@ func NewServer(opts Options) (*Server, error) {
 		}
 		cache = netplan.NewCacheWithCap(entries)
 	}
+	if opts.Tracer != nil {
+		// Mirror the plan cache's hit/miss/eviction counters onto the
+		// tracer (vmcu_plancache_*), including for an injected shared cache.
+		cache.SetTracer(opts.Tracer)
+	}
 	s := &Server{
 		mode:     opts.Mode,
 		cache:    cache,
+		tr:       opts.Tracer,
 		queueCap: queueCap,
 		models:   make(map[string]*model),
 		started:  time.Now(),
@@ -321,7 +333,7 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 // the fleet's reference profile (the largest-pool device).
 func (s *Server) planVariants(net graph.Network, cfg ModelConfig) ([]modelVariant, error) {
 	if !cfg.Pareto {
-		np, _, err := s.cache.Plan(net, netplan.Options{})
+		np, _, err := s.cache.Plan(net, netplan.Options{Tracer: s.tr})
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +343,7 @@ func (s *Server) planVariants(net graph.Network, cfg ModelConfig) ([]modelVarian
 		}
 		return []modelVariant{{desc: "min-peak", opts: netplan.Options{}, peak: np.PeakBytes, stats: est.Total}}, nil
 	}
-	frontier, err := netplan.Pareto(s.refProfile, net, netplan.Options{})
+	frontier, err := netplan.Pareto(s.refProfile, net, netplan.Options{Tracer: s.tr})
 	if err != nil {
 		return nil, err
 	}
@@ -385,6 +397,7 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 		doneCh:    make(chan struct{}),
 	}
 	req.setState(StateSubmitted)
+	submitSpan := s.traceSubmit(req, modelName)
 
 	// The plans were resolved through the cache at registration and plans
 	// are deterministic, so the model's stored variant peaks ARE the
@@ -419,12 +432,14 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 	if s.closed {
 		s.mu.Unlock()
 		req.stopTimer()
+		s.traceSubmitRejected(req, submitSpan, "rejected-closed")
 		return nil, ErrClosed
 	}
 	if len(s.queue) >= s.queueCap {
 		s.m.rejectedFull++
 		s.mu.Unlock()
 		req.stopTimer()
+		s.traceSubmitRejected(req, submitSpan, "rejected-queue-full")
 		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
 	}
 	s.nextID++
@@ -435,6 +450,7 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 		s.m.queueHighWater = len(s.queue)
 	}
 	s.m.submitted++
+	s.traceEnqueued(req, submitSpan)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	return &Ticket{r: req}, nil
@@ -496,6 +512,7 @@ func (s *Server) dispatch(d *device) {
 			s.mu.Unlock()
 			continue
 		}
+		s.traceAdmit(d, req)
 		if v.peak > req.mdl.minPeak {
 			s.m.variantUpgrades++
 		}
@@ -519,6 +536,7 @@ func (s *Server) dispatch(d *device) {
 func (s *Server) execute(d *device, req *request) {
 	defer s.execs.Done()
 	req.setState(StateRunning)
+	execSpan := s.traceExecuteStart(d, req)
 	var run *netplan.RunResult
 	var err error
 	switch s.mode {
@@ -527,7 +545,8 @@ func (s *Server) execute(d *device, req *request) {
 		// scheduling point so residency windows genuinely overlap.
 		runtime.Gosched()
 	default:
-		run, err = netplan.Run(d.profile, req.mdl.net, req.seed, req.variant.opts, s.cache)
+		run, err = netplan.RunTraced(d.profile, req.mdl.net, req.seed, req.variant.opts, s.cache,
+			s.tr, execSpan.ID(), execSpan.TraceID(), d.name)
 		if err == nil && !run.AllVerified {
 			err = fmt.Errorf("serve: %s on %s: output verification failed", req.mdl.name, d.name)
 		}
@@ -535,6 +554,18 @@ func (s *Server) execute(d *device, req *request) {
 			err = fmt.Errorf("serve: %s on %s: %d memory-safety violations", req.mdl.name, d.name, run.Violations)
 		}
 	}
+	if run != nil && execSpan != nil {
+		cycles := 0.0
+		for _, r := range run.Modules {
+			cycles += r.Stats.Cycles(d.profile)
+		}
+		for _, r := range run.Seams {
+			cycles += r.Stats.Cycles(d.profile)
+		}
+		execSpan.SetCycles(0, cycles)
+		execSpan.Attr(obs.Float("device_cycles", cycles))
+	}
+	execSpan.End()
 	freed := d.ledger.Release(req.id)
 	now := time.Now()
 
@@ -553,6 +584,9 @@ func (s *Server) execute(d *device, req *request) {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
+	// Close the span tree before resolving: a caller that waits on the
+	// ticket and then snapshots the tracer sees the whole tree.
+	s.traceComplete(d, req, freed, now.Sub(req.submitted), err)
 	req.resolve(Result{
 		Model:            req.mdl.name,
 		Device:           d.name,
@@ -574,6 +608,7 @@ func (s *Server) cancel(r *request) bool {
 		if q == r {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			s.m.canceled++
+			s.traceQueueExit(r, "canceled")
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			r.resolve(Result{

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/obs"
+)
+
+// Request-lifecycle tracing. When Options.Tracer is set, every accepted
+// submission records a connected span tree:
+//
+//	request                         (root, kind "request")
+//	├── submit                      (Submit body: ticket creation)
+//	├── queue                       (enqueue → taken by a dispatcher, or shed)
+//	├── admit                       (variant selection + ledger reserve)
+//	│   └── ledger.reserve
+//	├── dispatch                    (admission → executor goroutine running)
+//	├── execute                     (the netplan.Run verification)
+//	│   └── one span per executed unit (module / split region / seam),
+//	│       recorded by netplan with device cycle counters as attributes
+//	└── complete                    (ledger release + metrics + resolve)
+//	    └── ledger.release
+//
+// Requests that never reach admission still close their tree: the queue
+// span ends with an "outcome" attribute (shed / canceled) and the root
+// span ends with the terminal state. Every span-touching path runs under
+// Server.mu or in the single goroutine owning the request at that stage,
+// so the tracing is race-clean; with a nil tracer every call below is a
+// nil-check no-op.
+
+// Tracer metric names exported by the serving layer.
+const (
+	metricSubmitted       = "vmcu_serve_submitted"
+	metricCompleted       = "vmcu_serve_completed"
+	metricFailed          = "vmcu_serve_failed"
+	metricCanceled        = "vmcu_serve_canceled"
+	metricRejectedFull    = "vmcu_serve_rejected_queue_full"
+	metricShedDeadline    = "vmcu_serve_shed_deadline"
+	metricVariantUpgrades = "vmcu_serve_variant_upgrades"
+	metricQueueDepth      = "vmcu_serve_queue_depth"
+	metricLatencyMs       = "vmcu_serve_latency_ms"
+)
+
+// latencyHistBoundsMs mirrors latencyBuckets for the tracer's histogram.
+func latencyHistBoundsMs() []float64 {
+	out := make([]float64, len(latencyBuckets))
+	for i, b := range latencyBuckets {
+		out[i] = float64(b) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// traceSubmit opens the request's root span and the submit stage span.
+func (s *Server) traceSubmit(req *request, modelName string) (submit *obs.Span) {
+	if s.tr == nil {
+		return nil
+	}
+	req.rootSpan = s.tr.Start("request", obs.KindRequest)
+	req.rootSpan.Attr(obs.Str("model", modelName))
+	submit = s.tr.StartChild(req.rootSpan, "submit", obs.KindStage)
+	return submit
+}
+
+// traceEnqueued ends the submit span and opens the queue span. Runs under
+// s.mu with the request id assigned.
+func (s *Server) traceEnqueued(req *request, submit *obs.Span) {
+	if s.tr == nil {
+		return
+	}
+	req.rootSpan.Attr(obs.Int("request_id", int64(req.id)))
+	submit.End()
+	req.queueSpan = s.tr.StartChild(req.rootSpan, "queue", obs.KindStage)
+	s.tr.Gauge(metricQueueDepth).Set(float64(len(s.queue)))
+	s.tr.Counter(metricSubmitted).Inc()
+}
+
+// traceSubmitRejected closes the tree of a request rejected at submit
+// time (queue full / closed): no queue span was ever opened.
+func (s *Server) traceSubmitRejected(req *request, submit *obs.Span, reason string) {
+	if s.tr == nil {
+		return
+	}
+	submit.Attr(obs.Str("outcome", reason))
+	submit.End()
+	req.rootSpan.Attr(obs.Str("state", reason))
+	req.rootSpan.End()
+	if reason == "rejected-queue-full" {
+		s.tr.Counter(metricRejectedFull).Inc()
+	}
+}
+
+// traceAdmit ends the queue span and records the admit stage: variant
+// selection plus the ledger reservation. Runs under s.mu in the admitting
+// dispatcher.
+func (s *Server) traceAdmit(d *device, req *request) {
+	if s.tr == nil {
+		return
+	}
+	req.queueSpan.End()
+	req.queueSpan = nil
+	s.tr.Gauge(metricQueueDepth).Set(float64(len(s.queue)))
+	admit := s.tr.StartChild(req.rootSpan, "admit", obs.KindStage)
+	admit.SetDevice(d.name)
+	admit.Attr(
+		obs.Str("variant", req.variant.desc),
+		obs.Int("peak_bytes", int64(req.peak)),
+		obs.Int("ledger_free_bytes", int64(d.ledger.Free())),
+	)
+	res := s.tr.StartChild(admit, "ledger.reserve", obs.KindStage)
+	res.SetDevice(d.name)
+	res.Attr(obs.Int("bytes", int64(req.peak)))
+	res.End()
+	admit.End()
+	if req.variant.peak > req.mdl.minPeak {
+		s.tr.Counter(metricVariantUpgrades).Inc()
+	}
+	req.dispatchSpan = s.tr.StartChild(req.rootSpan, "dispatch", obs.KindStage)
+	req.dispatchSpan.SetDevice(d.name)
+}
+
+// traceQueueExit closes the tree of a request that left the queue without
+// admission (deadline shed or cancel). Runs under s.mu.
+func (s *Server) traceQueueExit(req *request, outcome string) {
+	if s.tr == nil {
+		return
+	}
+	req.queueSpan.Attr(obs.Str("outcome", outcome))
+	req.queueSpan.End()
+	req.queueSpan = nil
+	s.tr.Gauge(metricQueueDepth).Set(float64(len(s.queue)))
+	req.rootSpan.Attr(obs.Str("state", outcome))
+	req.rootSpan.End()
+	switch outcome {
+	case "shed-deadline":
+		s.tr.Counter(metricShedDeadline).Inc()
+	case "canceled":
+		s.tr.Counter(metricCanceled).Inc()
+	}
+}
+
+// traceExecuteStart ends the dispatch span and opens the execute span in
+// the executor goroutine.
+func (s *Server) traceExecuteStart(d *device, req *request) *obs.Span {
+	if s.tr == nil {
+		return nil
+	}
+	req.dispatchSpan.End()
+	req.dispatchSpan = nil
+	exec := s.tr.StartChild(req.rootSpan, "execute", obs.KindStage)
+	exec.SetDevice(d.name)
+	exec.Attr(obs.Str("variant", req.variant.desc))
+	return exec
+}
+
+// traceComplete records the completion stage (ledger release + metrics)
+// and closes the root span. Runs in the executor goroutine after the
+// request resolved its outcome fields.
+func (s *Server) traceComplete(d *device, req *request, freed int, latency time.Duration, err error) {
+	if s.tr == nil {
+		return
+	}
+	complete := s.tr.StartChild(req.rootSpan, "complete", obs.KindStage)
+	complete.SetDevice(d.name)
+	rel := s.tr.StartChild(complete, "ledger.release", obs.KindStage)
+	rel.SetDevice(d.name)
+	rel.Attr(obs.Int("bytes", int64(freed)))
+	rel.End()
+	state := "done"
+	if err != nil {
+		state = "failed"
+		s.tr.Counter(metricFailed).Inc()
+	} else {
+		s.tr.Counter(metricCompleted).Inc()
+	}
+	complete.Attr(obs.Str("state", state))
+	complete.End()
+	req.rootSpan.Attr(obs.Str("state", state))
+	req.rootSpan.SetDevice(d.name)
+	req.rootSpan.End()
+	s.tr.Histogram(metricLatencyMs, latencyHistBoundsMs()).
+		Observe(float64(latency) / float64(time.Millisecond))
+}

@@ -39,6 +39,8 @@
 package vmcu
 
 import (
+	"io"
+
 	"github.com/vmcu-project/vmcu/internal/codegen"
 	"github.com/vmcu-project/vmcu/internal/cost"
 	"github.com/vmcu-project/vmcu/internal/eval"
@@ -46,6 +48,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/ir"
 	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
+	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/plan"
 	"github.com/vmcu-project/vmcu/internal/serve"
 	"github.com/vmcu-project/vmcu/internal/tensor"
@@ -394,4 +397,56 @@ func NewPlanCache(capEntries int) *netplan.Cache { return netplan.NewCacheWithCa
 func MemoryProfile(profile Profile, h, c, k int, seed int64, width, height int) (string, error) {
 	return eval.PointwiseMemoryTrace(profile,
 		eval.PointwiseCase{Name: "trace", HW: h, C: c, K: k}, seed, width, height)
+}
+
+// Tracer is the opt-in observability spine (internal/obs): bounded
+// ring-buffer span storage over two clocks (host wall time and simulated
+// device cycles) plus counters, gauges, and histograms. A nil *Tracer is
+// a valid no-op — every recording method returns immediately — so
+// instrumented paths cost nothing when tracing is off. Attach one via
+// ServeOptions.Tracer or ScheduleOptions.Tracer, snapshot it with
+// Tracer.Snapshot, and export with WriteChromeTrace / WritePrometheus.
+// See DESIGN.md §5f.
+type Tracer = obs.Tracer
+
+// TracerOptions configure NewTracer (span ring-buffer capacity).
+type TracerOptions = obs.Options
+
+// TraceSnapshot is a consistent copy of a tracer's recorded state: spans
+// (oldest first), drop accounting, occupancy series, and metric values.
+type TraceSnapshot = obs.Snapshot
+
+// SpanData is one recorded span: identity (span/parent/trace IDs), name,
+// kind, device, wall-clock and simulated-cycle windows, and attributes.
+type SpanData = obs.SpanData
+
+// NewTracer builds an enabled tracer. The zero TracerOptions give the
+// default span capacity (obs.DefaultSpanCapacity).
+func NewTracer(opts TracerOptions) *Tracer { return obs.New(opts) }
+
+// WriteChromeTrace exports a snapshot as Chrome trace_event JSON — load
+// it in chrome://tracing or Perfetto. Wall-clock spans render under
+// process 1, the simulated device-cycle timeline under process 2 (cycles
+// shown as microseconds), occupancy series as counter tracks.
+func WriteChromeTrace(w io.Writer, snap *TraceSnapshot) error {
+	return obs.WriteChromeTrace(w, snap)
+}
+
+// WritePrometheus exports a snapshot's counters, gauges, and histograms
+// in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, snap *TraceSnapshot) error {
+	return obs.WritePrometheus(w, snap)
+}
+
+// RunNetworkTraced is RunNetwork with per-unit observability: every
+// executed unit is recorded on tr as a KindUnit span carrying the unit's
+// device counters, with the simulated cycle axis laid out cumulatively in
+// network order. parentID and traceID link the unit spans under an
+// existing span tree (0 for standalone roots); device names the simulated
+// device in the exported timeline.
+func RunNetworkTraced(profile Profile, net Network, seed int64, tr *Tracer,
+	parentID, traceID uint64, device string) (*NetworkRunResult, error) {
+	return netplan.RunTraced(profile, net, seed,
+		netplan.Options{BudgetBytes: profile.RAMBytes()}, netplan.Default,
+		tr, parentID, traceID, device)
 }
