@@ -1,0 +1,83 @@
+// vmcu-lint is the repo's domain-specific static-analysis gate: a
+// multichecker over the internal/lint/analyzers suite, which machine-
+// checks the safety conventions the codebase otherwise only documents —
+// mutex-guarded state (lockguard), nil-receiver no-op instruments
+// (nilnoop), deterministic simulation clocks (simclock), exhaustive
+// plan-cache keys (cachekey), wrappable sentinel errors (errsentinel),
+// and ledger-private byte accounting (ledgerwrite).
+//
+// Usage:
+//
+//	vmcu-lint [-list] [packages]
+//
+// Packages default to ./... relative to the module root (found by
+// walking up from the working directory to go.mod). Findings print as
+// path:line:col: message [analyzer]; the exit status is 1 when there
+// are findings, 2 on a load or usage error. Intentional exceptions are
+// annotated in source with //lint:allow <analyzer> <reason>, never
+// suppressed here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+	"github.com/vmcu-project/vmcu/internal/lint/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmcu-lint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the vmcu analyzer suite; packages default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmcu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(root, flag.Args(), suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmcu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vmcu-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the first go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// Cachekey enforces plan-cache key exhaustiveness: a struct marked
+// "lint:cachekey <Func>" must have every one of its fields referenced
+// inside the named function in the same package, unless the field is
+// explicitly exempted with "lint:nokey <reason>". netplan.Options
+// carries the marker pointing at netplan.Key: any new scheduler option
+// that changes the solved plan but is forgotten in Key silently
+// collides cache entries, which means a request admitted against one
+// plan can execute another — stale-plan collisions become wrong ledger
+// reservations. The PR-5 objective/budget key extension is exactly the
+// kind of change this pins.
+var Cachekey = &lint.Analyzer{
+	Name: "cachekey",
+	Doc:  "every field of a lint:cachekey struct must flow into its cache key function",
+	Run:  runCachekey,
+}
+
+func runCachekey(pass *lint.Pass) error {
+	eachStructType(pass, func(ts *ast.TypeSpec, st *ast.StructType, doc string) {
+		keyFunc := lint.CacheKeyFunc(doc)
+		if keyFunc == "" {
+			return
+		}
+		fd := findFunc(pass, keyFunc)
+		if fd == nil {
+			pass.Reportf(ts.Name.Pos(),
+				"lint:cachekey names function %s, which does not exist in package %s",
+				keyFunc, pass.Pkg.Name())
+			return
+		}
+		used := map[types.Object]bool{}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					used[obj] = true
+				}
+			}
+			return true
+		})
+		for _, f := range st.Fields.List {
+			if lint.HasMarker(lint.DocText(f.Doc, f.Comment), "nokey") {
+				continue
+			}
+			for _, name := range f.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil || used[obj] {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"field %s of %s does not reach cache key function %s: plans differing only in %[1]s would collide (annotate 'lint:nokey <reason>' if that is intended)",
+					name.Name, ts.Name.Name, keyFunc)
+			}
+		}
+	})
+	return nil
+}
+
+// findFunc locates a top-level function declaration by name.
+func findFunc(pass *lint.Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// Errsentinel reports sentinel errors compared with == or != (or a
+// switch case) instead of errors.Is. Sentinels are package-level error
+// variables named Err*, the repo's convention (serve's ErrQueueFull,
+// ErrDeadline, ErrTooLarge, ...). Serving paths wrap them —
+// fmt.Errorf("%w (cap %d)", ErrQueueFull, cap) — so an == comparison
+// that happens to work today silently breaks the moment a call site
+// adds context. Comparisons against nil are not flagged.
+var Errsentinel = &lint.Analyzer{
+	Name: "errsentinel",
+	Doc:  "sentinel errors must be compared with errors.Is, not ==",
+	Run:  runErrsentinel,
+}
+
+func runErrsentinel(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if v := sentinelVar(pass, side); v != nil {
+						pass.Reportf(n.Pos(),
+							"sentinel %s compared with %s: use errors.Is, wrapped errors never match ==",
+							v.Name(), n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelVar(pass, e); v != nil {
+							pass.Reportf(e.Pos(),
+								"sentinel %s in a switch case compares with ==: use errors.Is, wrapped errors never match",
+								v.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar resolves an expression to a package-level error variable
+// named Err*, or nil.
+func sentinelVar(pass *lint.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) <= 3 {
+		return nil
+	}
+	if c := v.Name()[3]; c < 'A' || c > 'Z' {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether the expression's type is the error
+// interface.
+func isErrorExpr(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}

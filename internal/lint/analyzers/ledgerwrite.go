@@ -1,0 +1,93 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// Ledgerwrite protects the zero-over-commit-by-construction property:
+// fields of a struct marked "lint:ledger" (serve's Ledger — the
+// byte-exact admission accounting) may only be written by methods of
+// that struct. The TryReserve/Release pair maintains
+// sum(reserved) <= capacity at every instant; any arithmetic on used,
+// held, or the counters from outside the ledger's own methods could
+// break the invariant without failing a single existing test. Reads
+// stay free — it is the accounting that is ledger-private, not the
+// observability.
+var Ledgerwrite = &lint.Analyzer{
+	Name: "ledgerwrite",
+	Doc:  "lint:ledger struct fields may only be written by the struct's own methods",
+	Run:  runLedgerwrite,
+}
+
+func runLedgerwrite(pass *lint.Pass) error {
+	// marked maps each protected field to its owning type name.
+	marked := map[*types.Var]*types.TypeName{}
+	eachStructType(pass, func(ts *ast.TypeSpec, st *ast.StructType, doc string) {
+		if !lint.HasMarker(doc, "ledger") {
+			return
+		}
+		tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			return
+		}
+		for _, f := range st.Fields.List {
+			for _, name := range f.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					marked[v] = tn
+				}
+			}
+		}
+	})
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := pass.ReceiverType(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var targets []ast.Expr
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					targets = n.Lhs
+				case *ast.IncDecStmt:
+					targets = []ast.Expr{n.X}
+				default:
+					return true
+				}
+				for _, lhs := range targets {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					selection, ok := pass.TypesInfo.Selections[sel]
+					if !ok || selection.Kind() != types.FieldVal {
+						continue
+					}
+					v, ok := selection.Obj().(*types.Var)
+					if !ok {
+						continue
+					}
+					owner, isMarked := marked[v]
+					if !isMarked {
+						continue
+					}
+					if recv != nil && recv.Obj() == owner {
+						continue // the struct's own method
+					}
+					pass.Reportf(sel.Sel.Pos(),
+						"write to ledger field %s outside %s methods: byte accounting is ledger-private (the over-commit-impossible invariant)",
+						v.Name(), owner.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

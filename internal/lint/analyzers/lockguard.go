@@ -1,0 +1,191 @@
+// Package analyzers holds the vmcu-lint analysis suite: six
+// domain-specific checkers that turn the repo's documented safety
+// conventions — mutex-guarded counter blocks, nil-receiver no-op
+// instruments, deterministic simulated clocks, exhaustive plan-cache
+// keys, wrappable sentinel errors, and ledger-private byte accounting —
+// into machine-checked gates. See internal/lint for the framework and
+// the annotation grammar, and DESIGN.md §5g for the invariant each
+// analyzer protects.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// Lockguard reports accesses to fields annotated "guarded by Type.mu"
+// from functions that neither lock that mutex nor carry a
+// "runs with Type.mu held" annotation.
+//
+// The check is flow-insensitive by design: a function that calls
+// mu.Lock anywhere counts as holding mu everywhere in its body
+// (function literals inherit the enclosing declaration). The guarded
+// invariants in this repo fail by omission — a new code path touching
+// Server.m or device.active without taking Server.mu — and omission is
+// exactly what this catches; it is not a race prover (the -race
+// acceptance tests remain the dynamic gate).
+var Lockguard = &lint.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated 'guarded by Type.mu' may only be accessed while holding that mutex",
+	Run:  runLockguard,
+}
+
+// guardSpec is one field's protection requirement.
+type guardSpec struct {
+	guard lint.Guard
+	field *types.Var
+}
+
+func runLockguard(pass *lint.Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := heldGuards(pass, fd)
+			// One finding per guard and line: b.c.hits selects two guarded
+			// fields (c, then hits) under the same mutex — that is one
+			// violation, not two.
+			type reportKey struct {
+				guard lint.Guard
+				line  int
+			}
+			seen := map[reportKey]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				obj, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				spec, ok := guarded[obj]
+				if !ok || held[spec.guard] {
+					return true
+				}
+				rk := reportKey{guard: spec.guard, line: pass.Fset.Position(sel.Sel.Pos()).Line}
+				if seen[rk] {
+					return true
+				}
+				seen[rk] = true
+				pass.Reportf(sel.Sel.Pos(),
+					"access to %s (guarded by %s.%s) in %s, which neither locks %[2]s.%[3]s nor is annotated 'runs with %[2]s.%[3]s held'",
+					obj.Name(), spec.guard.Owner, spec.guard.Field, fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields gathers every struct field protected by a
+// "guarded by Type.mu" annotation — on the field itself or on the whole
+// struct's doc (which guards every field of the struct).
+func collectGuardedFields(pass *lint.Pass) map[*types.Var]guardSpec {
+	guarded := map[*types.Var]guardSpec{}
+	eachStructType(pass, func(ts *ast.TypeSpec, st *ast.StructType, doc string) {
+		structGuards := lint.GuardedBy(doc)
+		for _, f := range st.Fields.List {
+			fieldGuards := lint.GuardedBy(lint.DocText(f.Doc, f.Comment))
+			use := fieldGuards
+			if len(use) == 0 {
+				use = structGuards
+			}
+			if len(use) == 0 {
+				continue
+			}
+			for _, name := range f.Names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				guarded[obj] = guardSpec{guard: use[0], field: obj}
+			}
+		}
+	})
+	return guarded
+}
+
+// heldGuards computes the set of mutexes a function holds: those named
+// by a "runs with Type.mu held" annotation in its doc, plus every mutex
+// field the body calls Lock/RLock on (flow-insensitively).
+func heldGuards(pass *lint.Pass, fd *ast.FuncDecl) map[lint.Guard]bool {
+	held := map[lint.Guard]bool{}
+	for _, g := range lint.RunsWith(lint.DocText(fd.Doc)) {
+		held[g] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") {
+			return true
+		}
+		// The lock target must itself be a field selection (s.mu, d.state.mu):
+		// the owning named type plus field name form the guard identity.
+		target, ok := fun.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[target]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		owner := namedOf(selection.Recv())
+		if owner == nil {
+			return true
+		}
+		held[lint.Guard{Owner: owner.Obj().Name(), Field: target.Sel.Name}] = true
+		return true
+	})
+	return held
+}
+
+// eachStructType visits every struct type declaration with its combined
+// doc text (GenDecl doc, TypeSpec doc, and trailing comment).
+func eachStructType(pass *lint.Pass, visit func(*ast.TypeSpec, *ast.StructType, string)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				doc := lint.DocText(gd.Doc, ts.Doc, ts.Comment)
+				visit(ts, st, doc)
+			}
+		}
+	}
+}
+
+// namedOf unwraps one pointer level to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,14 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/lint/analyzers"
+	"github.com/vmcu-project/vmcu/internal/lint/linttest"
+)
+
+func TestLockguard(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "lockguard"),
+		"example.test/lockguard", analyzers.Lockguard)
+}

@@ -1,0 +1,217 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// Nilnoop enforces the nil-receiver no-op contract on types marked
+// "lint:nilsafe" in their doc comment (internal/obs's *Tracer, *Span,
+// *Counter, *Gauge, *Histogram): every exported pointer-receiver method
+// must neutralize a nil receiver before touching it. A method
+// satisfies the contract when, scanning its top-level statements in
+// order, the receiver is first used in one of:
+//
+//   - a guard: if r == nil { ... return }   (extra ||-conditions fine)
+//   - a nil test result: return r == nil / return r != nil
+//   - a delegation: a call to another pointer method on the receiver
+//     (which the contract covers in turn), as in Inc() { c.Add(1) }
+//
+// Statements before the guard may do receiver-free work (building the
+// empty snapshot to return, say); any other receiver use first is a
+// contract break — the documented ~1ns/0-alloc disabled path would
+// panic instead.
+var Nilnoop = &lint.Analyzer{
+	Name: "nilnoop",
+	Doc:  "exported pointer methods on lint:nilsafe types must open with a nil-receiver guard",
+	Run:  runNilnoop,
+}
+
+func runNilnoop(pass *lint.Pass) error {
+	marked := map[*types.TypeName]bool{}
+	eachStructType(pass, func(ts *ast.TypeSpec, st *ast.StructType, doc string) {
+		if !lint.HasMarker(doc, "nilsafe") {
+			return
+		}
+		if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+			marked[tn] = true
+		}
+	})
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			named := pass.ReceiverType(fd)
+			if named == nil || !marked[named.Obj()] {
+				continue
+			}
+			if _, isPtr := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type.(*types.Pointer); !isPtr {
+				continue // value receivers copy; nil cannot reach them
+			}
+			recv := receiverVar(pass, fd)
+			if recv == nil {
+				continue // unnamed receiver: the body cannot touch it
+			}
+			if pos, ok := firstUnguardedUse(pass, fd, recv); ok {
+				pass.Reportf(pos,
+					"%s.%s on lint:nilsafe type uses receiver %s before a nil guard (contract: nil receiver is a no-op)",
+					named.Obj().Name(), fd.Name.Name, recv.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// receiverVar resolves the receiver identifier's object, or nil for
+// unnamed/blank receivers.
+func receiverVar(pass *lint.Pass, fd *ast.FuncDecl) *types.Var {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// firstUnguardedUse scans the method's top-level statements for the
+// first receiver use that is not one of the sanctioned shapes, if any.
+func firstUnguardedUse(pass *lint.Pass, fd *ast.FuncDecl, recv *types.Var) (token.Pos, bool) {
+	for _, stmt := range fd.Body.List {
+		if !usesVar(pass, stmt, recv) {
+			continue
+		}
+		if isNilGuard(pass, stmt, recv) || isNilTestReturn(pass, stmt, recv) || isDelegation(pass, stmt, recv) {
+			return token.NoPos, false
+		}
+		return fd.Name.Pos(), true
+	}
+	return token.NoPos, false
+}
+
+// usesVar reports whether the subtree references v.
+func usesVar(pass *lint.Pass, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNilGuard matches `if r == nil { ...; return }` (the condition may
+// continue with || clauses, and the body's last statement must return).
+func isNilGuard(pass *lint.Pass, stmt ast.Stmt, recv *types.Var) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond := ifs.Cond
+	// Peel || chains left-associatively: the receiver-nil test must be the
+	// leftmost operand, so it is evaluated first.
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if bin.Op.String() == "||" {
+			cond = bin.X
+			continue
+		}
+		if bin.Op.String() != "==" {
+			return false
+		}
+		if !isRecvNilComparison(pass, bin, recv) {
+			return false
+		}
+		break
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// isNilTestReturn matches `return r == nil` / `return r != nil`.
+func isNilTestReturn(pass *lint.Pass, stmt ast.Stmt, recv *types.Var) bool {
+	ret, ok := stmt.(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	bin, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok || (bin.Op.String() != "==" && bin.Op.String() != "!=") {
+		return false
+	}
+	return isRecvNilComparison(pass, bin, recv)
+}
+
+// isRecvNilComparison reports whether bin compares the receiver ident
+// against nil.
+func isRecvNilComparison(pass *lint.Pass, bin *ast.BinaryExpr, recv *types.Var) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}
+
+// isDelegation matches a statement whose receiver use is a call to
+// another pointer-receiver method on the same receiver — that callee
+// carries the nil check. Field-typed callables do not count: selecting
+// a field dereferences the nil receiver.
+func isDelegation(pass *lint.Pass, stmt ast.Stmt, recv *types.Var) bool {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recv {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	sig, ok := selection.Obj().Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ptrRecv := sig.Recv().Type().(*types.Pointer)
+	if !ptrRecv {
+		return false
+	}
+	// Arguments must not touch the receiver either (m.Add(m.v) would
+	// dereference before the callee's guard runs).
+	for _, arg := range call.Args {
+		if usesVar(pass, arg, recv) {
+			return false
+		}
+	}
+	return true
+}

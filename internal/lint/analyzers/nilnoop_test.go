@@ -1,0 +1,14 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/lint/analyzers"
+	"github.com/vmcu-project/vmcu/internal/lint/linttest"
+)
+
+func TestNilnoop(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "nilnoop"),
+		"example.test/nilnoop", analyzers.Nilnoop)
+}

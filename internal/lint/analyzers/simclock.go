@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// Simclock forbids wall-clock reads and global (implicitly seeded)
+// randomness in the deterministic simulation packages: mcu, kernels,
+// plan, netplan, cost, ilp, affine, seg, tensor, graph. Simulated cycle
+// counts, planner decisions, and golden executions in those packages
+// must be bit-reproducible across runs — the peak-regression table, the
+// fuzz harness, and the cost model's ±10% contract all assume it. A
+// time.Now in internal/mcu would leak host time into device state; a
+// bare rand.Intn would draw from the globally seeded source.
+//
+// Explicitly seeded randomness (rand.New(rand.NewSource(seed)) — how
+// the deterministic weight streams are built) stays legal, as does the
+// time package's pure arithmetic (time.Duration and friends). The
+// serving and observability layers (serve, obs, cmd/*) are host-side
+// and out of scope.
+var Simclock = &lint.Analyzer{
+	Name: "simclock",
+	Doc:  "no wall-clock or globally-seeded randomness in deterministic simulation packages",
+	Run:  runSimclock,
+}
+
+// simPackages are the module-relative package suffixes in scope.
+var simPackages = []string{
+	"internal/mcu",
+	"internal/kernels",
+	"internal/plan",
+	"internal/netplan",
+	"internal/cost",
+	"internal/ilp",
+	"internal/affine",
+	"internal/seg",
+	"internal/tensor",
+	"internal/graph",
+}
+
+// bannedTimeFuncs are the time-package functions that read the host
+// clock or schedule against it.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that do
+// NOT touch the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimclock(pass *lint.Pass) error {
+	if !inSimScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if _, isFunc := obj.(*types.Func); isFunc && bannedTimeFuncs[obj.Name()] {
+					pass.Reportf(id.Pos(),
+						"time.%s in deterministic simulation package %s: simulated cycle counts must not depend on the host clock",
+						obj.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				fn, isFunc := obj.(*types.Func)
+				if !isFunc || allowedRandFuncs[obj.Name()] {
+					return true
+				}
+				// Methods on *rand.Rand (explicitly seeded sources) are fine;
+				// only package-level functions draw from the global source.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"rand.%s draws from the globally seeded source in deterministic simulation package %s: use rand.New(rand.NewSource(seed))",
+					obj.Name(), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inSimScope reports whether the package path is one of the
+// deterministic simulation packages.
+func inSimScope(path string) bool {
+	for _, suffix := range simPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

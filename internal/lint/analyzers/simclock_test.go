@@ -1,0 +1,24 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/lint/analyzers"
+	"github.com/vmcu-project/vmcu/internal/lint/linttest"
+)
+
+// TestSimclock poses the testdata package as internal/mcu — in the
+// deterministic-simulation scope — so the wall-clock and global-rand
+// uses fire.
+func TestSimclock(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simclock"),
+		"github.com/vmcu-project/vmcu/internal/mcu", analyzers.Simclock)
+}
+
+// TestSimclockOutOfScope poses a wall-clock-using package as
+// internal/serve, which is host-side and exempt: no findings.
+func TestSimclockOutOfScope(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simclock_out"),
+		"github.com/vmcu-project/vmcu/internal/serve", analyzers.Simclock)
+}

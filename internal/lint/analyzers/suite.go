@@ -1,0 +1,17 @@
+package analyzers
+
+import "github.com/vmcu-project/vmcu/internal/lint"
+
+// All returns the full vmcu-lint suite, the set cmd/vmcu-lint runs and
+// CI gates on. Order is the reporting order for findings at identical
+// positions.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		Lockguard,
+		Nilnoop,
+		Simclock,
+		Cachekey,
+		Errsentinel,
+		Ledgerwrite,
+	}
+}

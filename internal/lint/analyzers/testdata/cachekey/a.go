@@ -1,0 +1,25 @@
+// Package a is cachekey golden testdata: an options struct whose
+// marker requires every field to reach the key function.
+package a
+
+import "fmt"
+
+// Options configures a solve.
+//
+// lint:cachekey Key
+type Options struct {
+	Budget int
+	Mode   string
+	// Tracer is observability only and deliberately not part of the
+	// cache identity; lint:nokey (traced and untraced share plans).
+	Tracer *int
+	Depth  int // want `field Depth of Options does not reach cache key function Key`
+	// Patches is intentionally keyless while the feature is gated off.
+	Patches int //lint:allow cachekey feature-gated, always zero today
+}
+
+// Key builds the cache identity. Depth is missing — the golden case —
+// and Patches is allow-annotated at its declaration.
+func Key(o Options) string {
+	return fmt.Sprintf("%d|%s", o.Budget, o.Mode)
+}

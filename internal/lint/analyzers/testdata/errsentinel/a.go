@@ -1,0 +1,43 @@
+// Package a is errsentinel golden testdata: sentinel comparisons by
+// ==, !=, switch, errors.Is, and an allow-annotated identity check.
+package a
+
+import "errors"
+
+// ErrFull is a sentinel that call sites wrap with context.
+var ErrFull = errors.New("queue full")
+
+// ErrClosed is a second sentinel.
+var ErrClosed = errors.New("closed")
+
+// errInternal is unexported and not a sentinel by the Err* convention.
+var errInternal = errors.New("internal")
+
+// Classify compares sentinels every way.
+func Classify(err error) string {
+	if err == ErrFull { // want `sentinel ErrFull compared with ==`
+		return "full"
+	}
+	if err != ErrClosed { // want `sentinel ErrClosed compared with !=`
+		return "open"
+	}
+	if errors.Is(err, ErrFull) {
+		return "full-wrapped"
+	}
+	if err == errInternal { // unexported: not in the sentinel convention
+		return "internal"
+	}
+	switch err {
+	case ErrClosed: // want `sentinel ErrClosed in a switch case`
+		return "closed"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// Identity is a deliberate pointer-identity check on an unwrapped
+// sentinel, waived with a reason.
+func Identity(err error) bool {
+	return err == ErrFull //lint:allow errsentinel pointer identity is the point here
+}

@@ -1,0 +1,44 @@
+// Package a is ledgerwrite golden testdata: a lint:ledger accounting
+// struct written from its own methods, from outside, and from an
+// allow-annotated constructor helper.
+package a
+
+// Pool tracks byte reservations; lint:ledger — accounting fields are
+// written only by Pool's own methods.
+type Pool struct {
+	capacity int
+	used     int
+	admitted uint64
+}
+
+// Reserve is ledger-internal accounting: fine.
+func (p *Pool) Reserve(n int) bool {
+	if p.used+n > p.capacity {
+		return false
+	}
+	p.used += n
+	p.admitted++
+	return true
+}
+
+// Release is also a method: fine.
+func (p *Pool) Release(n int) { p.used -= n }
+
+// Used reads are always free.
+func Used(p *Pool) int { return p.used }
+
+// Steal mutates accounting from outside the ledger.
+func Steal(p *Pool) {
+	p.used -= 4 // want `write to ledger field used outside Pool methods`
+}
+
+// Grow swaps in a new capacity from outside.
+func Grow(p *Pool, c int) {
+	p.capacity = c // want `write to ledger field capacity outside Pool methods`
+}
+
+// reset is test scaffolding, waived explicitly.
+func reset(p *Pool) {
+	p.used = 0     //lint:allow ledgerwrite test scaffolding reset
+	p.admitted = 0 //lint:allow ledgerwrite test scaffolding reset
+}

@@ -1,0 +1,51 @@
+// Package a is lockguard golden testdata: a mutex-owning struct with
+// annotated fields, accessed from holding, annotated, unguarded, and
+// allow-suppressed functions.
+package a
+
+import "sync"
+
+// counters is a grouped block, guarded by Box.mu.
+type counters struct {
+	hits  uint64
+	drops uint64
+}
+
+// Box owns the mutex.
+type Box struct {
+	mu sync.Mutex
+	// queue is guarded by Box.mu.
+	queue []int
+	// c is guarded by Box.mu.
+	c counters
+	// open is unguarded: atomic-free, set once before publication.
+	open bool
+}
+
+// Locked holds the mutex directly.
+func (b *Box) Locked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.queue = append(b.queue, 1)
+	b.c.hits++
+}
+
+// flushLocked runs with Box.mu held.
+func (b *Box) flushLocked() {
+	b.queue = nil
+	b.c.drops++
+}
+
+// Unguarded touches guarded state with no lock and no annotation.
+func (b *Box) Unguarded() int {
+	b.c.hits++          // want `guarded by Box\.mu`
+	return len(b.queue) // want `guarded by Box\.mu`
+}
+
+// Unrelated touches only unguarded fields.
+func (b *Box) Unrelated() bool { return b.open }
+
+// Reset is intentionally lock-free: the box is not yet published.
+func (b *Box) Reset() {
+	b.queue = nil //lint:allow lockguard not yet published, single goroutine
+}

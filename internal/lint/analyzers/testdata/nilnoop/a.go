@@ -1,0 +1,65 @@
+// Package a is nilnoop golden testdata: a lint:nilsafe instrument with
+// guarded, delegating, late-guarded, violating, and allow-suppressed
+// methods.
+package a
+
+// Meter is a nil-safe instrument (lint:nilsafe): every exported
+// pointer method must be a no-op on a nil receiver.
+type Meter struct {
+	n int
+	v float64
+}
+
+// Add opens with the canonical guard.
+func (m *Meter) Add(v float64) {
+	if m == nil {
+		return
+	}
+	m.n++
+	m.v += v
+}
+
+// Inc delegates to a guarded pointer method.
+func (m *Meter) Inc() { m.Add(1) }
+
+// Enabled is the nil test itself.
+func (m *Meter) Enabled() bool { return m != nil }
+
+// Mean guards late but before any receiver use (the Snapshot shape).
+func (m *Meter) Mean() float64 {
+	out := 0.0
+	if m == nil {
+		return out
+	}
+	if m.n > 0 {
+		out = m.v / float64(m.n)
+	}
+	return out
+}
+
+// Guarded may combine the nil test with other conditions, nil first.
+func (m *Meter) Observe(vs []float64) {
+	if m == nil || len(vs) == 0 {
+		return
+	}
+	for _, v := range vs {
+		m.Add(v)
+	}
+}
+
+// Count dereferences an unchecked receiver.
+func (m *Meter) Count() int { // want `uses receiver m before a nil guard`
+	return m.n
+}
+
+// Bump delegates, but the argument dereferences the receiver first.
+func (m *Meter) Bump() { // want `uses receiver m before a nil guard`
+	m.Add(m.v)
+}
+
+// MustCount documents that it panics on nil; exempted explicitly.
+//
+//lint:allow nilnoop documented to panic on a nil receiver
+func (m *Meter) MustCount() int {
+	return m.n
+}

@@ -1,0 +1,45 @@
+// Package a is simclock golden testdata, loaded under the
+// internal/mcu import path so it is in the deterministic-simulation
+// scope.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Step is simulated time: pure duration arithmetic is fine.
+const Step = 10 * time.Microsecond
+
+// Weights draws from an explicitly seeded stream — the deterministic
+// idiom the repo uses everywhere.
+func Weights(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// Stamp leaks the host clock into simulated state.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic simulation package`
+}
+
+// Age compares against the host clock.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic simulation package`
+}
+
+// Jitter draws from the globally seeded source.
+func Jitter() int {
+	return rand.Intn(8) // want `rand\.Intn draws from the globally seeded source`
+}
+
+// Profile is host-side benchmarking inside a simulation package,
+// explicitly waived.
+func Profile() int64 {
+	start := time.Now().UnixNano() //lint:allow simclock host-side benchmark helper, not device state
+	return start
+}

@@ -1,0 +1,14 @@
+// Package a is simclock negative testdata, loaded under the
+// internal/serve import path: host-side packages may read the wall
+// clock freely, so nothing here is flagged.
+package a
+
+import "time"
+
+// Uptime is a host-side measurement.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,30 @@
+// Package a is the multichecker smoke fixture: one package that trips
+// several analyzers of the suite at once, proving the combined run
+// reports each from its own analyzer.
+package a
+
+import "errors"
+
+// ErrBusy is a sentinel.
+var ErrBusy = errors.New("busy")
+
+// Account is a lint:ledger struct.
+type Account struct {
+	bytes int
+}
+
+// Gauge is nil-safe (lint:nilsafe).
+type Gauge struct {
+	v float64
+}
+
+// Set violates the nilnoop contract.
+func (g *Gauge) Set(v float64) { // want `uses receiver g before a nil guard`
+	g.v = v
+}
+
+// Drain violates ledgerwrite and errsentinel in one body.
+func Drain(a *Account, err error) bool {
+	a.bytes = 0           // want `write to ledger field bytes outside Account methods`
+	return err == ErrBusy // want `sentinel ErrBusy compared with ==`
+}

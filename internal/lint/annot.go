@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/scanner"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The annotation grammar (package doc has the full table). Parsing is
+// regexp-over-comment-text: annotations are prose-compatible, so the
+// existing documentation style ("active and completed are guarded by
+// Server.mu.") is already machine-readable.
+
+var (
+	guardedByRE = regexp.MustCompile(`[Gg]uarded by ([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+	runsWithRE  = regexp.MustCompile(`[Rr]uns with ([A-Za-z_]\w*)\.([A-Za-z_]\w*) held`)
+	cacheKeyRE  = regexp.MustCompile(`lint:cachekey ([A-Za-z_]\w*)`)
+	allowRE     = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z_]\w*(?:,[A-Za-z_]\w*)*)\b`)
+)
+
+// Guard names one mutex as "<Owner>.<Field>", e.g. {"Server", "mu"}.
+type Guard struct {
+	Owner string // the named struct type owning the mutex field
+	Field string // the mutex field name
+}
+
+// GuardedBy extracts every "guarded by Type.field" clause from a
+// comment text.
+func GuardedBy(doc string) []Guard {
+	return guardMatches(guardedByRE, doc)
+}
+
+// RunsWith extracts every "runs with Type.field held" clause from a
+// comment text.
+func RunsWith(doc string) []Guard {
+	return guardMatches(runsWithRE, doc)
+}
+
+func guardMatches(re *regexp.Regexp, doc string) []Guard {
+	var out []Guard
+	for _, m := range re.FindAllStringSubmatch(flatten(doc), -1) {
+		out = append(out, Guard{Owner: m[1], Field: m[2]})
+	}
+	return out
+}
+
+var spaceRE = regexp.MustCompile(`[\s/]+`)
+
+// flatten collapses comment markers, newlines, and runs of spaces to
+// single spaces, so an annotation survives gofmt re-wrapping its comment
+// ("runs with Server.mu\n// held" still parses).
+func flatten(doc string) string {
+	return spaceRE.ReplaceAllString(doc, " ")
+}
+
+// HasMarker reports whether a comment text carries the bare marker
+// "lint:<name>" (word-bounded: lint:nokey does not match lint:nokeyx).
+func HasMarker(doc, name string) bool {
+	re := regexp.MustCompile(`\blint:` + regexp.QuoteMeta(name) + `\b`)
+	return re.MatchString(doc)
+}
+
+// CacheKeyFunc extracts the function name from a "lint:cachekey <Func>"
+// marker, or "".
+func CacheKeyFunc(doc string) string {
+	if m := cacheKeyRE.FindStringSubmatch(flatten(doc)); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// DocText joins a declaration's doc comment group into plain text (""
+// for nil).
+func DocText(groups ...*ast.CommentGroup) string {
+	var b strings.Builder
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			b.WriteString(c.Text)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Suppressor answers whether a diagnostic position is covered by a
+// //lint:allow annotation. An allow comment applies to the code on its
+// own line; a comment standing alone on a line applies to the next line:
+//
+//	s.m.submitted++ //lint:allow lockguard pre-publish in NewServer
+//
+//	//lint:allow lockguard,ledgerwrite pre-publish in NewServer
+//	s.m.submitted++
+//
+// The names are analyzer names; everything after them is the (required
+// by convention, unenforced) human reason.
+type Suppressor struct {
+	fset *token.FileSet
+	// allowed maps file name -> line -> analyzer-name set.
+	allowed map[string]map[int]map[string]bool
+}
+
+// NewSuppressor scans the package's sources for //lint:allow comments.
+func NewSuppressor(fset *token.FileSet, pkg *Package) *Suppressor {
+	s := &Suppressor{fset: fset, allowed: map[string]map[int]map[string]bool{}}
+	for fn, src := range pkg.Sources {
+		s.scanFile(fn, src)
+	}
+	return s
+}
+
+// scanFile tokenizes one file, recording which lines hold code and where
+// the allow comments sit, then resolves each comment to its target line.
+func (s *Suppressor) scanFile(filename string, src []byte) {
+	var sc scanner.Scanner
+	file := s.fset.AddFile(filename+"#allow", -1, len(src))
+	sc.Init(file, src, nil, scanner.ScanComments)
+	codeLines := map[int]bool{}
+	type allowAt struct {
+		line  int
+		names []string
+	}
+	var allows []allowAt
+	for {
+		pos, tok, lit := sc.Scan()
+		if tok == token.EOF {
+			break
+		}
+		line := file.Line(pos)
+		if tok == token.COMMENT {
+			if m := allowRE.FindStringSubmatch(lit); m != nil {
+				allows = append(allows, allowAt{line: line, names: strings.Split(m[1], ",")})
+			}
+			continue
+		}
+		codeLines[line] = true
+	}
+	if len(allows) == 0 {
+		return
+	}
+	byLine := s.allowed[filename]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		s.allowed[filename] = byLine
+	}
+	for _, a := range allows {
+		target := a.line
+		if !codeLines[target] {
+			target = a.line + 1
+		}
+		set := byLine[target]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[target] = set
+		}
+		for _, n := range a.names {
+			set[n] = true
+		}
+	}
+}
+
+// Allowed reports whether analyzer findings at pos are suppressed.
+func (s *Suppressor) Allowed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	byLine, ok := s.allowed[p.Filename]
+	if !ok {
+		return false
+	}
+	return byLine[p.Line][analyzer]
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic from a run: position, analyzer,
+// message.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats a finding the way every Go tool does:
+// path:line:col: message [analyzer].
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package matched by patterns under
+// the module rooted at moddir, returning the unsuppressed findings in
+// file/line order. Patterns follow the go tool's shape: "./..." (or a
+// bare "...") walks the whole module; anything else names one package
+// directory relative to moddir. Directories named testdata, hidden
+// directories, and directories without non-test Go files are skipped.
+func Run(moddir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	loader, err := NewLoader(moddir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := resolve(moddir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, importPathFor(loader, dir))
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, RunPackage(loader, pkg, analyzers)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunPackage applies the analyzers to one loaded package, honoring
+// //lint:allow suppression.
+func RunPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) []Finding {
+	sup := NewSuppressor(loader.Fset, pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			if sup.Allowed(a.Name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      loader.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		// Analyzer Run errors are internal failures, not findings; surface
+		// them as findings anyway so a broken analyzer cannot pass silently.
+		if err := a.Run(pass); err != nil {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      token.Position{Filename: pkg.Dir},
+				Message:  fmt.Sprintf("analyzer error: %v", err),
+			})
+		}
+	}
+	return findings
+}
+
+// importPathFor derives the module-relative import path of dir.
+func importPathFor(l *Loader, dir string) string {
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// resolve expands patterns into package directories.
+func resolve(moddir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			err := filepath.WalkDir(moddir, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != moddir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+		default:
+			dir := filepath.Join(moddir, strings.TrimPrefix(pat, "./"))
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("lint: no Go files in %s", dir)
+			}
+			add(dir)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+// Package linttest is the golden-test harness for the vmcu-lint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest: a
+// testdata directory holds a small package whose lines carry
+// expectations as trailing comments,
+//
+//	s.count++ // want `unguarded access`
+//
+// and Run checks that the analyzer reports exactly the expected
+// diagnostics (each "want" regexp must match one diagnostic on its
+// line, and every diagnostic must be wanted). //lint:allow suppression
+// is active, so an annotated-allow line with no "want" comment proves
+// the escape hatch works.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// ModuleRoot locates the repository root (the directory holding go.mod)
+// from this source file's location, so tests run from any package
+// directory.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("linttest: cannot locate caller")
+	}
+	// file is <root>/internal/lint/linttest/linttest.go.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// Run loads the package in testdata dir under the synthetic import path
+// and checks the analyzer's diagnostics against the "want" comments.
+// The import path matters to analyzers that scope themselves by package
+// (simclock): a testdata package posing as internal/mcu is in scope,
+// one posing as internal/serve is not.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	root := ModuleRoot(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	findings := lint.RunPackage(loader, pkg, analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for fn, src := range pkg.Sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, re := range parseWants(t, fn, i+1, m[1]) {
+				k := key{file: fn, line: i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{file: f.Pos.Filename, line: f.Pos.Line}
+		res := wants[k]
+		found := false
+		for i, re := range res {
+			if re != nil && re.MatchString(f.Message) {
+				res[i] = nil // each want matches one diagnostic
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", posString(f.Pos), f.Message, f.Analyzer)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re.String())
+			}
+		}
+	}
+}
+
+// parseWants splits a want payload into its quoted regexps: one or more
+// of "..." or `...`, whitespace-separated.
+func parseWants(t *testing.T, file string, line int, payload string) []*regexp.Regexp {
+	t.Helper()
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(payload)
+	for rest != "" {
+		var tok string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want regexp", file, line)
+			}
+			tok = rest[:end+2]
+			rest = rest[end+2:]
+		case '"':
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want regexp", file, line)
+			}
+			tok = rest[:end+2]
+			rest = rest[end+2:]
+		default:
+			t.Fatalf("%s:%d: want expects quoted regexps, got %q", file, line, rest)
+		}
+		unq, err := strconv.Unquote(tok)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want token %q: %v", file, line, tok, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", file, line, unq, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

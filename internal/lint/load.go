@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: everything a Pass needs,
+// plus the raw sources the suppression scanner works from.
+type Package struct {
+	// Path is the package's import path (for testdata packages, the
+	// caller-chosen synthetic path — simclock keys its scope off it).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed syntax trees, comments included, in file-name
+	// order.
+	Files []*ast.File
+	// Sources maps file names to their raw bytes.
+	Sources map[string][]byte
+	// Types and Info are the type-checker's outputs.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module without the go
+// command: module-internal imports resolve recursively through the
+// loader itself, and everything else (the standard library) resolves
+// through go/importer's source importer, which works offline from
+// GOROOT. Loaded packages are memoized, so a whole-repo lint run
+// type-checks each package — and the stdlib closure — once.
+//
+// A Loader is not safe for concurrent use; the driver runs packages
+// sequentially (the whole-repo run is ~2s, dominated by the one-time
+// stdlib type-check).
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	ModDir  string // module root directory
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// moddir/go.mod.
+func NewLoader(moddir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moddir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modpath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modpath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modpath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", moddir)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		ModPath: modpath,
+		ModDir:  moddir,
+		std:     std,
+		pkgs:    map[string]*Package{},
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths load through
+// the loader, everything else through the offline source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		dir := filepath.Join(l.ModDir, strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/"))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir loads the package in dir under the given import path: every
+// non-test .go file is parsed with comments and the package is
+// type-checked. The result is memoized by import path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir, Sources: map[string][]byte{}}
+	for _, n := range names {
+		fn := filepath.Join(dir, n)
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(l.Fset, fn, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Sources[fn] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

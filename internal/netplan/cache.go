@@ -29,14 +29,15 @@ import (
 // limit.
 type Cache struct {
 	mu        sync.Mutex
-	cap       int // max retained completed entries; 0 means unbounded
-	entries   map[string]*cacheEntry
-	lru       *list.List // keys of completed entries, front = most recent
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	cap       int                    // max retained completed entries; 0 means unbounded; immutable
+	entries   map[string]*cacheEntry // guarded by Cache.mu
+	lru       *list.List             // completed-entry keys, front = most recent; guarded by Cache.mu
+	hits      uint64                 // guarded by Cache.mu
+	misses    uint64                 // guarded by Cache.mu
+	evictions uint64                 // guarded by Cache.mu
 	// Tracer counter handles, mirroring the lifetime counters above onto
-	// an attached obs.Tracer (all nil until SetTracer; nil-safe to Inc).
+	// an attached obs.Tracer (all nil until SetTracer; nil-safe to Inc);
+	// guarded by Cache.mu.
 	trHits, trMisses, trEvictions *obs.Counter
 }
 
@@ -178,7 +179,7 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 }
 
 // evict drops least-recently-used completed entries until the retained
-// count fits the cap. Caller holds c.mu.
+// count fits the cap. Runs with Cache.mu held.
 func (c *Cache) evict() {
 	if c.cap <= 0 {
 		return

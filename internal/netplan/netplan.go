@@ -269,6 +269,11 @@ func (o Objective) String() string {
 }
 
 // Options configure the scheduler.
+//
+// Options is part of the plan-cache identity (lint:cachekey Key): every
+// field that can change the solved plan must flow into Key, and
+// vmcu-lint's cachekey analyzer rejects a new field that does not reach
+// it (annotate lint:nokey with a reason when that is deliberate).
 type Options struct {
 	// BudgetBytes is the device RAM budget; 0 disables the check.
 	BudgetBytes int
@@ -291,8 +296,8 @@ type Options struct {
 	CostProfile mcu.Profile
 	// Tracer opts the scheduler into planner spans (whole-network solves,
 	// split-search probes, Pareto enumeration progress); nil is a no-op.
-	// Deliberately NOT part of the cache identity: Key ignores it, so
-	// traced and untraced requests share memoized plans.
+	// lint:nokey deliberately NOT part of the cache identity: Key ignores
+	// it, so traced and untraced requests share memoized plans.
 	Tracer *obs.Tracer
 }
 

@@ -12,7 +12,8 @@ import (
 // need no registration step. Handles are cheap to hold and every method
 // is nil-receiver-safe (a nil tracer hands out nil instruments).
 
-// Counter is a monotonically increasing uint64 metric.
+// Counter is a monotonically increasing uint64 metric (lint:nilsafe:
+// every exported method tolerates a nil receiver).
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds 1.
@@ -34,10 +35,12 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
-// Gauge is a last-value-wins float metric.
+// Gauge is a last-value-wins float metric (lint:nilsafe: every exported
+// method tolerates a nil receiver).
 type Gauge struct {
 	mu sync.Mutex
-	v  float64
+	// v is guarded by Gauge.mu.
+	v float64
 }
 
 // Set stores v.
@@ -63,9 +66,11 @@ func (g *Gauge) Value() float64 {
 // Histogram counts observations into cumulative-style buckets: an
 // observation v lands in the first bucket whose upper bound is >= v
 // (Prometheus "le" semantics), or in the implicit +Inf overflow bucket.
+// lint:nilsafe: every exported method tolerates a nil receiver.
 type Histogram struct {
-	bounds []float64 // ascending upper bounds; +Inf is implicit
+	bounds []float64 // ascending upper bounds; +Inf is implicit; immutable
 	mu     sync.Mutex
+	// counts, sum, and count are guarded by Histogram.mu.
 	counts []uint64 // len(bounds)+1, last is +Inf
 	sum    float64
 	count  uint64
@@ -111,10 +116,14 @@ type metricsRegistry struct {
 	histograms map[string]*Histogram
 }
 
-func (r *metricsRegistry) init() {
-	r.counters = map[string]*Counter{}
-	r.gauges = map[string]*Gauge{}
-	r.histograms = map[string]*Histogram{}
+// newMetricsRegistry builds an empty registry; the maps are created up
+// front so instrument lookups never nil-check them.
+func newMetricsRegistry() metricsRegistry {
+	return metricsRegistry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns the named counter, creating it on first use (nil on a
@@ -168,7 +177,7 @@ func (t *Tracer) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// fill copies the registries into a snapshot. Caller holds Tracer.mu.
+// fill copies the registries into a snapshot; runs with Tracer.mu held.
 func (r *metricsRegistry) fill(snap *Snapshot) {
 	for name, c := range r.counters {
 		snap.Counters[name] = c.Value()

@@ -19,15 +19,17 @@ import (
 //
 // TryReserve refuses any reservation that would break it, so over-commit
 // is impossible by construction; the property tests fuzz this under
-// concurrent reserve/release and -race.
+// concurrent reserve/release and -race, and vmcu-lint's ledgerwrite
+// analyzer (lint:ledger) keeps the byte accounting writable only from
+// Ledger's own methods.
 type Ledger struct {
 	mu       sync.Mutex
-	capacity int
-	used     int
-	peakUsed int
-	held     map[uint64]int // request id -> reserved bytes
-	admitted uint64
-	refused  uint64
+	capacity int            // pool size; immutable after NewLedger
+	used     int            // bytes currently reserved; guarded by Ledger.mu
+	peakUsed int            // reservation high-water mark; guarded by Ledger.mu
+	held     map[uint64]int // request id -> reserved bytes; guarded by Ledger.mu
+	admitted uint64         // lifetime admissions; guarded by Ledger.mu
+	refused  uint64         // lifetime refusals; guarded by Ledger.mu
 }
 
 // NewLedger returns a ledger over a pool of capacity bytes.

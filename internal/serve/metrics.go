@@ -63,6 +63,8 @@ type metricsState struct {
 	latTotal uint64
 }
 
+// sampleLatency records one completion's sojourn time into the windowed
+// reservoir and the cumulative histogram. Runs with Server.mu held.
 func (m *metricsState) sampleLatency(d time.Duration) {
 	m.latencies[m.latIdx] = d
 	m.latIdx = (m.latIdx + 1) % latencyWindow

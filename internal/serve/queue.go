@@ -14,6 +14,7 @@ import "time"
 // takeLocked removes and returns the best admissible request for device d:
 // the highest-priority (earliest within a priority) request whose peak
 // fits d's free bytes, or nil when d is slot-saturated or nothing fits.
+// Runs with Server.mu held.
 func (s *Server) takeLocked(d *device) *request {
 	if d.active >= d.slots {
 		return nil
@@ -39,7 +40,8 @@ func (s *Server) takeLocked(d *device) *request {
 }
 
 // shedExpiredLocked removes every queued request whose admission deadline
-// has passed, resolving each ticket with ErrDeadline.
+// has passed, resolving each ticket with ErrDeadline. Runs with Server.mu
+// held.
 func (s *Server) shedExpiredLocked(now time.Time) {
 	kept := s.queue[:0]
 	for _, r := range s.queue {

@@ -161,10 +161,11 @@ type request struct {
 	// Lifecycle spans, all nil unless the server's tracer is enabled. Each
 	// is owned by one goroutine at a time: Submit until the request is
 	// enqueued, then whichever dispatcher holds Server.mu, then the
-	// executor goroutine. queueSpan is ended exactly once, by the path
-	// that removes the request from the queue (admit, shed, or cancel —
-	// all under Server.mu).
-	rootSpan     *obs.Span
+	// executor goroutine.
+	rootSpan *obs.Span
+	// queueSpan is guarded by Server.mu: opened at enqueue and ended
+	// exactly once, by the path that removes the request from the queue
+	// (admit, shed, or cancel — all while holding the lock).
 	queueSpan    *obs.Span
 	dispatchSpan *obs.Span
 

@@ -180,8 +180,9 @@ type device struct {
 	profile mcu.Profile
 	ledger  *Ledger
 	slots   int
-	// active and completed are guarded by Server.mu.
-	active    int
+	// active is the running-request count, guarded by Server.mu.
+	active int
+	// completed counts finished requests, guarded by Server.mu.
 	completed uint64
 }
 
@@ -200,11 +201,11 @@ type Server struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	models map[string]*model
-	queue  []*request // arrival order
-	nextID uint64
-	closed bool
-	m      metricsState
+	models map[string]*model // guarded by Server.mu
+	queue  []*request        // arrival order; guarded by Server.mu
+	nextID uint64            // guarded by Server.mu
+	closed bool              // guarded by Server.mu
+	m      metricsState      // counter block; guarded by Server.mu
 
 	dispatchers sync.WaitGroup
 	execs       sync.WaitGroup

@@ -61,8 +61,8 @@ func (s *Server) traceSubmit(req *request, modelName string) (submit *obs.Span) 
 	return submit
 }
 
-// traceEnqueued ends the submit span and opens the queue span. Runs under
-// s.mu with the request id assigned.
+// traceEnqueued ends the submit span and opens the queue span. Runs with
+// Server.mu held, with the request id assigned.
 func (s *Server) traceEnqueued(req *request, submit *obs.Span) {
 	if s.tr == nil {
 		return
@@ -90,8 +90,8 @@ func (s *Server) traceSubmitRejected(req *request, submit *obs.Span, reason stri
 }
 
 // traceAdmit ends the queue span and records the admit stage: variant
-// selection plus the ledger reservation. Runs under s.mu in the admitting
-// dispatcher.
+// selection plus the ledger reservation. Runs with Server.mu held, in the
+// admitting dispatcher.
 func (s *Server) traceAdmit(d *device, req *request) {
 	if s.tr == nil {
 		return
@@ -119,7 +119,7 @@ func (s *Server) traceAdmit(d *device, req *request) {
 }
 
 // traceQueueExit closes the tree of a request that left the queue without
-// admission (deadline shed or cancel). Runs under s.mu.
+// admission (deadline shed or cancel). Runs with Server.mu held.
 func (s *Server) traceQueueExit(req *request, outcome string) {
 	if s.tr == nil {
 		return
