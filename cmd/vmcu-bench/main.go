@@ -15,6 +15,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -95,13 +96,62 @@ type TracerOverheadSnapshot struct {
 	TracedSpans uint64  `json:"traced_spans"`
 }
 
+// SaturationPoint is one offered-rate step of the open-loop saturation
+// sweep: submissions arrive on a fixed schedule regardless of completions
+// (open loop), so offered rates past capacity genuinely saturate the
+// admission machinery instead of self-throttling.
+type SaturationPoint struct {
+	// OfferedRPS is the target arrival rate; AttemptedRPS the rate the
+	// generator actually achieved (they diverge when the submit path
+	// itself is the bottleneck — reported so a slow point is visible, not
+	// silently under-offered). 0 offered means the unpaced capacity probe.
+	OfferedRPS   float64 `json:"offered_rps"`
+	AttemptedRPS float64 `json:"attempted_rps"`
+	// Accepted submissions got tickets; RejectedFull were shed at submit
+	// (every shard's bounded queue full — open-loop overload absorbed by
+	// rejection, not unbounded queueing).
+	Accepted     int     `json:"accepted"`
+	RejectedFull uint64  `json:"rejected_queue_full"`
+	SustainedRPS float64 `json:"sustained_rps"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	// ShedDeadline counts queued requests whose admission deadline passed
+	// in the backlog; Degraded* report the degraded-mode response.
+	ShedDeadline       uint64 `json:"shed_deadline"`
+	DegradedEngaged    uint64 `json:"degraded_engaged"`
+	DegradedAdmissions uint64 `json:"degraded_admissions"`
+	// OverCommits counts devices whose lifetime pool high-water mark
+	// exceeded capacity — the ledger invariant; must be zero.
+	OverCommits int `json:"over_commits"`
+}
+
+// SaturationSnapshot is the open-loop admission saturation sweep: a
+// mixed-profile fleet in dry-run mode (admission machinery only — no
+// kernel execution, so the queue/ledger/shard path is the measured
+// system), offered rates ramped from well under capacity to well past it.
+type SaturationSnapshot struct {
+	Fleet            []string          `json:"fleet"`
+	Mode             string            `json:"mode"`
+	QueueCap         int               `json:"queue_cap"`
+	DegradeDepth     int               `json:"degrade_depth"`
+	DurationSec      float64           `json:"duration_sec_per_point"`
+	Points           []SaturationPoint `json:"points"`
+	PeakSustainedRPS float64           `json:"peak_sustained_rps"`
+	// OverCommits sums the per-point counts; the bench exits nonzero if
+	// this is not zero.
+	OverCommits int `json:"over_commits"`
+}
+
 // Snapshot is the full benchmark artifact. Serving and TracerOverhead are
-// nil in -quick mode (the smoke run skips the verification floods).
+// nil in -quick mode (the smoke run skips the verification floods);
+// Saturation runs in both modes — the quick sweep is the CI smoke gate on
+// the over-commit invariant.
 type Snapshot struct {
 	Networks       []NetworkSnapshot       `json:"networks"`
 	Costs          []CostSnapshot          `json:"costs"`
 	Serving        *ServingSnapshot        `json:"serving,omitempty"`
 	TracerOverhead *TracerOverheadSnapshot `json:"tracer_overhead,omitempty"`
+	Saturation     *SaturationSnapshot     `json:"saturation,omitempty"`
 }
 
 // servingRequests sizes the fixed serving workload.
@@ -166,6 +216,174 @@ func measureServing(tr *obs.Tracer) (ServingSnapshot, error) {
 		if d.PeakUtilization > snap.MaxPoolPeakUtil {
 			snap.MaxPoolPeakUtil = d.PeakUtilization
 		}
+	}
+	return snap, nil
+}
+
+// Saturation sweep parameters. The per-shard queue bound and the
+// degraded-mode threshold are sized so an offered rate past capacity
+// drives the backlog through the degrade threshold and into deadline
+// shedding, exercising every overload response in one sweep.
+const (
+	satQueueCap     = 4096
+	satDegradeDepth = 512
+	satDeadline     = 100 * time.Millisecond
+)
+
+// newSaturationServer builds the sweep's fleet: one Cortex-M4 and one
+// Cortex-M7 device (two shards) in dry-run mode, with the VWW model
+// registered over its whole Pareto frontier — degraded admissions then
+// genuinely switch to the smallest-peak variant — and ImageNet as the
+// occasional large co-tenant. cache is shared across sweep points so
+// per-point servers don't re-solve the plans.
+func newSaturationServer(cache *netplan.Cache) (*serve.Server, error) {
+	s, err := serve.NewServer(serve.Options{
+		Devices: []serve.DeviceConfig{
+			{Name: "m4", Profile: mcu.CortexM4(), Slots: 8},
+			{Name: "m7", Profile: mcu.CortexM7(), Slots: 8},
+		},
+		QueueCap:     satQueueCap,
+		DegradeDepth: satDegradeDepth,
+		Mode:         serve.ExecDryRun,
+		Cache:        cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Register("vww", graph.VWW(), serve.ModelConfig{
+		Pareto:       true,
+		MaxQueueWait: satDeadline,
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.Register("imagenet", graph.ImageNet(), serve.ModelConfig{
+		MaxQueueWait: satDeadline,
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// saturationPoint drives one offered-rate step: submissions paced on a
+// fixed 2ms-batch schedule for dur (rate 0 means unpaced — the capacity
+// probe submits burst requests back to back), then every accepted ticket
+// is drained (completed or deadline-shed) and the server's own metrics
+// become the point.
+func saturationPoint(cache *netplan.Cache, rate float64, dur time.Duration, burst int) (SaturationPoint, error) {
+	s, err := newSaturationServer(cache)
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	pt := SaturationPoint{OfferedRPS: rate}
+	var tickets []*serve.Ticket
+	attempted := 0
+	submitOne := func(i int) error {
+		name := "vww"
+		if i%8 == 7 {
+			name = "imagenet"
+		}
+		attempted++
+		tk, err := s.Submit(name, serve.SubmitOptions{Seed: int64(i)})
+		if err != nil {
+			// Open-loop overload lands here (every shard's queue full);
+			// anything else is a real failure.
+			if errors.Is(err, serve.ErrQueueFull) {
+				return nil
+			}
+			return err
+		}
+		tickets = append(tickets, tk)
+		return nil
+	}
+
+	start := time.Now()
+	if rate <= 0 {
+		for i := 0; i < burst; i++ {
+			if err := submitOne(i); err != nil {
+				return SaturationPoint{}, err
+			}
+		}
+	} else {
+		const tick = 2 * time.Millisecond
+		carry := 0.0
+		i := 0
+		for next := start; time.Since(start) < dur; next = next.Add(tick) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			carry += rate * tick.Seconds()
+			for ; carry >= 1; carry-- {
+				if err := submitOne(i); err != nil {
+					return SaturationPoint{}, err
+				}
+				i++
+			}
+		}
+	}
+	genElapsed := time.Since(start)
+	for _, tk := range tickets {
+		<-tk.Done()
+	}
+	drained := time.Since(start)
+	if err := s.Close(); err != nil {
+		return SaturationPoint{}, err
+	}
+
+	m := s.Metrics()
+	pt.AttemptedRPS = float64(attempted) / genElapsed.Seconds()
+	pt.Accepted = len(tickets)
+	pt.RejectedFull = m.RejectedQueueFull
+	pt.SustainedRPS = float64(m.Completed) / drained.Seconds()
+	pt.LatencyP50Ms = float64(m.LatencyP50.Microseconds()) / 1e3
+	pt.LatencyP99Ms = float64(m.LatencyP99.Microseconds()) / 1e3
+	pt.ShedDeadline = m.ShedDeadline
+	pt.DegradedEngaged = m.DegradedEngaged
+	pt.DegradedAdmissions = m.DegradedAdmissions
+	for _, d := range m.Devices {
+		if d.PeakUsedBytes > d.CapacityBytes {
+			pt.OverCommits++
+		}
+	}
+	return pt, nil
+}
+
+// measureSaturation runs the open-loop sweep: an unpaced capacity probe,
+// then paced points ramped from a quarter of the measured capacity to
+// well past it.
+func measureSaturation(quick bool) (SaturationSnapshot, error) {
+	snap := SaturationSnapshot{
+		Fleet:        []string{mcu.CortexM4().Name, mcu.CortexM7().Name},
+		Mode:         "dry-run",
+		QueueCap:     satQueueCap,
+		DegradeDepth: satDegradeDepth,
+	}
+	dur, burst := time.Second, 20000
+	multipliers := []float64{0.25, 0.5, 1, 2}
+	if quick {
+		dur, burst = 200*time.Millisecond, 2000
+		multipliers = []float64{0.5, 2}
+	}
+	snap.DurationSec = dur.Seconds()
+	cache := netplan.NewCacheWithCap(64)
+
+	probe, err := saturationPoint(cache, 0, 0, burst)
+	if err != nil {
+		return SaturationSnapshot{}, err
+	}
+	snap.Points = append(snap.Points, probe)
+	capacity := probe.SustainedRPS
+	for _, mult := range multipliers {
+		pt, err := saturationPoint(cache, mult*capacity, dur, 0)
+		if err != nil {
+			return SaturationSnapshot{}, err
+		}
+		snap.Points = append(snap.Points, pt)
+	}
+	for _, pt := range snap.Points {
+		if pt.SustainedRPS > snap.PeakSustainedRPS {
+			snap.PeakSustainedRPS = pt.SustainedRPS
+		}
+		snap.OverCommits += pt.OverCommits
 	}
 	return snap, nil
 }
@@ -315,6 +533,12 @@ func main() {
 			TracedSpans: ts.TotalSpans,
 		}
 	}
+	sat, err := measureSaturation(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmcu-bench: saturation: %v\n", err)
+		os.Exit(1)
+	}
+	snap.Saturation = &sat
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)
@@ -323,10 +547,16 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "vmcu-bench: %v\n", err)
+	// The over-commit invariant is a hard gate in every mode: a nonzero
+	// count means some pool's lifetime high-water mark exceeded capacity.
+	if sat.OverCommits != 0 {
+		fmt.Fprintf(os.Stderr, "vmcu-bench: saturation sweep observed %d over-commit(s)\n", sat.OverCommits)
 		os.Exit(1)
 	}
 }

@@ -20,6 +20,8 @@
 //	vmcu-serve -open -rate 200 -duration 3s -dry   # admission-only open loop
 //	vmcu-serve -seed 42 -requests 64               # reproducible CI run
 //	vmcu-serve -pareto -latency-budget 600ms       # frontier variants + budget accounting
+//	vmcu-serve -churn-every 500ms                  # crash+replace a device on a cycle during load
+//	vmcu-serve -degrade-depth 16                   # engage degraded mode at queue depth 16
 //	vmcu-serve -o serve-snapshot.json              # write the JSON snapshot
 package main
 
@@ -47,25 +49,49 @@ type DeviceSnapshot struct {
 	Completed       uint64  `json:"completed"`
 }
 
+// ShardSnapshot is one device group's JSON row: its queue state and its
+// degraded-mode and churn counters.
+type ShardSnapshot struct {
+	Key                string `json:"key"`
+	Devices            int    `json:"devices"`
+	QueueHighWater     int    `json:"queue_high_water"`
+	Degraded           bool   `json:"degraded"`
+	DegradedEngaged    uint64 `json:"degraded_engaged"`
+	DegradedAdmissions uint64 `json:"degraded_admissions"`
+	Requeued           uint64 `json:"requeued"`
+	DeviceLost         uint64 `json:"device_lost"`
+	DeviceCrashes      uint64 `json:"device_crashes"`
+}
+
 // Snapshot is the JSON artifact the load generator emits.
 type Snapshot struct {
-	Loop            string           `json:"loop"` // "closed" | "open"
-	Mode            string           `json:"mode"` // "verify" | "dry"
-	Mix             string           `json:"mix"`
-	Submitted       uint64           `json:"submitted"`
-	Completed       uint64           `json:"completed"`
-	Failed          uint64           `json:"failed"`
-	RejectedFull    uint64           `json:"rejected_queue_full"`
-	ShedDeadline    uint64           `json:"shed_deadline"`
-	VariantUpgrades uint64           `json:"variant_upgrades"`
-	BudgetMet       uint64           `json:"latency_budget_met"`
-	BudgetMissed    uint64           `json:"latency_budget_missed"`
-	SustainedRPS    float64          `json:"sustained_rps"`
-	LatencyP50Ms    float64          `json:"latency_p50_ms"`
-	LatencyP95Ms    float64          `json:"latency_p95_ms"`
-	LatencyP99Ms    float64          `json:"latency_p99_ms"`
-	QueueHighWater  int              `json:"queue_high_water"`
-	Devices         []DeviceSnapshot `json:"devices"`
+	Loop            string `json:"loop"` // "closed" | "open"
+	Mode            string `json:"mode"` // "verify" | "dry"
+	Mix             string `json:"mix"`
+	Submitted       uint64 `json:"submitted"`
+	Completed       uint64 `json:"completed"`
+	Failed          uint64 `json:"failed"`
+	RejectedFull    uint64 `json:"rejected_queue_full"`
+	ShedDeadline    uint64 `json:"shed_deadline"`
+	VariantUpgrades uint64 `json:"variant_upgrades"`
+	BudgetMet       uint64 `json:"latency_budget_met"`
+	BudgetMissed    uint64 `json:"latency_budget_missed"`
+	// Churn accounting: requests displaced by a crash and re-queued onto
+	// a survivor, requests no device could absorb (ErrServeDeviceLost),
+	// and the crash count the -churn-every cycle drove.
+	Requeued      uint64 `json:"requeued"`
+	DeviceLost    uint64 `json:"device_lost"`
+	DeviceCrashes uint64 `json:"device_crashes"`
+	// Degraded-mode accounting across shards.
+	DegradedEngaged    uint64           `json:"degraded_engaged"`
+	DegradedAdmissions uint64           `json:"degraded_admissions"`
+	SustainedRPS       float64          `json:"sustained_rps"`
+	LatencyP50Ms       float64          `json:"latency_p50_ms"`
+	LatencyP95Ms       float64          `json:"latency_p95_ms"`
+	LatencyP99Ms       float64          `json:"latency_p99_ms"`
+	QueueHighWater     int              `json:"queue_high_water"`
+	Shards             []ShardSnapshot  `json:"shards"`
+	Devices            []DeviceSnapshot `json:"devices"`
 }
 
 // parseFleet turns "m4,m7,m7" into device configs with unique names.
@@ -147,6 +173,8 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "open loop: generation window")
 	dry := flag.Bool("dry", false, "admission-only dry runs (no kernel execution)")
 	deadline := flag.Duration("deadline", 0, "per-request admission deadline (0 = none)")
+	degradeDepth := flag.Int("degrade-depth", 0, "queue depth engaging degraded (smallest-peak) admission; 0 = 3/4 of -queue, negative disables")
+	churnEvery := flag.Duration("churn-every", 0, "crash one device and add a replacement on this interval during load (0 = no churn)")
 	seed := flag.Int64("seed", 0, "base verification seed; request i runs seed+i, so runs are reproducible")
 	pareto := flag.Bool("pareto", false, "register each model's Pareto plan-variant frontier (admission picks the fastest fitting variant)")
 	latencyBudget := flag.Duration("latency-budget", 0, "per-request on-device inference budget in simulated device time (0 = none)")
@@ -178,7 +206,8 @@ func main() {
 		tracer = vmcu.NewTracer(vmcu.TracerOptions{})
 	}
 	s, err := vmcu.NewServer(vmcu.ServeOptions{
-		Devices: devices, QueueCap: *queueCap, Mode: mode, Tracer: tracer,
+		Devices: devices, QueueCap: *queueCap, DegradeDepth: *degradeDepth,
+		Mode: mode, Tracer: tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -197,6 +226,48 @@ func main() {
 			opts.Deadline = time.Now().Add(*deadline)
 		}
 		return s.Submit(pattern[i%len(pattern)], opts)
+	}
+
+	// The churn cycle rolls the fleet while load runs: each tick adds a
+	// fresh replacement device (same profile), then crashes the oldest —
+	// in that order, so displaced requests always have a survivor to fail
+	// over to. Crash/requeue/lost outcomes land in the snapshot counters.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if *churnEvery > 0 {
+		type member struct {
+			name string
+			prof vmcu.Profile
+		}
+		fleet := make([]member, 0, len(devices))
+		for _, d := range devices {
+			fleet = append(fleet, member{d.Name, d.Profile})
+		}
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			tick := time.NewTicker(*churnEvery)
+			defer tick.Stop()
+			for gen := 0; ; gen++ {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				victim := fleet[0]
+				repl := member{fmt.Sprintf("%s-r%d", victim.name, gen), victim.prof}
+				if err := s.AddDevice(vmcu.ServeDevice{
+					Name: repl.name, Profile: repl.prof, Slots: *slots,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "vmcu-serve: churn add: %v\n", err)
+					continue
+				}
+				if _, err := s.CrashDevice(victim.name); err != nil {
+					fmt.Fprintf(os.Stderr, "vmcu-serve: churn crash: %v\n", err)
+				}
+				fleet = append(fleet[1:], repl)
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -243,6 +314,8 @@ func main() {
 		}
 		wg.Wait()
 	}
+	close(churnStop)
+	churnWG.Wait()
 	if err := s.Close(); err != nil {
 		fatal(err)
 	}
@@ -279,11 +352,31 @@ func main() {
 		VariantUpgrades: m.VariantUpgrades,
 		BudgetMet:       m.LatencyBudgetMet,
 		BudgetMissed:    m.LatencyBudgetMissed,
-		SustainedRPS:    float64(m.Completed) / elapsed.Seconds(),
-		LatencyP50Ms:    float64(m.LatencyP50.Microseconds()) / 1e3,
-		LatencyP95Ms:    float64(m.LatencyP95.Microseconds()) / 1e3,
-		LatencyP99Ms:    float64(m.LatencyP99.Microseconds()) / 1e3,
-		QueueHighWater:  m.QueueHighWater,
+
+		Requeued:           m.Requeued,
+		DeviceLost:         m.DeviceLost,
+		DeviceCrashes:      m.DeviceCrashes,
+		DegradedEngaged:    m.DegradedEngaged,
+		DegradedAdmissions: m.DegradedAdmissions,
+
+		SustainedRPS:   float64(m.Completed) / elapsed.Seconds(),
+		LatencyP50Ms:   float64(m.LatencyP50.Microseconds()) / 1e3,
+		LatencyP95Ms:   float64(m.LatencyP95.Microseconds()) / 1e3,
+		LatencyP99Ms:   float64(m.LatencyP99.Microseconds()) / 1e3,
+		QueueHighWater: m.QueueHighWater,
+	}
+	for _, sh := range m.Shards {
+		snap.Shards = append(snap.Shards, ShardSnapshot{
+			Key:                sh.Key,
+			Devices:            sh.Devices,
+			QueueHighWater:     sh.QueueHighWater,
+			Degraded:           sh.Degraded,
+			DegradedEngaged:    sh.DegradedEngaged,
+			DegradedAdmissions: sh.DegradedAdmissions,
+			Requeued:           sh.Requeued,
+			DeviceLost:         sh.DeviceLost,
+			DeviceCrashes:      sh.DeviceCrashes,
+		})
 	}
 	if *open {
 		snap.Loop = "open"

@@ -4,10 +4,14 @@
 // per-device simulated-cycle totals carried by the kernel unit spans.
 //
 // With -check it instead validates the trace for CI: the JSON must parse,
-// every lifecycle stage must appear at least once, and every completed
+// every lifecycle stage must appear at least once, every completed
 // request must carry a fully connected span tree
 // (submit → queue → admit → dispatch → execute → complete under one root,
-// with at least one kernel unit span under execute).
+// with at least one kernel unit span under execute), and no span may be
+// orphaned — every child's parent must exist in the trace and every
+// request root must carry a terminal state attribute. The orphan check
+// catches submit paths that open a span tree and never resolve it (the
+// historical rejected-submission leak).
 //
 // Usage:
 //
@@ -136,13 +140,15 @@ func countRoots(spans []span, pred func(span) bool) int {
 	return n
 }
 
-// validate is the CI gate: every lifecycle stage appears, and every
-// completed request's tree is connected end to end.
+// validate is the CI gate: every lifecycle stage appears, every completed
+// request's tree is connected end to end, and no span is orphaned.
 func validate(spans []span) error {
 	byName := map[string]int{}
+	byID := map[uint64]bool{}
 	children := map[uint64][]span{}
 	for _, s := range spans {
 		byName[s.Name]++
+		byID[s.id] = true
 		if s.parent != 0 {
 			children[s.parent] = append(children[s.parent], s)
 		}
@@ -150,6 +156,18 @@ func validate(spans []span) error {
 	for _, st := range lifecycleStages {
 		if byName[st] == 0 {
 			return fmt.Errorf("lifecycle stage %q has no spans", st)
+		}
+	}
+	// Orphan checks. A request whose submit path opened a span tree but
+	// never resolved it leaves either a child pointing at a parent the
+	// trace never closed (the root was still open at export) or a root
+	// with no terminal state attribute — both are lifecycle leaks.
+	for _, s := range spans {
+		if s.parent != 0 && !byID[s.parent] {
+			return fmt.Errorf("span %d (%s) is orphaned: parent %d not in the trace", s.id, s.Name, s.parent)
+		}
+		if s.Cat == "request" && argStr(s.event, "state") == "" {
+			return fmt.Errorf("request span %d carries no terminal state — its submission never resolved", s.id)
 		}
 	}
 	completed := 0

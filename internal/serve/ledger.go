@@ -79,6 +79,20 @@ func (l *Ledger) Release(id uint64) int {
 	return bytes
 }
 
+// Abandon force-releases every reservation at once — the device-crash
+// path. It returns the total bytes and reservation count released, so a
+// crash's pool accounting is provable at the instant of the crash rather
+// than when the doomed executions unwind (their later Release calls
+// return -1, absorbed by the dead-device path).
+func (l *Ledger) Abandon() (bytes, count int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bytes, count = l.used, len(l.held)
+	l.held = make(map[uint64]int)
+	l.used = 0
+	return bytes, count
+}
+
 // Capacity returns the pool size in bytes.
 func (l *Ledger) Capacity() int { return l.capacity }
 

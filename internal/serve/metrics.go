@@ -7,10 +7,10 @@ import (
 	"github.com/vmcu-project/vmcu/internal/netplan"
 )
 
-// latencyWindow bounds the sojourn-latency reservoir: percentiles are
-// computed over the most recent latencyWindow completions, so a
-// long-running server's snapshot reflects current behaviour at fixed
-// memory.
+// latencyWindow bounds each shard's sojourn-latency reservoir:
+// percentiles are computed over the most recent latencyWindow completions
+// per shard, so a long-running server's snapshot reflects current
+// behaviour at fixed memory.
 const latencyWindow = 8192
 
 // latencyBuckets are the sojourn-latency histogram's upper bounds, le
@@ -35,20 +35,23 @@ var latencyBuckets = []time.Duration{
 	30 * time.Second,
 }
 
-// metricsState is the server's internal counter block, guarded by
-// Server.mu.
+// metricsState is one shard's internal counter block, guarded by
+// shard.mu. Metrics() aggregates the blocks across shards.
 type metricsState struct {
 	submitted           uint64
 	completed           uint64
 	failed              uint64
 	canceled            uint64
-	rejectedFull        uint64
-	rejectedTooLarge    uint64
 	shedDeadline        uint64
 	variantUpgrades     uint64
 	latencyBudgetMet    uint64
 	latencyBudgetMissed uint64
 	queueHighWater      int
+	degradedEngaged     uint64
+	degradedAdmissions  uint64
+	requeued            uint64
+	deviceLost          uint64
+	deviceCrashes       uint64
 
 	latencies [latencyWindow]time.Duration
 	latIdx    int
@@ -64,7 +67,7 @@ type metricsState struct {
 }
 
 // sampleLatency records one completion's sojourn time into the windowed
-// reservoir and the cumulative histogram. Runs with Server.mu held.
+// reservoir and the cumulative histogram. Runs with shard.mu held.
 func (m *metricsState) sampleLatency(d time.Duration) {
 	m.latencies[m.latIdx] = d
 	m.latIdx = (m.latIdx + 1) % latencyWindow
@@ -99,9 +102,12 @@ type LatencyHistogram struct {
 	Sum   time.Duration
 }
 
-// DeviceMetrics is one fleet device's snapshot.
+// DeviceMetrics is one fleet device's snapshot. Devices removed or
+// crashed out of the fleet no longer appear.
 type DeviceMetrics struct {
 	Name string
+	// Shard is the device group (profile name) the device serves in.
+	Shard string
 	// CapacityBytes is the SRAM pool size; UsedBytes the reserved bytes at
 	// snapshot time; PeakUsedBytes the lifetime high-water mark (never
 	// above CapacityBytes — the ledger invariant).
@@ -120,15 +126,47 @@ type DeviceMetrics struct {
 	Admitted  uint64
 	Refused   uint64
 	Completed uint64
+	// Draining marks a device mid-RemoveDevice: finishing in-flight work,
+	// taking nothing new.
+	Draining bool
+}
+
+// ShardMetrics is one device group's snapshot.
+type ShardMetrics struct {
+	// Key is the group identity: the shared mcu.Profile's name.
+	Key string
+	// Devices counts the shard's live (non-removed) devices.
+	Devices int
+	// QueueDepth and QueueHighWater report this shard's own queue.
+	QueueDepth     int
+	QueueHighWater int
+	// Degraded reports whether the shard is currently in degraded mode;
+	// DegradedAdmissions counts admissions made in it (smallest-peak
+	// variant), DegradedEngaged how many times the mode engaged.
+	Degraded           bool
+	DegradedAdmissions uint64
+	DegradedEngaged    uint64
+	// Submitted/Completed/ShedDeadline are this shard's shares of the
+	// server-wide counters; Requeued counts churn-displaced requests this
+	// shard absorbed; DeviceLost requests stranded here; DeviceCrashes
+	// simulated crashes of this shard's devices.
+	Submitted     uint64
+	Completed     uint64
+	ShedDeadline  uint64
+	Requeued      uint64
+	DeviceLost    uint64
+	DeviceCrashes uint64
 }
 
 // Metrics is the server snapshot: counters, throughput, latency
-// percentiles, queue state, per-device pools, and plan-cache stats.
+// percentiles, per-shard queue state, per-device pools, and plan-cache
+// stats.
 type Metrics struct {
 	Uptime time.Duration
 	// Submitted counts accepted submissions (tickets created). Each one
-	// resolves into exactly one of Completed, Failed, Canceled, or
-	// ShedDeadline; the difference is the work still in flight.
+	// resolves into exactly one of Completed, Failed, Canceled,
+	// ShedDeadline, or DeviceLost; the difference is the work still in
+	// flight. Requests re-queued after a device crash count once.
 	Submitted uint64
 	Completed uint64
 	Failed    uint64
@@ -150,77 +188,125 @@ type Metrics struct {
 	// before admission are counted in ShedDeadline, not here.
 	LatencyBudgetMet    uint64
 	LatencyBudgetMissed uint64
+	// DegradedAdmissions counts admissions made while the home shard was
+	// in degraded mode (smallest-peak variant instead of fastest);
+	// DegradedEngaged how many times any shard entered the mode.
+	DegradedAdmissions uint64
+	DegradedEngaged    uint64
+	// Requeued counts requests displaced by device churn and re-queued
+	// onto a surviving device; DeviceLost those no device could absorb
+	// (resolved with ErrDeviceLost); DeviceCrashes simulated crashes.
+	Requeued      uint64
+	DeviceLost    uint64
+	DeviceCrashes uint64
 	// ThroughputRPS is completed requests per second of uptime.
 	ThroughputRPS float64
 	// Latency percentiles are sojourn times (submit → done) over the most
-	// recent completions (successful or failed), zero before the first.
+	// recent completions (successful or failed), zero before the first,
+	// merged across shards.
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
 	LatencyP99 time.Duration
 	// LatencyHistogram is the bucketed sojourn-latency distribution over
 	// every completion since start (not windowed) — the shape a
-	// Prometheus-style exporter scrapes.
+	// Prometheus-style exporter scrapes; bucket counts summed across
+	// shards.
 	LatencyHistogram LatencyHistogram
-	QueueDepth       int
-	QueueHighWater   int
-	QueueCap         int
-	Devices          []DeviceMetrics
+	// QueueDepth sums the per-shard queue depths; QueueHighWater sums the
+	// per-shard high-water marks (the marks need not be simultaneous);
+	// QueueCap is the per-shard bound.
+	QueueDepth     int
+	QueueHighWater int
+	QueueCap       int
+	Shards         []ShardMetrics
+	Devices        []DeviceMetrics
 	// Cache reports the serving plan cache (hits, misses, evictions,
 	// current length).
 	Cache netplan.CacheStats
 }
 
-// Metrics returns a consistent snapshot of the server's counters and the
-// fleet's pool state.
+// Metrics returns a consistent-per-shard snapshot of the server's
+// counters and the fleet's pool state (shards are locked one at a time,
+// so cross-shard sums may straddle in-flight transitions).
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	out := Metrics{
-		Uptime:              time.Since(s.started),
-		Submitted:           s.m.submitted,
-		Completed:           s.m.completed,
-		Failed:              s.m.failed,
-		Canceled:            s.m.canceled,
-		RejectedQueueFull:   s.m.rejectedFull,
-		RejectedTooLarge:    s.m.rejectedTooLarge,
-		ShedDeadline:        s.m.shedDeadline,
-		VariantUpgrades:     s.m.variantUpgrades,
-		LatencyBudgetMet:    s.m.latencyBudgetMet,
-		LatencyBudgetMissed: s.m.latencyBudgetMissed,
-		QueueDepth:          len(s.queue),
-		QueueHighWater:      s.m.queueHighWater,
-		QueueCap:            s.queueCap,
+		Uptime:            time.Since(s.started),
+		RejectedQueueFull: s.rejectedFull,
+		RejectedTooLarge:  s.rejectedTooLarge,
+		QueueCap:          s.queueCap,
+	}
+	shards := append([]*shard(nil), s.shards...)
+	s.mu.Unlock()
+
+	out.LatencyHistogram = LatencyHistogram{
+		Bounds: append([]time.Duration(nil), latencyBuckets...),
+		Counts: make([]uint64, len(latencyBuckets)+1),
+	}
+	var samples []time.Duration
+	for _, sh := range shards {
+		sh.mu.Lock()
+		m := &sh.m
+		out.Submitted += m.submitted
+		out.Completed += m.completed
+		out.Failed += m.failed
+		out.Canceled += m.canceled
+		out.ShedDeadline += m.shedDeadline
+		out.VariantUpgrades += m.variantUpgrades
+		out.LatencyBudgetMet += m.latencyBudgetMet
+		out.LatencyBudgetMissed += m.latencyBudgetMissed
+		out.DegradedAdmissions += m.degradedAdmissions
+		out.DegradedEngaged += m.degradedEngaged
+		out.Requeued += m.requeued
+		out.DeviceLost += m.deviceLost
+		out.DeviceCrashes += m.deviceCrashes
+		out.QueueDepth += sh.q.count
+		out.QueueHighWater += m.queueHighWater
+		out.LatencyHistogram.Count += m.latTotal
+		out.LatencyHistogram.Sum += m.latSum
+		for i, c := range m.latHist {
+			out.LatencyHistogram.Counts[i] += c
+		}
+		samples = append(samples, m.latencies[:m.latCount]...)
+		out.Shards = append(out.Shards, ShardMetrics{
+			Key:                sh.key,
+			Devices:            len(sh.devices),
+			QueueDepth:         sh.q.count,
+			QueueHighWater:     m.queueHighWater,
+			Degraded:           sh.degraded,
+			DegradedAdmissions: m.degradedAdmissions,
+			DegradedEngaged:    m.degradedEngaged,
+			Submitted:          m.submitted,
+			Completed:          m.completed,
+			ShedDeadline:       m.shedDeadline,
+			Requeued:           m.requeued,
+			DeviceLost:         m.deviceLost,
+			DeviceCrashes:      m.deviceCrashes,
+		})
+		for _, d := range sh.devices {
+			cap, used, peak := d.ledger.Capacity(), d.ledger.Used(), d.ledger.PeakUsed()
+			adm, ref := d.ledger.Counters()
+			out.Devices = append(out.Devices, DeviceMetrics{
+				Name:            d.name,
+				Shard:           sh.key,
+				CapacityBytes:   cap,
+				UsedBytes:       used,
+				PeakUsedBytes:   peak,
+				Utilization:     float64(used) / float64(cap),
+				PeakUtilization: float64(peak) / float64(cap),
+				Residents:       d.ledger.Residents(),
+				Active:          d.active,
+				Admitted:        adm,
+				Refused:         ref,
+				Completed:       d.completed,
+				Draining:        d.draining,
+			})
+		}
+		sh.mu.Unlock()
 	}
 	if sec := out.Uptime.Seconds(); sec > 0 {
 		out.ThroughputRPS = float64(out.Completed) / sec
 	}
-	out.LatencyHistogram = LatencyHistogram{
-		Bounds: append([]time.Duration(nil), latencyBuckets...),
-		Counts: make([]uint64, len(latencyBuckets)+1),
-		Count:  s.m.latTotal,
-		Sum:    s.m.latSum,
-	}
-	copy(out.LatencyHistogram.Counts, s.m.latHist)
-	samples := make([]time.Duration, s.m.latCount)
-	copy(samples, s.m.latencies[:s.m.latCount])
-	for _, d := range s.devices {
-		cap, used, peak := d.ledger.Capacity(), d.ledger.Used(), d.ledger.PeakUsed()
-		adm, ref := d.ledger.Counters()
-		out.Devices = append(out.Devices, DeviceMetrics{
-			Name:            d.name,
-			CapacityBytes:   cap,
-			UsedBytes:       used,
-			PeakUsedBytes:   peak,
-			Utilization:     float64(used) / float64(cap),
-			PeakUtilization: float64(peak) / float64(cap),
-			Residents:       d.ledger.Residents(),
-			Active:          d.active,
-			Admitted:        adm,
-			Refused:         ref,
-			Completed:       d.completed,
-		})
-	}
-	s.mu.Unlock()
-
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	out.LatencyP50 = percentile(samples, 0.50)
 	out.LatencyP95 = percentile(samples, 0.95)

@@ -2,60 +2,348 @@ package serve
 
 import "time"
 
-// The admission queue is a bounded slice in arrival order shared by every
-// device dispatcher. Selection is strict priority with FIFO within a
-// priority, restricted to requests whose reserved peak fits the stealing
-// device's free pool bytes — a large queued model never head-of-line
-// blocks a small one that could run now, and a device with a co-residency
-// gap fills it with the best fitting request instead of idling.
+// The admission queue is a per-shard strict-priority structure built from
+// FIFO rings indexed by reservation peak:
 //
-// Both helpers run with Server.mu held.
+//	prioQueue
+//	├── prioClass (priority 9)
+//	│   ├── peakBucket (peak 33 KB) — FIFO ring of requests
+//	│   └── peakBucket (peak 66 KB) — FIFO ring of requests
+//	└── prioClass (priority 0)
+//	    └── peakBucket (peak 33 KB) — FIFO ring of requests
+//
+// A queued request's peak is its model's minimal variant peak, so the
+// number of buckets is bounded by (priorities in use) × (registered
+// models), not by the queue length: selection — the highest-priority,
+// earliest-enqueued request whose peak fits the stealing device's free
+// bytes — inspects only the bucket heads, replacing the previous
+// O(queue) scan over a flat slice with an O(classes × buckets) walk.
+//
+// Every removal path (pop, cancel, shed) clears the vacated ring slot.
+// This is the fix for the retention bug family: the old slice queue's
+// removal idioms (append(q[:i], q[i+1:]...) and kept := q[:0] filtering)
+// left stale *request pointers in the backing array's tail, pinning
+// resolved requests — tickets, spans, results — for the server's
+// lifetime. The rings never hold a pointer past the request's removal;
+// TestQueueRemovalReleasesRequests pins that with finalizer accounting.
+//
+// All methods run with the owning shard's mutex (shard.mu) held.
 
-// takeLocked removes and returns the best admissible request for device d:
-// the highest-priority (earliest within a priority) request whose peak
-// fits d's free bytes, or nil when d is slot-saturated or nothing fits.
-// Runs with Server.mu held.
-func (s *Server) takeLocked(d *device) *request {
-	if d.active >= d.slots {
-		return nil
-	}
-	free := d.ledger.Free()
-	best := -1
-	for i, r := range s.queue {
-		if r.peak > free {
-			continue
-		}
-		// The scan runs in arrival order, so replacing only on strictly
-		// higher priority keeps FIFO within a priority.
-		if best == -1 || r.priority > s.queue[best].priority {
-			best = i
-		}
-	}
-	if best == -1 {
-		return nil
-	}
-	r := s.queue[best]
-	s.queue = append(s.queue[:best], s.queue[best+1:]...)
-	return r
+// ring is a growable circular FIFO of requests. head and tail are
+// absolute positions (buf[pos%len(buf)]), so a queued request's position
+// (request.qpos) stays valid across growth and O(1) targeted removal
+// works without shifting elements: removal just clears the slot, leaving
+// a hole the next pop skips.
+type ring struct {
+	buf        []*request
+	head, tail int64 // absolute positions; live entries sit in [head, tail)
+	live       int   // non-hole entries in [head, tail)
 }
 
-// shedExpiredLocked removes every queued request whose admission deadline
-// has passed, resolving each ticket with ErrDeadline. Runs with Server.mu
-// held.
-func (s *Server) shedExpiredLocked(now time.Time) {
-	kept := s.queue[:0]
-	for _, r := range s.queue {
-		if !r.deadline.IsZero() && now.After(r.deadline) {
-			s.m.shedDeadline++
-			s.traceQueueExit(r, "shed-deadline")
-			r.resolve(Result{
-				Model:     r.mdl.name,
-				PeakBytes: r.peak,
-				Latency:   now.Sub(r.submitted),
-			}, ErrDeadline, StateRejected)
+// push appends req at the tail, growing the buffer when full.
+func (r *ring) push(req *request) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	req.qpos = r.tail
+	r.buf[r.tail%int64(len(r.buf))] = req
+	r.tail++
+	r.live++
+}
+
+// grow doubles the buffer, relocating entries to the same absolute
+// positions modulo the new length (positions never collide because the
+// window tail-head fits the old length).
+func (r *ring) grow() {
+	n := 2 * len(r.buf)
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]*request, n)
+	for p := r.head; p < r.tail; p++ {
+		nb[p%int64(n)] = r.buf[p%int64(len(r.buf))]
+	}
+	r.buf = nb
+}
+
+// peek returns the oldest live request without removing it, or nil.
+func (r *ring) peek() *request {
+	r.skipHoles()
+	if r.head == r.tail {
+		return nil
+	}
+	return r.buf[r.head%int64(len(r.buf))]
+}
+
+// pop removes and returns the oldest live request, clearing its slot.
+func (r *ring) pop() *request {
+	req := r.peek()
+	if req == nil {
+		return nil
+	}
+	r.buf[r.head%int64(len(r.buf))] = nil
+	r.head++
+	r.live--
+	return req
+}
+
+// remove clears req's slot if req is still queued here, reporting whether
+// it won (a concurrent pop may have taken it first).
+func (r *ring) remove(req *request) bool {
+	if req.qpos < r.head || req.qpos >= r.tail {
+		return false
+	}
+	i := req.qpos % int64(len(r.buf))
+	if r.buf[i] != req {
+		return false
+	}
+	r.buf[i] = nil
+	r.live--
+	r.skipHoles()
+	return true
+}
+
+// skipHoles advances head past cleared slots so peek is O(1) amortized.
+func (r *ring) skipHoles() {
+	for r.head < r.tail && r.buf[r.head%int64(len(r.buf))] == nil {
+		r.head++
+	}
+}
+
+// peakBucket is one FIFO ring of queued requests sharing a reservation
+// peak within a priority class.
+type peakBucket struct {
+	peak int
+	ring ring
+}
+
+// prioClass groups the buckets of one priority, ascending by peak so a
+// fit scan can stop at the first bucket past the free bytes.
+type prioClass struct {
+	priority int
+	buckets  []*peakBucket
+}
+
+// prioQueue is one shard's admission queue. All methods run with
+// shard.mu held.
+type prioQueue struct {
+	classes []*prioClass // descending priority
+	count   int          // queued requests across all rings
+
+	// deadline bookkeeping lets shed scans early-out: deadlines counts
+	// queued requests carrying one, minDeadline is a (possibly stale,
+	// never late) lower bound refreshed by each full scan.
+	deadlines   int
+	minDeadline time.Time
+}
+
+// class returns (creating if asked) the priority class for p.
+func (q *prioQueue) class(p int, create bool) *prioClass {
+	i := 0
+	for ; i < len(q.classes); i++ {
+		if q.classes[i].priority == p {
+			return q.classes[i]
+		}
+		if q.classes[i].priority < p {
+			break
+		}
+	}
+	if !create {
+		return nil
+	}
+	pc := &prioClass{priority: p}
+	q.classes = append(q.classes, nil)
+	copy(q.classes[i+1:], q.classes[i:])
+	q.classes[i] = pc
+	return pc
+}
+
+// bucket returns (creating if asked) pc's bucket for peak.
+func (pc *prioClass) bucket(peak int, create bool) *peakBucket {
+	i := 0
+	for ; i < len(pc.buckets); i++ {
+		if pc.buckets[i].peak == peak {
+			return pc.buckets[i]
+		}
+		if pc.buckets[i].peak > peak {
+			break
+		}
+	}
+	if !create {
+		return nil
+	}
+	b := &peakBucket{peak: peak}
+	pc.buckets = append(pc.buckets, nil)
+	copy(pc.buckets[i+1:], pc.buckets[i:])
+	pc.buckets[i] = b
+	return b
+}
+
+// push enqueues req under its priority and peak.
+func (q *prioQueue) push(req *request) {
+	q.class(req.priority, true).bucket(req.peak, true).ring.push(req)
+	q.count++
+	if !req.deadline.IsZero() {
+		q.deadlines++
+		if q.minDeadline.IsZero() || req.deadline.Before(q.minDeadline) {
+			q.minDeadline = req.deadline
+		}
+	}
+}
+
+// take removes and returns the best admissible request for a device with
+// free pool bytes: highest priority first, earliest enqueue (by shard
+// sequence) within a priority, restricted to buckets whose peak fits —
+// a large queued model never head-of-line blocks a small one that could
+// run now. Runs with shard.mu held (it reads request FIFO sequences).
+func (q *prioQueue) take(free int) *request {
+	for ci := 0; ci < len(q.classes); ci++ {
+		pc := q.classes[ci]
+		var best *peakBucket
+		var bestSeq uint64
+		for _, b := range pc.buckets {
+			if b.peak > free {
+				break // ascending peaks: nothing further fits
+			}
+			r := b.ring.peek()
+			if r == nil {
+				continue
+			}
+			if best == nil || r.seq < bestSeq {
+				best, bestSeq = b, r.seq
+			}
+		}
+		if best == nil {
 			continue
 		}
-		kept = append(kept, r)
+		req := best.ring.pop()
+		q.noteRemoved(req)
+		q.prune(pc, best, ci)
+		return req
 	}
-	s.queue = kept
+	return nil
+}
+
+// remove takes a specific queued request out (cancel path), reporting
+// whether it was still queued here.
+func (q *prioQueue) remove(req *request) bool {
+	pc := q.class(req.priority, false)
+	if pc == nil {
+		return false
+	}
+	ci := 0
+	for ; ci < len(q.classes); ci++ {
+		if q.classes[ci] == pc {
+			break
+		}
+	}
+	b := pc.bucket(req.peak, false)
+	if b == nil || !b.ring.remove(req) {
+		return false
+	}
+	q.noteRemoved(req)
+	q.prune(pc, b, ci)
+	return true
+}
+
+// shed removes every queued request whose admission deadline has been
+// reached, calling fn for each. The boundary is inclusive — a request
+// whose deadline equals the scan instant is shed now, not given one
+// extra dispatch round (!now.Before covers d == now, unlike the former
+// now.After(d)).
+func (q *prioQueue) shed(now time.Time, fn func(*request)) {
+	if q.deadlines == 0 || (!q.minDeadline.IsZero() && now.Before(q.minDeadline)) {
+		return
+	}
+	q.minDeadline = time.Time{}
+	for ci := 0; ci < len(q.classes); ci++ {
+		pc := q.classes[ci]
+		for bi := 0; bi < len(pc.buckets); bi++ {
+			b := pc.buckets[bi]
+			for p := b.ring.head; p < b.ring.tail; p++ {
+				i := p % int64(len(b.ring.buf))
+				req := b.ring.buf[i]
+				if req == nil || req.deadline.IsZero() {
+					continue
+				}
+				if now.Before(req.deadline) {
+					if q.minDeadline.IsZero() || req.deadline.Before(q.minDeadline) {
+						q.minDeadline = req.deadline
+					}
+					continue
+				}
+				b.ring.buf[i] = nil
+				b.ring.live--
+				q.noteRemoved(req)
+				fn(req)
+			}
+			b.ring.skipHoles()
+			if b.ring.live == 0 {
+				pc.buckets = append(pc.buckets[:bi], pc.buckets[bi+1:]...)
+				bi--
+			}
+		}
+		if len(pc.buckets) == 0 {
+			q.classes = append(q.classes[:ci], q.classes[ci+1:]...)
+			ci--
+		}
+	}
+}
+
+// drainOver removes and returns every queued request whose peak exceeds
+// limit, oldest first per class. Device churn uses it: when a shard's
+// largest usable pool shrinks (drain complete, crash), the requests no
+// surviving device could ever admit are evacuated for re-routing instead
+// of waiting forever; limit 0 empties the queue (peaks are positive).
+func (q *prioQueue) drainOver(limit int) []*request {
+	var out []*request
+	for ci := 0; ci < len(q.classes); ci++ {
+		pc := q.classes[ci]
+		for bi := 0; bi < len(pc.buckets); bi++ {
+			b := pc.buckets[bi]
+			if b.peak <= limit {
+				continue
+			}
+			for {
+				req := b.ring.pop()
+				if req == nil {
+					break
+				}
+				q.noteRemoved(req)
+				out = append(out, req)
+			}
+			pc.buckets = append(pc.buckets[:bi], pc.buckets[bi+1:]...)
+			bi--
+		}
+		if len(pc.buckets) == 0 {
+			q.classes = append(q.classes[:ci], q.classes[ci+1:]...)
+			ci--
+		}
+	}
+	return out
+}
+
+// noteRemoved updates the counters for one removed request.
+func (q *prioQueue) noteRemoved(req *request) {
+	q.count--
+	if !req.deadline.IsZero() {
+		q.deadlines--
+	}
+}
+
+// prune drops an emptied bucket (and then class) so the structure stays
+// bounded by the live (priority, peak) combinations.
+func (q *prioQueue) prune(pc *prioClass, b *peakBucket, ci int) {
+	if b.ring.live != 0 {
+		return
+	}
+	for bi, bb := range pc.buckets {
+		if bb == b {
+			pc.buckets = append(pc.buckets[:bi], pc.buckets[bi+1:]...)
+			break
+		}
+	}
+	if len(pc.buckets) == 0 {
+		q.classes = append(q.classes[:ci], q.classes[ci+1:]...)
+	}
 }

@@ -31,10 +31,17 @@ const (
 	// StateDone: the request finished (successfully or with an execution
 	// error — inspect Ticket.Result).
 	StateDone
-	// StateRejected: the request was shed before admission (deadline).
+	// StateRejected: the request was shed before admission (deadline) or
+	// rejected at submit time (closed server, full queues, no usable
+	// device) — submit-time rejections return the error directly but the
+	// request still resolves here so its trace tree closes.
 	StateRejected
 	// StateCanceled: the request was canceled while queued.
 	StateCanceled
+	// StateDeviceLost: the request's device crashed mid-request (or every
+	// device that could hold it left the fleet) and no surviving device
+	// could absorb the failover.
+	StateDeviceLost
 )
 
 func (s State) String() string {
@@ -55,6 +62,8 @@ func (s State) String() string {
 		return "rejected"
 	case StateCanceled:
 		return "canceled"
+	case StateDeviceLost:
+		return "device-lost"
 	}
 	return "unknown"
 }
@@ -80,6 +89,11 @@ var (
 	ErrClosed = errors.New("serve: server closed")
 	// ErrUnknownModel rejects a submission naming an unregistered model.
 	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrDeviceLost resolves a request whose device crashed mid-request
+	// and could not be failed over to a surviving device, and rejects
+	// submissions when churn has left no usable device that could ever
+	// hold the model.
+	ErrDeviceLost = errors.New("serve: device lost")
 )
 
 // SubmitOptions parameterize one inference request.
@@ -143,16 +157,31 @@ type request struct {
 	seed     int64
 	// peak is the request's current admission currency: the model's
 	// minimal variant peak while queued (the fit check), rewritten under
-	// Server.mu to the selected variant's peak at admission.
+	// the home shard's lock to the selected variant's peak at admission.
 	peak int
 	// latencyBudget is the resolved on-device inference deadline (0 none).
 	latencyBudget time.Duration
+
+	// shardIdx is the request's current home shard index (-1 before
+	// routing). Written under the receiving shard's lock at every enqueue
+	// (including a post-crash requeue); read lock-free by the deadline
+	// timer's kick and by cancel to find the shard.
+	shardIdx atomic.Int32
+	// seq is the home shard's enqueue sequence — the FIFO tiebreak across
+	// a priority's peak buckets; qpos is the request's absolute ring
+	// position for O(1) cancel. Both guarded by shard.mu.
+	seq  uint64
+	qpos int64
+	// requeues counts crash failovers (owned by the executor goroutine
+	// unwinding the crash); one re-queue attempt is allowed before the
+	// request resolves with ErrDeviceLost.
+	requeues int
 
 	submitted  time.Time
 	admittedAt time.Time   // written by the dispatcher before execute starts
 	timer      *time.Timer // deadline wake-up, armed before the request is enqueued
 
-	// Written by the admitting dispatcher under Server.mu, read by execute
+	// Written by the admitting dispatcher under shard.mu, read by execute
 	// and resolve after admission.
 	variant    *modelVariant
 	estLatency time.Duration
@@ -160,12 +189,12 @@ type request struct {
 
 	// Lifecycle spans, all nil unless the server's tracer is enabled. Each
 	// is owned by one goroutine at a time: Submit until the request is
-	// enqueued, then whichever dispatcher holds Server.mu, then the
-	// executor goroutine.
+	// enqueued, then whichever dispatcher holds the home shard's lock,
+	// then the executor goroutine.
 	rootSpan *obs.Span
-	// queueSpan is guarded by Server.mu: opened at enqueue and ended
+	// queueSpan is guarded by shard.mu: opened at enqueue and ended
 	// exactly once, by the path that removes the request from the queue
-	// (admit, shed, or cancel — all while holding the lock).
+	// (admit, shed, cancel, or evacuation — all while holding the lock).
 	queueSpan    *obs.Span
 	dispatchSpan *obs.Span
 

@@ -10,29 +10,46 @@
 //     pool's remaining bytes. Co-resident models whose peaks pack together
 //     share one SRAM pool; over-commit is impossible by construction
 //     (TryReserve refuses reservations past capacity).
-//   - Admission queue. Submissions land in one bounded queue shared by the
-//     fleet: shed-on-full at submit, strict priority with FIFO within a
-//     priority, and per-request admission deadlines (defaulted per model)
-//     shed lazily whenever the dispatcher scans.
+//   - Sharded admission. Devices sharing an mcu.Profile form a device
+//     group (shard) with its own bounded priority queue, lock, and
+//     metrics, so dispatchers never contend across groups. Submissions
+//     are routed to the least-loaded shard whose largest usable pool fits
+//     the request: shed-on-full at submit, strict priority with FIFO
+//     within a priority (per-priority FIFO rings indexed by peak — see
+//     queue.go), and per-request admission deadlines (defaulted per
+//     model) shed lazily whenever a dispatcher scans.
 //   - Work-stealing dispatch. Every device runs one dispatcher goroutine
-//     that steals the highest-priority fitting request from the shared
+//     that steals the highest-priority fitting request from its shard's
 //     queue whenever the device has free pool bytes and a free slot —
-//     there is no static model→device assignment, so a small device keeps
-//     serving small models while a large one absorbs the big ones.
+//     there is no static model→device assignment within a group.
+//   - Device churn. AddDevice grows the fleet live; RemoveDevice drains a
+//     device gracefully; CrashDevice simulates failure mid-request: the
+//     dead device's ledger is abandoned (bytes provably released), its
+//     in-flight requests are re-queued once onto surviving devices or
+//     resolved with ErrDeviceLost, and queued requests no surviving pool
+//     can hold are evacuated and re-routed.
+//   - Degraded mode. When a shard's queue depth crosses a threshold
+//     (Options.DegradeDepth), admission switches from the fastest-fitting
+//     Pareto variant to the smallest-peak one — a saturated group packs
+//     more co-residents instead of shedding — with hysteresis so the mode
+//     doesn't flap.
 //   - Async lifecycle. Submit returns a Ticket immediately; the request
 //     moves submit → planned → queued → admitted → running → done (or an
 //     explicit rejection), every transition observable and every submit
-//     guaranteed to resolve. Execution is netplan.Run — the bit-exact
-//     whole-network verification executor — through the server's bounded
-//     plan cache (ExecDryRun skips the kernels for pure admission-control
-//     load tests).
+//     guaranteed to resolve — including submit-time rejections, whose
+//     tickets-never-issued requests still resolve to a terminal state.
+//     Execution is netplan.Run — the bit-exact whole-network verification
+//     executor — through the server's bounded plan cache (ExecDryRun
+//     skips the kernels for pure admission-control load tests).
 //   - Metrics. A snapshot struct reports throughput, sojourn-latency
-//     percentiles, queue depth, per-device pool utilization, and every
-//     rejection class, plus the plan cache's hit/miss/eviction counters.
+//     percentiles, per-shard queue state, per-device pool utilization,
+//     churn and degraded-mode counters, and every rejection class, plus
+//     the plan cache's hit/miss/eviction counters.
 //
 // The whole subsystem is safe under -race; the property tests fuzz the
 // ledger invariant (admitted peaks never exceed a pool) under concurrent
-// submit/cancel.
+// submit/cancel, and the churn acceptance test crashes devices
+// mid-request under -race.
 package serve
 
 import (
@@ -40,6 +57,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/vmcu-project/vmcu/internal/graph"
@@ -67,6 +85,7 @@ type DeviceConfig struct {
 	// Name identifies the device in results and metrics.
 	Name string
 	// Profile is the simulated MCU the device's requests execute on.
+	// Devices with the same Profile share an admission shard.
 	Profile mcu.Profile
 	// PoolBytes is the SRAM pool the ledger partitions; 0 uses the
 	// profile's full RAM capacity.
@@ -81,7 +100,8 @@ type DeviceConfig struct {
 // DeviceConfig.Slots is 0.
 const DefaultSlots = 4
 
-// DefaultQueueCap is the admission queue bound when Options.QueueCap is 0.
+// DefaultQueueCap is the per-shard admission queue bound when
+// Options.QueueCap is 0.
 const DefaultQueueCap = 256
 
 // DefaultCacheEntries is the plan-cache LRU bound when Options.CacheEntries
@@ -90,11 +110,19 @@ const DefaultCacheEntries = 64
 
 // Options configure a Server.
 type Options struct {
-	// Devices is the simulated fleet; at least one is required.
+	// Devices is the simulated fleet; at least one is required. Devices
+	// sharing an mcu.Profile form one admission shard.
 	Devices []DeviceConfig
-	// QueueCap bounds the admission queue (shed-on-full); 0 uses
+	// QueueCap bounds each shard's admission queue (shed-on-full); 0 uses
 	// DefaultQueueCap.
 	QueueCap int
+	// DegradeDepth is the per-shard queue depth at which degraded mode
+	// engages: admission switches from the fastest-fitting plan variant
+	// to the smallest-peak one, packing more co-residents instead of
+	// shedding. It disengages once the depth falls to half the threshold
+	// (hysteresis). 0 uses three quarters of QueueCap; negative disables
+	// degraded mode.
+	DegradeDepth int
 	// CacheEntries bounds the server's netplan plan cache (LRU eviction);
 	// 0 uses DefaultCacheEntries. Ignored when Cache is set.
 	CacheEntries int
@@ -120,7 +148,8 @@ type ModelConfig struct {
 	// Pareto registers the model's whole plan-variant frontier
 	// (netplan.Pareto) instead of only the memory-optimal plan: admission
 	// then picks the fastest variant that fits the admitting device's
-	// remaining pool bytes, trading spare SRAM for estimated latency.
+	// remaining pool bytes, trading spare SRAM for estimated latency (or
+	// the smallest-peak variant while the shard is degraded).
 	Pareto bool
 	// LatencyBudget is the default on-device inference deadline, in
 	// simulated device time: a request whose selected variant's estimated
@@ -174,38 +203,68 @@ func (m *model) pick(free int, prof mcu.Profile) *modelVariant {
 	return best
 }
 
+// pickSmallest returns the smallest-peak variant fitting free pool bytes,
+// or nil — degraded-mode admission: a saturated shard trades latency for
+// maximum co-residency instead of shedding.
+func (m *model) pickSmallest(free int) *modelVariant {
+	var best *modelVariant
+	for i := range m.variants {
+		v := &m.variants[i]
+		if v.peak > free {
+			continue
+		}
+		if best == nil || v.peak < best.peak {
+			best = v
+		}
+	}
+	return best
+}
+
 // device pairs a fleet device with its ledger and dispatch state.
 type device struct {
 	name    string
 	profile mcu.Profile
 	ledger  *Ledger
 	slots   int
-	// active is the running-request count, guarded by Server.mu.
+	sh      *shard // home shard; immutable after creation
+	// active is the running-request count, guarded by shard.mu.
 	active int
-	// completed counts finished requests, guarded by Server.mu.
+	// completed counts finished requests, guarded by shard.mu.
 	completed uint64
+	// Churn state, guarded by shard.mu: draining refuses new admissions
+	// while existing work finishes (RemoveDevice); dead marks a simulated
+	// crash (CrashDevice); removed marks the drain's completion.
+	draining bool
+	dead     bool
+	removed  bool
 }
 
 // Server coordinates admission and execution across the fleet.
 type Server struct {
-	mode     ExecMode
-	cache    *netplan.Cache
-	tr       *obs.Tracer // nil unless Options.Tracer opted in
-	devices  []*device
-	queueCap int
-	maxPool  int
-	// refProfile prices variant ordering at registration: the profile of
-	// the largest-pool device (per-device pricing happens at admission).
-	refProfile mcu.Profile
-	started    time.Time
+	mode         ExecMode
+	cache        *netplan.Cache
+	tr           *obs.Tracer // nil unless Options.Tracer opted in
+	queueCap     int         // per shard
+	degradeDepth int         // per-shard degraded-mode engage threshold
+	started      time.Time
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	models map[string]*model // guarded by Server.mu
-	queue  []*request        // arrival order; guarded by Server.mu
-	nextID uint64            // guarded by Server.mu
-	closed bool              // guarded by Server.mu
-	m      metricsState      // counter block; guarded by Server.mu
+	nextID atomic.Uint64 // request id allocator
+
+	mu               sync.Mutex
+	models           map[string]*model // guarded by Server.mu
+	shards           []*shard          // append-only; membership guarded by Server.mu
+	devNames         map[string]bool   // live device names; guarded by Server.mu
+	devSeq           int               // default device-name counter; guarded by Server.mu
+	maxPool          int               // largest pool ever seen; guarded by Server.mu
+	refProfile       mcu.Profile       // registration pricing profile; guarded by Server.mu
+	closed           bool              // guarded by Server.mu
+	rejectedFull     uint64            // guarded by Server.mu
+	rejectedTooLarge uint64            // guarded by Server.mu
+
+	// testExecGate, when set (tests only, before any Submit), is called at
+	// the top of every execution so churn tests can hold a request
+	// mid-flight deterministically.
+	testExecGate func(*device, *request)
 
 	dispatchers sync.WaitGroup
 	execs       sync.WaitGroup
@@ -221,6 +280,18 @@ func NewServer(opts Options) (*Server, error) {
 	if queueCap <= 0 {
 		queueCap = DefaultQueueCap
 	}
+	degrade := opts.DegradeDepth
+	switch {
+	case degrade == 0:
+		degrade = queueCap * 3 / 4
+		if degrade < 1 {
+			degrade = 1
+		}
+	case degrade < 0:
+		// Disabled: the queue depth never exceeds queueCap, so the
+		// threshold is unreachable.
+		degrade = queueCap + 1
+	}
 	cache := opts.Cache
 	if cache == nil {
 		entries := opts.CacheEntries
@@ -235,45 +306,27 @@ func NewServer(opts Options) (*Server, error) {
 		cache.SetTracer(opts.Tracer)
 	}
 	s := &Server{
-		mode:     opts.Mode,
-		cache:    cache,
-		tr:       opts.Tracer,
-		queueCap: queueCap,
-		models:   make(map[string]*model),
-		started:  time.Now(),
+		mode:         opts.Mode,
+		cache:        cache,
+		tr:           opts.Tracer,
+		queueCap:     queueCap,
+		degradeDepth: degrade,
+		models:       make(map[string]*model),
+		devNames:     make(map[string]bool),
+		started:      time.Now(),
 	}
-	s.cond = sync.NewCond(&s.mu)
-	seen := make(map[string]bool, len(opts.Devices))
-	for i, dc := range opts.Devices {
-		name := dc.Name
-		if name == "" {
-			name = fmt.Sprintf("dev%d", i)
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("serve: duplicate device name %q", name)
-		}
-		seen[name] = true
-		pool := dc.PoolBytes
-		if pool == 0 {
-			pool = dc.Profile.RAMBytes()
-		}
-		led, err := NewLedger(pool)
+	var devices []*device
+	s.mu.Lock()
+	for _, dc := range opts.Devices {
+		d, err := s.addDeviceLocked(dc)
 		if err != nil {
-			return nil, fmt.Errorf("serve: device %s: %w", name, err)
+			s.mu.Unlock()
+			return nil, err
 		}
-		slots := dc.Slots
-		if slots <= 0 {
-			slots = DefaultSlots
-		}
-		d := &device{name: name, profile: dc.Profile, ledger: led, slots: slots}
-		s.devices = append(s.devices, d)
-		if pool > s.maxPool {
-			s.maxPool = pool
-			s.refProfile = dc.Profile
-		}
+		devices = append(devices, d)
 	}
-	for _, d := range s.devices {
-		s.dispatchers.Add(1)
+	s.mu.Unlock()
+	for _, d := range devices {
 		go s.dispatch(d)
 	}
 	return s, nil
@@ -304,10 +357,10 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 			minPeak = v.peak
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if minPeak > s.maxPool {
-		s.mu.Lock()
-		s.m.rejectedTooLarge++
-		s.mu.Unlock()
+		s.rejectedTooLarge++
 		return fmt.Errorf("serve: model %s needs %d bytes, largest pool is %d: %w",
 			name, minPeak, s.maxPool, ErrTooLarge)
 	}
@@ -318,8 +371,6 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 			kept = append(kept, v)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -333,18 +384,21 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 // planVariants solves a model's admissible schedules, fastest first under
 // the fleet's reference profile (the largest-pool device).
 func (s *Server) planVariants(net graph.Network, cfg ModelConfig) ([]modelVariant, error) {
+	s.mu.Lock()
+	ref := s.refProfile
+	s.mu.Unlock()
 	if !cfg.Pareto {
 		np, _, err := s.cache.Plan(net, netplan.Options{Tracer: s.tr})
 		if err != nil {
 			return nil, err
 		}
-		est, err := netplan.EstimatePlan(s.refProfile, net, np)
+		est, err := netplan.EstimatePlan(ref, net, np)
 		if err != nil {
 			return nil, err
 		}
 		return []modelVariant{{desc: "min-peak", opts: netplan.Options{}, peak: np.PeakBytes, stats: est.Total}}, nil
 	}
-	frontier, err := netplan.Pareto(s.refProfile, net, netplan.Options{Tracer: s.tr})
+	frontier, err := netplan.Pareto(ref, net, netplan.Options{Tracer: s.tr})
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +419,7 @@ func (s *Server) planVariants(net graph.Network, cfg ModelConfig) ([]modelVarian
 		})
 	}
 	sort.Slice(variants, func(i, j int) bool {
-		ci, cj := variants[i].stats.Cycles(s.refProfile), variants[j].stats.Cycles(s.refProfile)
+		ci, cj := variants[i].stats.Cycles(ref), variants[j].stats.Cycles(ref)
 		if ci != cj {
 			return ci < cj
 		}
@@ -376,8 +430,10 @@ func (s *Server) planVariants(net graph.Network, cfg ModelConfig) ([]modelVarian
 
 // Submit enqueues one inference request for a registered model and returns
 // its Ticket. Rejections at submit time — unknown model, closed server,
-// full queue — return an error and no ticket; every returned ticket is
-// guaranteed to resolve (done, deadline-shed, or canceled).
+// full queues, no usable device — return an error and no ticket; the
+// underlying request still resolves to a terminal state so its trace tree
+// closes. Every returned ticket is guaranteed to resolve (done,
+// deadline-shed, canceled, or device-lost).
 func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -397,6 +453,8 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 		submitted: time.Now(),
 		doneCh:    make(chan struct{}),
 	}
+	req.shardIdx.Store(-1)
+	req.id = s.nextID.Add(1)
 	req.setState(StateSubmitted)
 	submitSpan := s.traceSubmit(req, modelName)
 
@@ -404,8 +462,7 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 	// are deterministic, so the model's stored variant peaks ARE the
 	// request's admission currency — no re-solve on the submit path (the
 	// executor re-plans through the cache, off this path, if the entry was
-	// evicted). Registration also guarantees the minimal peak fits some
-	// pool. The peak starts at the minimal variant's (the queue fit
+	// evicted). The peak starts at the minimal variant's (the queue fit
 	// check); the dispatcher rewrites it to the selected variant's.
 	req.peak = mdl.minPeak
 	req.setState(StatePlanned)
@@ -423,120 +480,179 @@ func (s *Server) Submit(modelName string, opts SubmitOptions) (*Ticket, error) {
 		req.deadline = req.submitted.Add(mdl.cfg.MaxQueueWait)
 	}
 	if !req.deadline.IsZero() {
-		// Wake the dispatchers just past the deadline so an otherwise idle
-		// queue still sheds the request promptly. Armed before the request
-		// is visible to any dispatcher so resolve() can stop it race-free.
-		req.timer = time.AfterFunc(time.Until(req.deadline)+time.Millisecond, s.kick)
+		// Wake the home shard's dispatchers just past the deadline so an
+		// otherwise idle queue still sheds the request promptly. Armed
+		// before the request is visible to any dispatcher so resolve() can
+		// stop it race-free; kick re-reads the routing index, so a request
+		// re-queued after a crash still wakes the right shard.
+		req.timer = time.AfterFunc(time.Until(req.deadline)+time.Millisecond, func() { s.kick(req) })
 	}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		req.stopTimer()
-		s.traceSubmitRejected(req, submitSpan, "rejected-closed")
-		return nil, ErrClosed
+	// Route to the least-loaded shard whose largest usable pool fits the
+	// request, re-validating under each shard lock.
+	sawFull, sawClosed := false, false
+	for _, sh := range s.shardsByDepth(req.peak) {
+		sh.mu.Lock()
+		if sh.closed {
+			sawClosed = true
+			sh.mu.Unlock()
+			continue
+		}
+		if int(sh.poolMax.Load()) < req.peak {
+			sh.mu.Unlock()
+			continue
+		}
+		if sh.q.count >= s.queueCap {
+			sawFull = true
+			sh.mu.Unlock()
+			continue
+		}
+		sh.m.submitted++
+		s.traceEnqueued(sh, req, submitSpan)
+		s.enqueueLocked(sh, req)
+		sh.mu.Unlock()
+		return &Ticket{r: req}, nil
 	}
-	if len(s.queue) >= s.queueCap {
-		s.m.rejectedFull++
+
+	// Rejected at submit time: no ticket is issued, but the request still
+	// resolves to a terminal state — previously these paths stopped the
+	// timer and dropped a forever-StatePlanned request with an open span
+	// tree.
+	req.stopTimer()
+	res := Result{Model: mdl.name, PeakBytes: req.peak}
+	switch {
+	case sawFull:
+		s.mu.Lock()
+		s.rejectedFull++
 		s.mu.Unlock()
-		req.stopTimer()
 		s.traceSubmitRejected(req, submitSpan, "rejected-queue-full")
-		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
+		err := fmt.Errorf("%w (cap %d per shard)", ErrQueueFull, s.queueCap)
+		req.resolve(res, err, StateRejected)
+		return nil, err
+	case sawClosed:
+		s.traceSubmitRejected(req, submitSpan, "rejected-closed")
+		req.resolve(res, ErrClosed, StateRejected)
+		return nil, ErrClosed
+	default:
+		s.traceSubmitRejected(req, submitSpan, "rejected-no-device")
+		err := fmt.Errorf("%w: no usable device pool fits model %s (needs %d bytes)",
+			ErrDeviceLost, mdl.name, req.peak)
+		req.resolve(res, err, StateRejected)
+		return nil, err
 	}
-	s.nextID++
-	req.id = s.nextID
-	req.setState(StateQueued)
-	s.queue = append(s.queue, req)
-	if len(s.queue) > s.m.queueHighWater {
-		s.m.queueHighWater = len(s.queue)
-	}
-	s.m.submitted++
-	s.traceEnqueued(req, submitSpan)
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	return &Ticket{r: req}, nil
 }
 
-// kick wakes every dispatcher to rescan the queue (deadline timers).
-func (s *Server) kick() {
+// kick wakes the dispatchers of a request's current home shard (deadline
+// timers). A request not yet routed — or whose shard index is stale —
+// falls back to waking every shard.
+func (s *Server) kick(req *request) {
+	idx := int(req.shardIdx.Load())
 	s.mu.Lock()
-	s.cond.Broadcast()
+	var targets []*shard
+	if idx >= 0 && idx < len(s.shards) {
+		targets = []*shard{s.shards[idx]}
+	} else {
+		targets = append(targets, s.shards...)
+	}
 	s.mu.Unlock()
+	for _, sh := range targets {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 }
 
-// dispatch is one device's work-stealing loop: shed expired requests,
-// steal the best fitting one, reserve its peak, and hand it to an
-// executor goroutine. Exits when the server is closed and the queue is
-// fully drained.
+// dispatch is one device's work-stealing loop over its shard's queue:
+// shed expired requests, steal the best fitting one, reserve its peak,
+// and hand it to an executor goroutine. Exits when the device is removed
+// or crashed, or when the server is closed and the shard's queue is fully
+// drained.
 func (s *Server) dispatch(d *device) {
 	defer s.dispatchers.Done()
+	sh := d.sh
 	for {
-		s.mu.Lock()
+		sh.mu.Lock()
 		var req *request
 		for {
-			s.shedExpiredLocked(time.Now())
-			req = s.takeLocked(d)
-			if req != nil || (s.closed && len(s.queue) == 0) {
+			if d.dead || d.removed {
+				sh.mu.Unlock()
+				return
+			}
+			s.shedExpiredLocked(sh, time.Now())
+			if !d.draining && d.active < d.slots {
+				req = sh.q.take(d.ledger.Free())
+			}
+			if req != nil {
 				break
 			}
-			s.cond.Wait()
-		}
-		if req == nil {
-			s.mu.Unlock()
-			return
-		}
-		// Variant selection: the fastest registered schedule (priced under
-		// this device's profile) whose peak fits the device's free pool
-		// right now. takeLocked admitted on the minimal peak, so at least
-		// that variant always fits; a device with spare bytes upgrades to
-		// a faster, larger-peak plan.
-		v := req.mdl.pick(d.ledger.Free(), d.profile)
-		if v == nil {
-			// A concurrent release shrank nothing — free only grows — so
-			// this cannot happen; requeue defensively.
-			s.queue = append([]*request{req}, s.queue...)
-			s.mu.Unlock()
-			continue
-		}
-		req.variant = v
-		req.peak = v.peak
-		req.estLatency = time.Duration(v.stats.LatencySeconds(d.profile) * float64(time.Second))
-		req.metBudget = req.latencyBudget == 0 || req.estLatency <= req.latencyBudget
-		// Only this dispatcher reserves on d, and the variant was chosen
-		// against the free bytes under s.mu, so the reservation cannot
-		// fail (releases only grow the free space). Requeue defensively
-		// all the same — before the admission metrics, so a retry cannot
-		// double-count them.
-		if !d.ledger.TryReserve(req.id, req.peak) {
-			req.peak = req.mdl.minPeak
-			s.queue = append([]*request{req}, s.queue...)
-			s.mu.Unlock()
-			continue
-		}
-		s.traceAdmit(d, req)
-		if v.peak > req.mdl.minPeak {
-			s.m.variantUpgrades++
-		}
-		if req.latencyBudget > 0 {
-			if req.metBudget {
-				s.m.latencyBudgetMet++
-			} else {
-				s.m.latencyBudgetMissed++
+			if sh.closed && sh.q.count == 0 {
+				sh.mu.Unlock()
+				return
 			}
+			sh.cond.Wait()
 		}
-		req.admittedAt = time.Now()
-		req.setState(StateAdmitted)
-		d.active++
-		s.execs.Add(1)
-		go s.execute(d, req)
-		s.mu.Unlock()
+		s.admitLocked(sh, d, req)
+		sh.mu.Unlock()
 	}
 }
 
-// execute runs one admitted request on its device and resolves the ticket.
+// admitLocked selects the request's plan variant (smallest-peak while the
+// shard is degraded, fastest-fitting otherwise), reserves it in the
+// device ledger, and hands the request to an executor goroutine. Runs
+// with shard.mu held, in the admitting dispatcher.
+func (s *Server) admitLocked(sh *shard, d *device, req *request) {
+	degraded := sh.degraded
+	var v *modelVariant
+	if degraded {
+		v = req.mdl.pickSmallest(d.ledger.Free())
+	} else {
+		v = req.mdl.pick(d.ledger.Free(), d.profile)
+	}
+	if v == nil || !d.ledger.TryReserve(req.id, v.peak) {
+		// take admitted on the minimal peak and free bytes only grow while
+		// this dispatcher holds the shard lock, so this cannot happen;
+		// requeue defensively (before the admission metrics, so a retry
+		// cannot double-count them).
+		req.peak = req.mdl.minPeak
+		s.enqueueLocked(sh, req)
+		return
+	}
+	req.variant = v
+	req.peak = v.peak
+	req.estLatency = time.Duration(v.stats.LatencySeconds(d.profile) * float64(time.Second))
+	req.metBudget = req.latencyBudget == 0 || req.estLatency <= req.latencyBudget
+	sh.noteQueueChangedLocked(s.degradeDepth)
+	s.traceAdmit(sh, d, req, degraded)
+	if degraded {
+		sh.m.degradedAdmissions++
+	}
+	if v.peak > req.mdl.minPeak {
+		sh.m.variantUpgrades++
+	}
+	if req.latencyBudget > 0 {
+		if req.metBudget {
+			sh.m.latencyBudgetMet++
+		} else {
+			sh.m.latencyBudgetMissed++
+		}
+	}
+	req.admittedAt = time.Now()
+	req.setState(StateAdmitted)
+	d.active++
+	s.execs.Add(1)
+	go s.execute(d, req)
+}
+
+// execute runs one admitted request on its device and resolves the
+// ticket. If the device crashed mid-request (its ledger abandoned), the
+// run's outcome is void: the request is re-queued once onto a surviving
+// device or resolved with ErrDeviceLost.
 func (s *Server) execute(d *device, req *request) {
 	defer s.execs.Done()
 	req.setState(StateRunning)
+	if s.testExecGate != nil {
+		s.testExecGate(d, req)
+	}
 	execSpan := s.traceExecuteStart(d, req)
 	var run *netplan.RunResult
 	var err error
@@ -567,24 +683,35 @@ func (s *Server) execute(d *device, req *request) {
 		execSpan.Attr(obs.Float("device_cycles", cycles))
 	}
 	execSpan.End()
+	// A crashed device's ledger was force-released by Abandon, so this
+	// returns -1 on the dead path — expected there, an accounting bug
+	// anywhere else.
 	freed := d.ledger.Release(req.id)
 	now := time.Now()
 
-	s.mu.Lock()
+	sh := d.sh
+	sh.mu.Lock()
 	d.active--
-	if freed != req.peak && err == nil {
-		err = fmt.Errorf("serve: ledger released %d bytes for request %d, reserved %d", freed, req.id, req.peak)
+	dead := d.dead
+	if !dead {
+		if freed != req.peak && err == nil {
+			err = fmt.Errorf("serve: ledger released %d bytes for request %d, reserved %d", freed, req.id, req.peak)
+		}
+		if err != nil {
+			sh.m.failed++
+		} else {
+			sh.m.completed++
+			d.completed++
+		}
+		sh.m.sampleLatency(now.Sub(req.submitted))
 	}
-	if err != nil {
-		s.m.failed++
-	} else {
-		s.m.completed++
-		d.completed++
-	}
-	s.m.sampleLatency(now.Sub(req.submitted))
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
 
+	if dead {
+		s.failover(d, req)
+		return
+	}
 	// Close the span tree before resolving: a caller that waits on the
 	// ticket and then snapshots the tracer sees the whole tree.
 	s.traceComplete(d, req, freed, now.Sub(req.submitted), err)
@@ -601,27 +728,36 @@ func (s *Server) execute(d *device, req *request) {
 	}, err, StateDone)
 }
 
-// cancel implements Ticket.Cancel: remove the request from the queue if it
-// is still there.
+// cancel implements Ticket.Cancel: remove the request from its shard's
+// queue if it is still there.
 func (s *Server) cancel(r *request) bool {
+	idx := int(r.shardIdx.Load())
 	s.mu.Lock()
-	for i, q := range s.queue {
-		if q == r {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			s.m.canceled++
-			s.traceQueueExit(r, "canceled")
-			s.cond.Broadcast()
-			s.mu.Unlock()
-			r.resolve(Result{
-				Model:     r.mdl.name,
-				PeakBytes: r.peak,
-				Latency:   time.Since(r.submitted),
-			}, ErrCanceled, StateCanceled)
-			return true
-		}
+	if idx < 0 || idx >= len(s.shards) {
+		s.mu.Unlock()
+		return false
 	}
+	sh := s.shards[idx]
 	s.mu.Unlock()
-	return false
+	sh.mu.Lock()
+	if !sh.q.remove(r) {
+		// Already taken — admitted, shed, or mid-requeue onto another
+		// shard after a crash. Admitted work always runs to completion so
+		// the ledger release discipline stays trivial.
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m.canceled++
+	s.traceQueueExit(sh, r, "canceled")
+	sh.noteQueueChangedLocked(s.degradeDepth)
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	r.resolve(Result{
+		Model:     r.mdl.name,
+		PeakBytes: r.peak,
+		Latency:   time.Since(r.submitted),
+	}, ErrCanceled, StateCanceled)
+	return true
 }
 
 // Close drains the server gracefully: no new submissions are accepted,
@@ -631,8 +767,14 @@ func (s *Server) cancel(r *request) bool {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	s.cond.Broadcast()
+	shards := append([]*shard(nil), s.shards...)
 	s.mu.Unlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 	s.dispatchers.Wait()
 	s.execs.Wait()
 	return nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strings"
 	"time"
 
 	"github.com/vmcu-project/vmcu/internal/obs"
@@ -21,14 +22,19 @@ import (
 //	└── complete                    (ledger release + metrics + resolve)
 //	    └── ledger.release
 //
-// Requests that never reach admission still close their tree: the queue
-// span ends with an "outcome" attribute (shed / canceled) and the root
-// span ends with the terminal state. Every span-touching path runs under
-// Server.mu or in the single goroutine owning the request at that stage,
-// so the tracing is race-clean; with a nil tracer every call below is a
-// nil-check no-op.
+// A request displaced by a device crash grows a second queue span under
+// the same root (the requeue), then continues through admit/dispatch/
+// execute again on the surviving device. Requests that never reach
+// admission still close their tree: the queue span ends with an
+// "outcome" attribute (shed / canceled / evacuated) and the root span
+// ends with the terminal state — including submit-time rejections, whose
+// requests now resolve instead of leaving orphaned open roots. Every
+// span-touching path runs under the home shard's lock or in the single
+// goroutine owning the request at that stage, so the tracing is
+// race-clean; with a nil tracer every call below is a nil-check no-op.
 
-// Tracer metric names exported by the serving layer.
+// Tracer metric names exported by the serving layer. The queue-depth
+// gauge is per shard: metricQueueDepth + "_" + the sanitized shard key.
 const (
 	metricSubmitted       = "vmcu_serve_submitted"
 	metricCompleted       = "vmcu_serve_completed"
@@ -39,7 +45,28 @@ const (
 	metricVariantUpgrades = "vmcu_serve_variant_upgrades"
 	metricQueueDepth      = "vmcu_serve_queue_depth"
 	metricLatencyMs       = "vmcu_serve_latency_ms"
+	metricDegraded        = "vmcu_serve_degraded_admissions"
+	metricRequeued        = "vmcu_serve_requeued"
+	metricDeviceLost      = "vmcu_serve_device_lost"
 )
+
+// gaugeName builds a shard's queue-depth gauge name, sanitizing the
+// shard key (a profile name like "STM32-F411RE (Cortex-M4)") to metric
+// charset.
+func gaugeName(key string) string {
+	var b strings.Builder
+	b.WriteString(metricQueueDepth)
+	b.WriteByte('_')
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
 
 // latencyHistBoundsMs mirrors latencyBuckets for the tracer's histogram.
 func latencyHistBoundsMs() []float64 {
@@ -48,6 +75,15 @@ func latencyHistBoundsMs() []float64 {
 		out[i] = float64(b) / float64(time.Millisecond)
 	}
 	return out
+}
+
+// traceQueueDepth refreshes a shard's queue-depth gauge. Runs with
+// shard.mu held.
+func (s *Server) traceQueueDepth(sh *shard) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Gauge(gaugeName(sh.key)).Set(float64(sh.q.count))
 }
 
 // traceSubmit opens the request's root span and the submit stage span.
@@ -62,20 +98,21 @@ func (s *Server) traceSubmit(req *request, modelName string) (submit *obs.Span) 
 }
 
 // traceEnqueued ends the submit span and opens the queue span. Runs with
-// Server.mu held, with the request id assigned.
-func (s *Server) traceEnqueued(req *request, submit *obs.Span) {
+// shard.mu held, with the request id assigned.
+func (s *Server) traceEnqueued(sh *shard, req *request, submit *obs.Span) {
 	if s.tr == nil {
 		return
 	}
 	req.rootSpan.Attr(obs.Int("request_id", int64(req.id)))
 	submit.End()
 	req.queueSpan = s.tr.StartChild(req.rootSpan, "queue", obs.KindStage)
-	s.tr.Gauge(metricQueueDepth).Set(float64(len(s.queue)))
+	req.queueSpan.Attr(obs.Str("shard", sh.key))
 	s.tr.Counter(metricSubmitted).Inc()
 }
 
 // traceSubmitRejected closes the tree of a request rejected at submit
-// time (queue full / closed): no queue span was ever opened.
+// time (queue full / closed / no usable device): no queue span was ever
+// opened, and the request resolves to a terminal state right after.
 func (s *Server) traceSubmitRejected(req *request, submit *obs.Span, reason string) {
 	if s.tr == nil {
 		return
@@ -90,15 +127,15 @@ func (s *Server) traceSubmitRejected(req *request, submit *obs.Span, reason stri
 }
 
 // traceAdmit ends the queue span and records the admit stage: variant
-// selection plus the ledger reservation. Runs with Server.mu held, in the
+// selection plus the ledger reservation. Runs with shard.mu held, in the
 // admitting dispatcher.
-func (s *Server) traceAdmit(d *device, req *request) {
+func (s *Server) traceAdmit(sh *shard, d *device, req *request, degraded bool) {
 	if s.tr == nil {
 		return
 	}
 	req.queueSpan.End()
 	req.queueSpan = nil
-	s.tr.Gauge(metricQueueDepth).Set(float64(len(s.queue)))
+	s.traceQueueDepth(sh)
 	admit := s.tr.StartChild(req.rootSpan, "admit", obs.KindStage)
 	admit.SetDevice(d.name)
 	admit.Attr(
@@ -106,6 +143,10 @@ func (s *Server) traceAdmit(d *device, req *request) {
 		obs.Int("peak_bytes", int64(req.peak)),
 		obs.Int("ledger_free_bytes", int64(d.ledger.Free())),
 	)
+	if degraded {
+		admit.Attr(obs.Str("mode", "degraded"))
+		s.tr.Counter(metricDegraded).Inc()
+	}
 	res := s.tr.StartChild(admit, "ledger.reserve", obs.KindStage)
 	res.SetDevice(d.name)
 	res.Attr(obs.Int("bytes", int64(req.peak)))
@@ -119,15 +160,15 @@ func (s *Server) traceAdmit(d *device, req *request) {
 }
 
 // traceQueueExit closes the tree of a request that left the queue without
-// admission (deadline shed or cancel). Runs with Server.mu held.
-func (s *Server) traceQueueExit(req *request, outcome string) {
+// admission (deadline shed or cancel). Runs with shard.mu held.
+func (s *Server) traceQueueExit(sh *shard, req *request, outcome string) {
 	if s.tr == nil {
 		return
 	}
 	req.queueSpan.Attr(obs.Str("outcome", outcome))
 	req.queueSpan.End()
 	req.queueSpan = nil
-	s.tr.Gauge(metricQueueDepth).Set(float64(len(s.queue)))
+	s.traceQueueDepth(sh)
 	req.rootSpan.Attr(obs.Str("state", outcome))
 	req.rootSpan.End()
 	switch outcome {
@@ -136,6 +177,53 @@ func (s *Server) traceQueueExit(req *request, outcome string) {
 	case "canceled":
 		s.tr.Counter(metricCanceled).Inc()
 	}
+}
+
+// traceEvacuated ends the queue span of a request evacuated from a
+// shrunken shard (device removal/crash left no pool that could hold it)
+// without closing the root: the request is about to be re-routed or
+// resolved with ErrDeviceLost. Runs with shard.mu held.
+func (s *Server) traceEvacuated(sh *shard, req *request) {
+	if s.tr == nil {
+		return
+	}
+	req.queueSpan.Attr(obs.Str("outcome", "evacuated"))
+	req.queueSpan.End()
+	req.queueSpan = nil
+	s.traceQueueDepth(sh)
+}
+
+// traceRequeue opens a fresh queue span for a churn-displaced request
+// landing on a surviving shard — the same root grows a second queue/
+// admit/dispatch/execute run. Runs with shard.mu held (the receiving
+// shard's).
+func (s *Server) traceRequeue(sh *shard, req *request, from string) {
+	if s.tr == nil {
+		return
+	}
+	req.queueSpan = s.tr.StartChild(req.rootSpan, "queue", obs.KindStage)
+	req.queueSpan.Attr(
+		obs.Str("shard", sh.key),
+		obs.Str("requeued_from", from),
+	)
+	s.tr.Counter(metricRequeued).Inc()
+}
+
+// traceDeviceLost closes the tree of a request stranded by churn: its
+// device crashed mid-request (or every candidate pool left) and no
+// surviving device absorbed it. Runs in the goroutine owning the request
+// (executor unwind or the churn call itself); the queue span, if any, was
+// already ended by traceEvacuated.
+func (s *Server) traceDeviceLost(req *request, devName string) {
+	if s.tr == nil {
+		return
+	}
+	req.rootSpan.Attr(
+		obs.Str("state", "device-lost"),
+		obs.Str("device", devName),
+	)
+	req.rootSpan.End()
+	s.tr.Counter(metricDeviceLost).Inc()
 }
 
 // traceExecuteStart ends the dispatch span and opens the execute span in

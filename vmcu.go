@@ -319,12 +319,19 @@ func PlanNetworkPareto(profile Profile, net Network, opts ScheduleOptions) ([]Pl
 // devices, each with a fixed SRAM pool. Admission is byte-exact — a
 // request lands on a device only when its cached NetworkPlan peak fits
 // the pool's remaining bytes, so co-resident models pack into one pool
-// and over-commit is impossible by construction. See internal/serve for
-// the ledger/queue/dispatch design and DESIGN.md §5d.
+// and over-commit is impossible by construction. Devices sharing a
+// Profile form an admission shard with its own queue and lock; the fleet
+// is mutable while serving (Server.AddDevice, Server.RemoveDevice, and
+// the crash simulation Server.CrashDevice — displaced requests fail over
+// to surviving devices or resolve with ErrServeDeviceLost), and a shard
+// whose queue crosses ServeOptions.DegradeDepth degrades to
+// smallest-peak admission instead of shedding. See internal/serve for
+// the ledger/queue/shard design and DESIGN.md §5d/§5h.
 type Server = serve.Server
 
-// ServeOptions configure a Server: the device fleet, the admission queue
-// bound, the plan-cache bound, and the execution mode.
+// ServeOptions configure a Server: the device fleet, the per-shard
+// admission queue bound, the degraded-mode threshold, the plan-cache
+// bound, and the execution mode.
 type ServeOptions = serve.Options
 
 // ServeDevice describes one simulated fleet device: its MCU profile, its
@@ -348,7 +355,8 @@ type Ticket = serve.Ticket
 type ServeResult = serve.Result
 
 // RequestState is one stage of the request lifecycle
-// (submit → planned → queued → admitted → running → done).
+// (submit → planned → queued → admitted → running → done, with rejected,
+// canceled, and device-lost as the terminal failure exits).
 type RequestState = serve.State
 
 // ServeMetrics is the server snapshot: throughput, latency percentiles,
@@ -358,6 +366,10 @@ type ServeMetrics = serve.Metrics
 
 // ServeDeviceMetrics is one fleet device's snapshot within ServeMetrics.
 type ServeDeviceMetrics = serve.DeviceMetrics
+
+// ServeShardMetrics is one device group's snapshot within ServeMetrics:
+// its queue state, degraded-mode counters, and churn counters.
+type ServeShardMetrics = serve.ShardMetrics
 
 // ServeExecMode selects what admitted requests execute: the full
 // bit-exact verification run, or admission-only dry runs for load tests.
@@ -377,6 +389,10 @@ var (
 	ErrServeCanceled     = serve.ErrCanceled
 	ErrServeClosed       = serve.ErrClosed
 	ErrServeUnknownModel = serve.ErrUnknownModel
+	// ErrServeDeviceLost resolves a request whose device crashed
+	// mid-request with no surviving device able to absorb the failover,
+	// and rejects submissions once churn has emptied the fleet.
+	ErrServeDeviceLost = serve.ErrDeviceLost
 )
 
 // NewServer builds a serving fleet and starts its per-device dispatchers.
