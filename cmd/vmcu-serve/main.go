@@ -23,18 +23,33 @@
 //	vmcu-serve -churn-every 500ms                  # crash+replace a device on a cycle during load
 //	vmcu-serve -degrade-depth 16                   # engage degraded mode at queue depth 16
 //	vmcu-serve -o serve-snapshot.json              # write the JSON snapshot
+//	vmcu-serve -open -duration 1h -listen :9090    # long run with live ops endpoints
+//	vmcu-serve -flight-out flight.json             # dump tail-sampled exemplar traces
+//
+// With -listen the process serves the live ops plane while load runs:
+// GET /metrics (Prometheus text, labeled windowed families), /healthz,
+// /readyz, /debug/status (JSON metrics), /debug/flight (retained
+// interesting traces as Chrome trace JSON). SIGINT/SIGTERM shut down
+// gracefully: generation stops, in-flight requests drain, and every
+// requested artifact (-o, -trace-out, -prom-out, -flight-out) is still
+// written.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/vmcu-project/vmcu"
@@ -181,6 +196,8 @@ func main() {
 	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of every request lifecycle to this file (enables tracing)")
 	promOut := flag.String("prom-out", "", "write a Prometheus text-format metrics dump to this file (enables tracing)")
+	listen := flag.String("listen", "", "serve live ops endpoints (/metrics /healthz /readyz /debug/status /debug/flight) on this address, e.g. :9090 (enables tracing)")
+	flightOut := flag.String("flight-out", "", "write the retained flight traces as Chrome trace JSON at exit (enables tracing)")
 	flag.Parse()
 
 	devices, err := parseFleet(*fleet)
@@ -202,8 +219,11 @@ func main() {
 		devices[i].Slots = *slots
 	}
 	var tracer *vmcu.Tracer
-	if *traceOut != "" || *promOut != "" {
+	if *traceOut != "" || *promOut != "" || *listen != "" || *flightOut != "" {
 		tracer = vmcu.NewTracer(vmcu.TracerOptions{})
+		// Always-on tail sampling: every request's span tree is buffered
+		// and retained only if its terminal outcome is interesting.
+		tracer.EnableFlight(vmcu.FlightOptions{})
 	}
 	s, err := vmcu.NewServer(vmcu.ServeOptions{
 		Devices: devices, QueueCap: *queueCap, DegradeDepth: *degradeDepth,
@@ -218,6 +238,28 @@ func main() {
 	}
 	if err := s.Register("imagenet", vmcu.ImageNet(), mdlCfg); err != nil {
 		fatal(err)
+	}
+
+	// SIGINT/SIGTERM stop load generation; the normal drain-and-report
+	// path then runs, so every requested artifact is still written.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
+	// The ops plane serves live state while load runs; it keeps serving
+	// through the drain so a final scrape sees the terminal counters.
+	var opsSrv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(fmt.Errorf("ops listener: %w", err))
+		}
+		opsSrv = &http.Server{Handler: vmcu.NewOpsHandler(s, tracer).Mux()}
+		fmt.Fprintf(os.Stderr, "vmcu-serve: ops endpoints on http://%s\n", ln.Addr())
+		go func() {
+			if err := opsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "vmcu-serve: ops server: %v\n", err)
+			}
+		}()
 	}
 
 	submit := func(i int) (*vmcu.Ticket, error) {
@@ -275,9 +317,15 @@ func main() {
 	if *open {
 		interval := time.Duration(float64(time.Second) / *rate)
 		var tickets []*vmcu.Ticket
-		for next := start; time.Since(start) < *duration; next = next.Add(interval) {
+		for next := start; time.Since(start) < *duration && ctx.Err() == nil; next = next.Add(interval) {
 			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
+			}
+			if ctx.Err() != nil {
+				break
 			}
 			tk, err := submit(issued)
 			issued++
@@ -301,6 +349,9 @@ func main() {
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctx.Err() != nil {
+						return
+					}
 					tk, err := submit(i)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "vmcu-serve: submit %d: %v\n", i, err)
@@ -316,6 +367,9 @@ func main() {
 	}
 	close(churnStop)
 	churnWG.Wait()
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "vmcu-serve: signal received, draining in-flight requests")
+	}
 	if err := s.Close(); err != nil {
 		fatal(err)
 	}
@@ -337,6 +391,20 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *flightOut != "" {
+			fs := tracer.FlightSnapshot()
+			if err := writeExport(*flightOut, func(w io.Writer) error {
+				return vmcu.WriteFlightChrome(w, fs)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if opsSrv != nil {
+		// Bounded shutdown: a stuck scrape client must not wedge exit.
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = opsSrv.Shutdown(sctx)
+		cancel()
 	}
 
 	m := s.Metrics()

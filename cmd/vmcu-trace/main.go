@@ -13,11 +13,18 @@
 // catches submit paths that open a span tree and never resolve it (the
 // historical rejected-submission leak).
 //
+// With -flight it summarizes a flight-recorder dump (vmcu-serve
+// -flight-out or GET /debug/flight): retained request trees grouped by
+// retention reason, with per-reason counts and total-latency statistics.
+// An empty dump — no request did anything interesting — is a healthy
+// outcome, not an error.
+//
 // Usage:
 //
 //	vmcu-serve -requests 16 -trace-out /tmp/t.json
 //	vmcu-trace -in /tmp/t.json
 //	vmcu-trace -in /tmp/t.json -check   # exit 1 unless the lifecycle is complete
+//	vmcu-trace -in /tmp/flight.json -flight
 package main
 
 import (
@@ -68,6 +75,8 @@ func main() {
 	in := flag.String("in", "", "Chrome trace_event JSON to read (required)")
 	check := flag.Bool("check", false,
 		"validate the trace instead of summarizing: every lifecycle stage present, every completed request's span tree connected")
+	flight := flag.Bool("flight", false,
+		"summarize a flight-recorder dump: retained request trees grouped by retention reason")
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required (a vmcu-serve/vmcu-plan -trace-out file)"))
@@ -92,6 +101,11 @@ func main() {
 			parent: argID(e, "parent_id"),
 			trace:  argID(e, "trace_id"),
 		})
+	}
+	if *flight {
+		// An empty flight dump is healthy: nothing interesting happened.
+		summarizeFlight(*in, spans)
+		return
 	}
 	if len(spans) == 0 {
 		fatal(fmt.Errorf("%s: no wall-clock spans (is this a -trace-out file?)", *in))
@@ -203,6 +217,70 @@ func validate(spans []span) error {
 		return fmt.Errorf("trace has no completed requests")
 	}
 	return nil
+}
+
+// summarizeFlight prints the retained request trees of a flight dump
+// grouped by retention reason: counts, span totals, and total-latency
+// statistics per reason. The recorder only retains interesting outcomes,
+// so an empty dump is reported as healthy.
+func summarizeFlight(path string, spans []span) {
+	type group struct {
+		count int
+		spans int
+		durs  []float64 // root durations, µs
+	}
+	groups := map[string]*group{}
+	perTrace := map[uint64]int{}
+	for _, s := range spans {
+		perTrace[s.trace]++
+	}
+	total := 0
+	for _, s := range spans {
+		if s.Cat != "request" {
+			continue
+		}
+		reason := argStr(s.event, "flight_reason")
+		if reason == "" {
+			reason = "(unlabeled)"
+		}
+		g := groups[reason]
+		if g == nil {
+			g = &group{}
+			groups[reason] = g
+		}
+		g.count++
+		g.spans += perTrace[s.trace]
+		g.durs = append(g.durs, s.Dur)
+		total++
+	}
+	if total == 0 {
+		fmt.Printf("vmcu-trace: %s holds no retained traces — nothing interesting happened (healthy)\n", path)
+		return
+	}
+	fmt.Printf("vmcu-trace: %s: %d retained request trees (%d spans)\n\n", path, total, len(spans))
+	fmt.Printf("%-14s %7s %7s %10s %10s %10s\n", "reason", "traces", "spans", "mean ms", "p50 ms", "max ms")
+	fmt.Println(strings.Repeat("-", 64))
+	reasons := make([]string, 0, len(groups))
+	for r := range groups {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if groups[reasons[i]].count != groups[reasons[j]].count {
+			return groups[reasons[i]].count > groups[reasons[j]].count
+		}
+		return reasons[i] < reasons[j]
+	})
+	for _, r := range reasons {
+		g := groups[r]
+		sort.Float64s(g.durs)
+		sum := 0.0
+		for _, d := range g.durs {
+			sum += d
+		}
+		mid := g.durs[len(g.durs)/2]
+		fmt.Printf("%-14s %7d %7d %10.3f %10.3f %10.3f\n", r, g.count, g.spans,
+			sum/float64(len(g.durs))/1e3, mid/1e3, g.durs[len(g.durs)-1]/1e3)
+	}
 }
 
 // summarize prints the per-stage latency breakdown, request outcomes, and

@@ -119,6 +119,7 @@ func PointwiseMemoryTrace(profile mcu.Profile, c PointwiseCase, seed int64, widt
 // series under the given device name, so the occupancy curve exports as a
 // counter track alongside the span timeline.
 func PointwiseMemoryProfile(profile mcu.Profile, c PointwiseCase, seed int64, tr *obs.Tracer, device string) ([]int, error) {
+	start := tr.Now()
 	_, ok, nViol, samples, err := runVMCUPointwise(profile, c, seed, 32)
 	if err != nil {
 		return nil, err
@@ -126,7 +127,7 @@ func PointwiseMemoryProfile(profile mcu.Profile, c PointwiseCase, seed int64, tr
 	if !ok || nViol != 0 {
 		return nil, fmt.Errorf("eval: traced run failed verification (ok=%v violations=%d)", ok, nViol)
 	}
-	tr.RecordSeries("pool_bytes", device, "bytes", samples)
+	tr.RecordSeriesSpan("pool_bytes", device, "bytes", start, tr.Now(), samples)
 	return samples, nil
 }
 

@@ -120,10 +120,18 @@ func WriteChromeTrace(w io.Writer, snap *Snapshot) error {
 		if sr.Unit != "" {
 			key = sr.Name + " (" + sr.Unit + ")"
 		}
+		// Counter samples sit on the series' declared time base (Start +
+		// i*Step nanos, same epoch as span Start/End) so the occupancy
+		// curve lines up with the span timeline; a series without a
+		// declared base (hand-built snapshots) falls back to 1µs spacing.
+		step := sr.Step
+		if step <= 0 {
+			step = 1000
+		}
 		for i, v := range sr.Samples {
 			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 				Name: sr.Name, Phase: "C",
-				TS: float64(i), PID: wallPID, TID: devs[sr.Device],
+				TS: float64(sr.Start+int64(i)*step) / 1e3, PID: wallPID, TID: devs[sr.Device],
 				Args: map[string]any{key: v},
 			})
 		}
@@ -153,8 +161,88 @@ func promName(name string) string {
 	return b.String()
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text-format
+// spec: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelPairs renders {k1="v1",...} for a labelset (plus any extra
+// pre-rendered pairs like le="..."), "" when there are none.
+func labelPairs(keys, values []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promName(k), escapeLabelValue(v))
+	}
+	for i, e := range extra {
+		if i > 0 || len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// helpLine emits "# HELP name help", defaulting the help text so every
+// family has a HELP line even when none was registered.
+func helpLine(b *strings.Builder, name, help, kind string) {
+	if help == "" {
+		help = "vmcu " + kind + " (no help registered)"
+	}
+	help = strings.ReplaceAll(help, "\\", `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+}
+
+// writeHistogramExposition renders one histogram series (cumulative le
+// buckets, _sum, _count) under the given rendered label prefix.
+func writeHistogramExposition(b *strings.Builder, name string, keys, values []string, h *HistogramData) {
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			labelPairs(keys, values, fmt.Sprintf("le=%q", fmt.Sprintf("%g", bound))), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelPairs(keys, values, `le="+Inf"`), h.Count)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, labelPairs(keys, values), h.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelPairs(keys, values), h.Count)
+}
+
 // WritePrometheus writes the snapshot's metrics as a Prometheus-style
-// text exposition (deterministic name order).
+// text exposition (deterministic order): first the unlabeled registries,
+// then the labeled families, each with HELP and TYPE lines. Windowed
+// families additionally expose their trailing-window view — for
+// histograms `<name>_window{quantile="0.5|0.9|0.99"}` live quantiles
+// plus `<name>_window_rps`, for gauges `<name>_window_max` — which is
+// what a dashboard should plot for "now" instead of since-boot totals.
 func WritePrometheus(w io.Writer, snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("obs: nil snapshot")
@@ -172,6 +260,7 @@ func WritePrometheus(w io.Writer, snap *Snapshot) error {
 		}
 	}) {
 		n := promName(k)
+		helpLine(&b, n, "", "counter")
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[k])
 	}
 	for _, k := range sortedKeys(len(snap.Gauges), func(add func(string)) {
@@ -180,6 +269,7 @@ func WritePrometheus(w io.Writer, snap *Snapshot) error {
 		}
 	}) {
 		n := promName(k)
+		helpLine(&b, n, "", "gauge")
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, snap.Gauges[k])
 	}
 	for _, k := range sortedKeys(len(snap.Histograms), func(add func(string)) {
@@ -189,16 +279,117 @@ func WritePrometheus(w io.Writer, snap *Snapshot) error {
 	}) {
 		h := snap.Histograms[k]
 		n := promName(k)
+		helpLine(&b, n, "", "histogram")
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
-		cum := uint64(0)
-		for i, bound := range h.Bounds {
-			cum += h.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", n, bound, cum)
-		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
-		fmt.Fprintf(&b, "%s_sum %g\n", n, h.Sum)
-		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		writeHistogramExposition(&b, n, nil, nil, &h)
+	}
+	for i := range snap.Families {
+		writeFamily(&b, &snap.Families[i])
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeFamily renders one labeled family, including the windowed
+// companion families when trailing-window views are present.
+func writeFamily(b *strings.Builder, f *FamilyData) {
+	n := promName(f.Name)
+	keys := f.Keys
+	helpLine(b, n, f.Help, f.Kind)
+	fmt.Fprintf(b, "# TYPE %s %s\n", n, f.Kind)
+	switch f.Kind {
+	case "counter":
+		for _, s := range f.Series {
+			fmt.Fprintf(b, "%s%s %d\n", n, labelPairs(keys, s.Values), s.Counter)
+		}
+	case "gauge":
+		for _, s := range f.Series {
+			fmt.Fprintf(b, "%s%s %g\n", n, labelPairs(keys, s.Values), s.Gauge)
+		}
+		if windowedGauges(f) {
+			wn := n + "_window_max"
+			helpLine(b, wn, "Trailing-window maximum of "+n, "gauge")
+			fmt.Fprintf(b, "# TYPE %s gauge\n", wn)
+			for _, s := range f.Series {
+				if s.GaugeWindow == nil || !s.GaugeWindow.Observed {
+					continue
+				}
+				fmt.Fprintf(b, "%s%s %g\n", wn, labelPairs(keys, s.Values), s.GaugeWindow.Max)
+			}
+		}
+	case "histogram":
+		for _, s := range f.Series {
+			if s.Hist != nil {
+				writeHistogramExposition(b, n, keys, s.Values, s.Hist)
+			}
+		}
+		if windowedHists(f) {
+			wn := n + "_window"
+			helpLine(b, wn, "Trailing-window quantiles of "+n, "gauge")
+			fmt.Fprintf(b, "# TYPE %s gauge\n", wn)
+			for _, s := range f.Series {
+				if s.Window == nil || s.Window.Count == 0 {
+					continue
+				}
+				for _, qv := range []struct {
+					q string
+					v float64
+				}{{"0.5", s.Window.P50}, {"0.9", s.Window.P90}, {"0.99", s.Window.P99}} {
+					fmt.Fprintf(b, "%s%s %g\n", wn,
+						labelPairs(keys, s.Values, fmt.Sprintf("quantile=%q", qv.q)), qv.v)
+				}
+			}
+			rn := n + "_window_rps"
+			helpLine(b, rn, "Trailing-window event rate of "+n+" per second", "gauge")
+			fmt.Fprintf(b, "# TYPE %s gauge\n", rn)
+			for _, s := range f.Series {
+				if s.Window == nil {
+					continue
+				}
+				fmt.Fprintf(b, "%s%s %g\n", rn, labelPairs(keys, s.Values), s.Window.RatePerSec)
+			}
+		}
+	}
+}
+
+func windowedGauges(f *FamilyData) bool {
+	for _, s := range f.Series {
+		if s.GaugeWindow != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func windowedHists(f *FamilyData) bool {
+	for _, s := range f.Series {
+		if s.Window != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteFlightChrome dumps a flight snapshot's retained span trees as
+// Chrome trace JSON. Each retained root carries a flight_reason attr so
+// the retention cause survives into the rendered timeline (and the
+// vmcu-trace -flight summarizer groups by it).
+func WriteFlightChrome(w io.Writer, fs *FlightSnapshot) error {
+	if fs == nil {
+		return fmt.Errorf("obs: nil flight snapshot")
+	}
+	snap := &Snapshot{}
+	for _, ft := range fs.Traces {
+		for _, s := range ft.Spans {
+			if s.Parent == 0 {
+				s.Attrs = append(append([]Attr(nil), s.Attrs...), Str("flight_reason", ft.Reason))
+			}
+			snap.Spans = append(snap.Spans, s)
+		}
+	}
+	sort.SliceStable(snap.Spans, func(i, j int) bool {
+		return snap.Spans[i].Start < snap.Spans[j].Start
+	})
+	snap.TotalSpans = uint64(len(snap.Spans))
+	return WriteChromeTrace(w, snap)
 }

@@ -1,0 +1,386 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The flight recorder is the always-on tail-sampling layer: at serving
+// rates (~137k RPS in BENCH_7) recording every request's span tree is
+// unbounded, and sampling heads (decide at submit) misses exactly the
+// requests an operator cares about — the ones that went wrong. Tail
+// sampling inverts it: every in-flight request's spans accumulate in a
+// bounded pending reservoir keyed by trace ID, and at completion the
+// OWNER of the request (the serve layer, which knows the outcome)
+// either retains the whole tree with a reason (error, shed, deadline
+// miss, degraded admission, device-lost, latency above the live p99) or
+// discards it. Retained trees land in a small FIFO ring dumpable as
+// Chrome trace JSON (/debug/flight, vmcu-serve -flight-out).
+//
+// Every dimension is budget-bounded: spans per trace, pending traces,
+// total pending spans, and retained traces. Overflow always evicts the
+// OLDEST pending work — under overload the recorder degrades to keeping
+// the most recent trees, never grows.
+
+// Flight recorder defaults (used when the corresponding FlightOptions
+// field is 0).
+const (
+	DefaultFlightMaxTraces       = 64
+	DefaultFlightMaxSpansPerTree = 512
+	DefaultFlightMaxPending      = 4096
+	DefaultFlightMaxPendingSpans = 1 << 16
+)
+
+// FlightOptions bound the flight recorder's reservoirs.
+type FlightOptions struct {
+	// MaxTraces bounds the retained ring (the exemplars an operator
+	// sees); 0 means DefaultFlightMaxTraces.
+	MaxTraces int
+	// MaxSpansPerTree bounds one trace's span count; further spans are
+	// dropped and counted. 0 means DefaultFlightMaxSpansPerTree.
+	MaxSpansPerTree int
+	// MaxPending bounds concurrently accumulating traces; 0 means
+	// DefaultFlightMaxPending.
+	MaxPending int
+	// MaxPendingSpans bounds the total spans buffered across all pending
+	// traces; 0 means DefaultFlightMaxPendingSpans.
+	MaxPendingSpans int
+}
+
+func (o FlightOptions) withDefaults() FlightOptions {
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = DefaultFlightMaxTraces
+	}
+	if o.MaxSpansPerTree <= 0 {
+		o.MaxSpansPerTree = DefaultFlightMaxSpansPerTree
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = DefaultFlightMaxPending
+	}
+	if o.MaxPendingSpans <= 0 {
+		o.MaxPendingSpans = DefaultFlightMaxPendingSpans
+	}
+	return o
+}
+
+// pendingTrace is one accumulating span tree. Each tree has its own
+// mutex, so concurrent requests buffering spans never contend with each
+// other — only the spans of one trace serialize (and those are handed
+// between pipeline stages one at a time anyway).
+type pendingTrace struct {
+	mu        sync.Mutex
+	spans     []SpanData // guarded by pendingTrace.mu
+	truncated uint64     // spans dropped past MaxSpansPerTree; guarded by mu
+	// dead marks a tree that was evicted or completed; a late offer that
+	// raced the removal drops its span and retries against the map (which
+	// no longer holds this tree). Guarded by pendingTrace.mu.
+	dead bool
+}
+
+// flightRecorder holds the tail-sampling state. The hot offer path — one
+// call per recorded span, ~9 per request at serving rates — touches only
+// lock-free structures (the pending sync.Map, the per-trace mutex, and
+// atomic accounting); the global mutexes guard the cold paths: FIFO
+// eviction order (touched once per trace, not per span) and the retained
+// exemplar ring (touched only when a trace is actually kept).
+type flightRecorder struct {
+	opts FlightOptions
+
+	// pending maps trace ID → *pendingTrace. sync.Map because the access
+	// pattern is its sweet spot: every key is written once (trace
+	// creation), read many times (span appends), then deleted.
+	pending sync.Map
+	// pendingCount and pendingSpans are the live budget accounting.
+	pendingCount atomic.Int64
+	pendingSpans atomic.Int64
+	// Traffic stats (FlightStats fields, kept as atomics so completion
+	// paths never serialize on a stats lock).
+	completed      atomic.Uint64
+	retainedCount  atomic.Uint64
+	evictedPending atomic.Uint64
+	truncatedSpans atomic.Uint64
+
+	// orderMu guards pendingOrder, the FIFO eviction order of trace IDs.
+	// Completed traces leave stale IDs behind (skipped when popping);
+	// compactOrderLocked bounds the slice so a long-running recorder that
+	// never hits budget pressure cannot leak order entries.
+	orderMu      sync.Mutex
+	pendingOrder []uint64
+
+	// retMu guards the retained exemplar ring and its eviction counter.
+	// retained is circular storage (len == MaxTraces once full, retNext
+	// the write index): retention at overload is a slot overwrite, never
+	// a slice copy — at saturation every shed request retains a tree, so
+	// this sits on the serving hot path.
+	retMu           sync.Mutex
+	retained        []FlightTrace
+	retNext         int
+	evictedRetained uint64
+}
+
+// FlightTrace is one retained span tree.
+type FlightTrace struct {
+	// Trace is the tree's trace ID; Reason the retention reason the
+	// completing owner supplied ("deadline", "error", "p99", ...).
+	Trace  uint64
+	Reason string
+	// Spans are the tree's spans in recording order; Truncated counts
+	// spans dropped past the per-tree budget.
+	Spans     []SpanData
+	Truncated uint64
+}
+
+// FlightStats count the recorder's traffic since EnableFlight.
+type FlightStats struct {
+	// Completed counts FlightComplete calls; Retained the ones kept.
+	Completed, Retained uint64
+	// EvictedPending counts pending trees evicted for budget (their
+	// spans lost before completion); EvictedRetained retained trees
+	// pushed out of the ring by newer ones.
+	EvictedPending, EvictedRetained uint64
+	// TruncatedSpans counts spans dropped by the per-tree budget.
+	TruncatedSpans uint64
+}
+
+// FlightSnapshot is a copy of the retained ring plus traffic stats.
+type FlightSnapshot struct {
+	Traces []FlightTrace
+	Stats  FlightStats
+	// Pending is the number of traces still accumulating at snapshot
+	// time.
+	Pending int
+}
+
+// EnableFlight turns on the tail-sampled flight recorder. Safe on a nil
+// tracer (no-op); calling it again replaces the recorder and drops its
+// state.
+func (t *Tracer) EnableFlight(opts FlightOptions) {
+	if t == nil {
+		return
+	}
+	fl := &flightRecorder{opts: opts.withDefaults()}
+	t.flight.Store(fl)
+}
+
+// FlightEnabled reports whether the tracer has a flight recorder
+// (false on nil).
+func (t *Tracer) FlightEnabled() bool {
+	if t == nil {
+		return false
+	}
+	return t.flight.Load() != nil
+}
+
+// offer buffers one ended span into its pending tree, evicting the
+// oldest pending trees when a budget is exceeded.
+func (fl *flightRecorder) offer(d SpanData) {
+	if d.Trace == 0 {
+		return
+	}
+	for {
+		v, ok := fl.pending.Load(d.Trace)
+		if !ok {
+			var loaded bool
+			v, loaded = fl.pending.LoadOrStore(d.Trace, &pendingTrace{})
+			if !loaded {
+				// This span opened the trace: register it in the FIFO
+				// eviction order (the only per-trace global-lock touch).
+				fl.pendingCount.Add(1)
+				fl.orderMu.Lock()
+				fl.pendingOrder = append(fl.pendingOrder, d.Trace)
+				fl.compactOrderLocked()
+				fl.orderMu.Unlock()
+			}
+		}
+		pt := v.(*pendingTrace)
+		pt.mu.Lock()
+		if pt.dead {
+			// Lost a race with eviction/completion: the tree is already
+			// out of the map, so retry — the next Load misses and a fresh
+			// tree is created, matching the sequential semantics (spans
+			// arriving after an eviction restart the trace).
+			pt.mu.Unlock()
+			continue
+		}
+		if len(pt.spans) >= fl.opts.MaxSpansPerTree {
+			pt.truncated++
+			pt.mu.Unlock()
+			fl.truncatedSpans.Add(1)
+			return
+		}
+		pt.spans = append(pt.spans, d)
+		pt.mu.Unlock()
+		fl.pendingSpans.Add(1)
+		break
+	}
+	for fl.pendingCount.Load() > int64(fl.opts.MaxPending) ||
+		fl.pendingSpans.Load() > int64(fl.opts.MaxPendingSpans) {
+		if !fl.evictOldest(d.Trace) {
+			break
+		}
+	}
+}
+
+// compactOrderLocked drops stale entries (traces already completed or
+// evicted) from pendingOrder once it grows well past the pending budget.
+// Without this a long-running server whose traces all complete promptly
+// — so eviction never pops — would leak one order entry per trace.
+// Runs with orderMu held; amortized O(1) per trace.
+func (fl *flightRecorder) compactOrderLocked() {
+	if len(fl.pendingOrder) <= 4*fl.opts.MaxPending {
+		return
+	}
+	live := fl.pendingOrder[:0]
+	for _, id := range fl.pendingOrder {
+		if _, ok := fl.pending.Load(id); ok {
+			live = append(live, id)
+		}
+	}
+	fl.pendingOrder = live
+}
+
+// evictOldest drops the oldest pending tree (skipping keep, the trace
+// just written, so a single over-budget tree cannot evict itself).
+// Reports whether anything was evicted.
+func (fl *flightRecorder) evictOldest(keep uint64) bool {
+	fl.orderMu.Lock()
+	for len(fl.pendingOrder) > 0 {
+		id := fl.pendingOrder[0]
+		fl.pendingOrder = fl.pendingOrder[1:]
+		if id == keep {
+			// Re-queue the protected trace at the back; it becomes
+			// evictable once newer traffic arrives.
+			fl.pendingOrder = append(fl.pendingOrder, id)
+			if len(fl.pendingOrder) == 1 {
+				fl.orderMu.Unlock()
+				return false
+			}
+			continue
+		}
+		v, ok := fl.pending.LoadAndDelete(id)
+		if !ok {
+			// Stale ID: trace already completed; keep popping.
+			continue
+		}
+		fl.orderMu.Unlock()
+		pt := v.(*pendingTrace)
+		pt.mu.Lock()
+		pt.dead = true
+		n := len(pt.spans)
+		pt.spans = nil
+		pt.mu.Unlock()
+		fl.pendingCount.Add(-1)
+		fl.pendingSpans.Add(-int64(n))
+		fl.evictedPending.Add(1)
+		return true
+	}
+	fl.orderMu.Unlock()
+	return false
+}
+
+// FlightComplete finishes a trace: a non-empty reason retains the
+// accumulated tree in the exemplar ring, an empty reason discards it.
+// Safe on a nil tracer or with the recorder disabled.
+func (t *Tracer) FlightComplete(trace uint64, reason string) {
+	if t == nil || trace == 0 {
+		return
+	}
+	fl := t.flight.Load()
+	if fl == nil {
+		return
+	}
+	fl.completeTree(trace, reason, nil)
+}
+
+// completeTree finishes a trace: its pending reservoir spans (if any)
+// plus the owner-buffered spans handed in by RecordTree form the tree; a
+// non-empty reason retains it in the exemplar ring, an empty reason
+// discards it. The per-tree span budget applies to the combined tree.
+func (fl *flightRecorder) completeTree(trace uint64, reason string, owned []SpanData) {
+	fl.completed.Add(1)
+	var spans []SpanData
+	var truncated uint64
+	if v, ok := fl.pending.LoadAndDelete(trace); ok {
+		pt := v.(*pendingTrace)
+		pt.mu.Lock()
+		pt.dead = true
+		spans, truncated = pt.spans, pt.truncated
+		pt.spans = nil
+		pt.mu.Unlock()
+		fl.pendingCount.Add(-1)
+		fl.pendingSpans.Add(-int64(len(spans)))
+		// The trace's ID stays in pendingOrder as a stale entry, skipped
+		// during eviction and swept by compactOrderLocked — cheaper than
+		// an O(n) removal here.
+	}
+	if reason == "" {
+		return
+	}
+	// The owner handed over its buffer (RecordTree resets it), so a tree
+	// with no reservoir spans — the common case; only executor-emitted
+	// unit spans land in the reservoir — retains with zero copying.
+	if spans == nil {
+		spans = owned
+	} else {
+		spans = append(spans, owned...)
+	}
+	if over := len(spans) - fl.opts.MaxSpansPerTree; over > 0 {
+		truncated += uint64(over)
+		spans = spans[:fl.opts.MaxSpansPerTree]
+	}
+	if len(spans) == 0 {
+		return
+	}
+	fl.retainedCount.Add(1)
+	ft := FlightTrace{
+		Trace: trace, Reason: reason,
+		Spans: spans, Truncated: truncated,
+	}
+	fl.retMu.Lock()
+	if len(fl.retained) < fl.opts.MaxTraces {
+		fl.retained = append(fl.retained, ft)
+		fl.retNext = len(fl.retained) % fl.opts.MaxTraces
+	} else {
+		fl.retained[fl.retNext] = ft
+		fl.retNext = (fl.retNext + 1) % fl.opts.MaxTraces
+		fl.evictedRetained++
+	}
+	fl.retMu.Unlock()
+}
+
+// FlightSnapshot copies the retained exemplar ring (nil-safe: a nil or
+// flight-disabled tracer yields an empty snapshot).
+func (t *Tracer) FlightSnapshot() *FlightSnapshot {
+	snap := &FlightSnapshot{}
+	if t == nil {
+		return snap
+	}
+	fl := t.flight.Load()
+	if fl == nil {
+		return snap
+	}
+	fl.retMu.Lock()
+	snap.Traces = make([]FlightTrace, 0, len(fl.retained))
+	appendCopy := func(src []FlightTrace) {
+		for _, ft := range src {
+			cp := ft
+			cp.Spans = append([]SpanData(nil), ft.Spans...)
+			snap.Traces = append(snap.Traces, cp)
+		}
+	}
+	// Unroll the circular storage oldest-first.
+	if len(fl.retained) == fl.opts.MaxTraces {
+		appendCopy(fl.retained[fl.retNext:])
+		appendCopy(fl.retained[:fl.retNext])
+	} else {
+		appendCopy(fl.retained)
+	}
+	snap.Stats.EvictedRetained = fl.evictedRetained
+	fl.retMu.Unlock()
+	snap.Stats.Completed = fl.completed.Load()
+	snap.Stats.Retained = fl.retainedCount.Load()
+	snap.Stats.EvictedPending = fl.evictedPending.Load()
+	snap.Stats.TruncatedSpans = fl.truncatedSpans.Load()
+	snap.Pending = int(fl.pendingCount.Load())
+	return snap
+}

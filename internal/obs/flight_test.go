@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRetentionProperty is the retention property test: under
+// concurrent traffic where only some traces complete with a reason, the
+// retained ring holds ONLY reason-bearing traces and never exceeds its
+// budget, and the traffic stats reconcile. Run under -race in CI.
+func TestFlightRetentionProperty(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 200
+		maxTraces = 16
+	)
+	tr := New(Options{})
+	tr.EnableFlight(FlightOptions{MaxTraces: maxTraces})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.Start(fmt.Sprintf("request-%d-%d", w, i), KindRequest)
+				child := tr.StartChild(root, "execute", KindStage)
+				child.End()
+				root.End()
+				// Every 7th request is "interesting".
+				reason := ""
+				if i%7 == 0 {
+					reason = "deadline"
+				}
+				tr.FlightComplete(root.TraceID(), reason)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fs := tr.FlightSnapshot()
+	if len(fs.Traces) > maxTraces {
+		t.Fatalf("retained %d traces, budget %d", len(fs.Traces), maxTraces)
+	}
+	if len(fs.Traces) == 0 {
+		t.Fatal("no traces retained despite interesting completions")
+	}
+	for _, ft := range fs.Traces {
+		if ft.Reason != "deadline" {
+			t.Fatalf("retained trace with reason %q — only interesting outcomes may be retained", ft.Reason)
+		}
+		if len(ft.Spans) != 2 {
+			t.Fatalf("retained trace has %d spans, want 2", len(ft.Spans))
+		}
+	}
+	if fs.Stats.Completed != workers*perWorker {
+		t.Fatalf("completed = %d, want %d", fs.Stats.Completed, workers*perWorker)
+	}
+	wantRetained := uint64(workers * ((perWorker + 6) / 7))
+	if fs.Stats.Retained != wantRetained {
+		t.Fatalf("retained stat = %d, want %d", fs.Stats.Retained, wantRetained)
+	}
+	if fs.Stats.EvictedRetained != wantRetained-uint64(len(fs.Traces)) {
+		t.Fatalf("evicted-retained = %d, retained = %d, ring = %d: stats don't reconcile",
+			fs.Stats.EvictedRetained, fs.Stats.Retained, len(fs.Traces))
+	}
+	if fs.Pending != 0 {
+		t.Fatalf("%d traces still pending after all completed", fs.Pending)
+	}
+}
+
+// TestFlightPendingBudgets verifies both pending bounds: trace count and
+// total buffered spans, with oldest-first eviction.
+func TestFlightPendingBudgets(t *testing.T) {
+	tr := New(Options{})
+	tr.EnableFlight(FlightOptions{MaxPending: 8, MaxSpansPerTree: 4})
+	var roots []*Span
+	for i := 0; i < 32; i++ {
+		root := tr.Start("request", KindRequest)
+		root.End()
+		roots = append(roots, root)
+	}
+	fs := tr.FlightSnapshot()
+	if fs.Pending > 8 {
+		t.Fatalf("pending = %d, budget 8", fs.Pending)
+	}
+	if fs.Stats.EvictedPending != 32-8 {
+		t.Fatalf("evicted pending = %d, want 24", fs.Stats.EvictedPending)
+	}
+	// The oldest traces were evicted: completing one of them with a
+	// reason retains nothing (its spans are gone).
+	tr.FlightComplete(roots[0].TraceID(), "error")
+	if got := len(tr.FlightSnapshot().Traces); got != 0 {
+		t.Fatalf("evicted trace retained %d trees", got)
+	}
+	// A surviving (recent) trace retains fine.
+	tr.FlightComplete(roots[31].TraceID(), "error")
+	if got := len(tr.FlightSnapshot().Traces); got != 1 {
+		t.Fatalf("recent trace not retained (got %d)", got)
+	}
+
+	// Per-tree span budget: a chatty trace is truncated, not unbounded.
+	root := tr.Start("request", KindRequest)
+	for i := 0; i < 10; i++ {
+		tr.StartChild(root, "unit", KindUnit).End()
+	}
+	root.End()
+	tr.FlightComplete(root.TraceID(), "p99")
+	fs = tr.FlightSnapshot()
+	last := fs.Traces[len(fs.Traces)-1]
+	if len(last.Spans) != 4 {
+		t.Fatalf("truncated tree has %d spans, want 4", len(last.Spans))
+	}
+	if last.Truncated != 7 {
+		t.Fatalf("truncated count = %d, want 7 (10 children + root - 4 kept)", last.Truncated)
+	}
+}
+
+// TestFlightDisabledAndNil: the recorder is strictly opt-in and
+// nil-safe.
+func TestFlightDisabledAndNil(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.EnableFlight(FlightOptions{})
+	nilTr.FlightComplete(1, "x")
+	if fs := nilTr.FlightSnapshot(); len(fs.Traces) != 0 {
+		t.Fatal("nil tracer retained traces")
+	}
+	tr := New(Options{})
+	s := tr.Start("request", KindRequest)
+	s.End()
+	tr.FlightComplete(s.TraceID(), "error")
+	if fs := tr.FlightSnapshot(); len(fs.Traces) != 0 || tr.FlightEnabled() {
+		t.Fatal("flight recorder active without EnableFlight")
+	}
+}
+
+// TestWriteFlightChrome checks the dump carries the retention reason on
+// each root and loads as a normal Chrome trace.
+func TestWriteFlightChrome(t *testing.T) {
+	tr := New(Options{})
+	tr.EnableFlight(FlightOptions{})
+	root := tr.Start("request", KindRequest)
+	tr.StartChild(root, "execute", KindStage).End()
+	root.End()
+	tr.FlightComplete(root.TraceID(), "device-lost")
+	var b strings.Builder
+	if err := WriteFlightChrome(&b, tr.FlightSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"flight_reason": "device-lost"`) {
+		t.Fatalf("flight reason missing from dump:\n%s", out)
+	}
+	if !strings.Contains(out, `"name": "execute"`) {
+		t.Fatal("child span missing from dump")
+	}
+}

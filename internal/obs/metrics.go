@@ -38,6 +38,11 @@ func (c *Counter) Value() uint64 {
 // Gauge is a last-value-wins float metric (lint:nilsafe: every exported
 // method tolerates a nil receiver).
 type Gauge struct {
+	// win is the optional trailing-window ring (set only by windowed
+	// GaugeVec construction; nil otherwise). The pointer is immutable;
+	// the ring's state is guarded by Gauge.mu.
+	win *gaugeWindows
+
 	mu sync.Mutex
 	// v is guarded by Gauge.mu.
 	v float64
@@ -50,6 +55,9 @@ func (g *Gauge) Set(v float64) {
 	}
 	g.mu.Lock()
 	g.v = v
+	if g.win != nil {
+		g.win.set(windowClock(), v)
+	}
 	g.mu.Unlock()
 }
 
@@ -69,11 +77,28 @@ func (g *Gauge) Value() float64 {
 // lint:nilsafe: every exported method tolerates a nil receiver.
 type Histogram struct {
 	bounds []float64 // ascending upper bounds; +Inf is implicit; immutable
-	mu     sync.Mutex
+	// win is the optional trailing-window ring (set only by windowed
+	// HistogramVec construction; nil otherwise). The pointer is
+	// immutable; the ring's state is guarded by Histogram.mu.
+	win *histWindows
+
+	mu sync.Mutex
 	// counts, sum, and count are guarded by Histogram.mu.
 	counts []uint64 // len(bounds)+1, last is +Inf
 	sum    float64
 	count  uint64
+	// liveCache memoizes the merged trailing-window view for the
+	// sub-window liveCacheIdx, guarded by Histogram.mu — LiveQuantile
+	// callers on completion paths pay the merge-and-sort at most once
+	// per window rotation, not per observation. liveCacheCount is the
+	// cumulative observation count at cache build; while the window is
+	// still filling the cache also refreshes on count growth, so a
+	// quantile snapshotted off the first few samples cannot go stale for
+	// a whole rotation (the p99-outlier retention predicate would sit on
+	// it for up to a full sub-window otherwise).
+	liveCache      *WindowData
+	liveCacheIdx   int64
+	liveCacheCount uint64
 }
 
 // Observe records one sample.
@@ -86,7 +111,51 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+	if h.win != nil {
+		h.win.observe(windowClock(), i, v)
+	}
 	h.mu.Unlock()
+}
+
+// Window returns the trailing-window view of a windowed histogram, or
+// nil when the histogram is unwindowed (or the receiver nil). The merge
+// is computed fresh — use LiveQuantile on hot paths.
+func (h *Histogram) Window() *WindowData {
+	if h == nil || h.win == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.win.merge(windowClock(), h.bounds)
+}
+
+// LiveQuantile returns the trailing-window quantile q and the window's
+// observation count, memoized per sub-window rotation so it is cheap
+// enough for per-request completion paths (the flight recorder's
+// "latency above live p99" predicate). Returns (0, 0) on a nil or
+// unwindowed histogram.
+func (h *Histogram) LiveQuantile(q float64) (float64, uint64) {
+	if h == nil || h.win == nil {
+		return 0, 0
+	}
+	nanos := windowClock()
+	idx := nanos / int64(h.win.opts.Width)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.liveCache == nil || h.liveCacheIdx != idx || h.count > h.liveCacheCount+h.liveCacheCount/4 {
+		h.liveCache = h.win.merge(nanos, h.bounds)
+		h.liveCacheIdx = idx
+		h.liveCacheCount = h.count
+	}
+	w := h.liveCache
+	switch {
+	case q <= 0.50:
+		return w.P50, w.Count
+	case q <= 0.90:
+		return w.P90, w.Count
+	default:
+		return w.P99, w.Count
+	}
 }
 
 // HistogramData is a histogram's snapshot: per-bucket (non-cumulative)
@@ -111,18 +180,24 @@ func (h *Histogram) snapshot() HistogramData {
 
 // metricsRegistry is the tracer's instrument store, guarded by Tracer.mu.
 type metricsRegistry struct {
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // newMetricsRegistry builds an empty registry; the maps are created up
 // front so instrument lookups never nil-check them.
 func newMetricsRegistry() metricsRegistry {
 	return metricsRegistry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		histograms:    map[string]*Histogram{},
+		counterVecs:   map[string]*CounterVec{},
+		gaugeVecs:     map[string]*GaugeVec{},
+		histogramVecs: map[string]*HistogramVec{},
 	}
 }
 
@@ -177,8 +252,11 @@ func (t *Tracer) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// fill copies the registries into a snapshot; runs with Tracer.mu held.
-func (r *metricsRegistry) fill(snap *Snapshot) {
+// fill copies the registries into a snapshot; runs with Tracer.mu held
+// (each labeled family additionally takes its own lock — the order is
+// always Tracer.mu, then Vec.mu, then the instrument's mutex). nanos is
+// the window clock reading the trailing-window merges are taken at.
+func (r *metricsRegistry) fill(snap *Snapshot, nanos int64) {
 	for name, c := range r.counters {
 		snap.Counters[name] = c.Value()
 	}
@@ -188,4 +266,16 @@ func (r *metricsRegistry) fill(snap *Snapshot) {
 	for name, h := range r.histograms {
 		snap.Histograms[name] = h.snapshot()
 	}
+	for _, v := range r.counterVecs {
+		snap.Families = append(snap.Families, v.snapshot(nanos))
+	}
+	for _, v := range r.gaugeVecs {
+		snap.Families = append(snap.Families, v.snapshot(nanos))
+	}
+	for _, v := range r.histogramVecs {
+		snap.Families = append(snap.Families, v.snapshot(nanos))
+	}
+	sort.Slice(snap.Families, func(i, j int) bool {
+		return snap.Families[i].Name < snap.Families[j].Name
+	})
 }

@@ -15,9 +15,11 @@
 //     hot paths permanently (the vmcu-bench tracer section pins the
 //     overhead at < 2% on the serving workload).
 //   - Race-clean. A Tracer is safe for concurrent use from any number of
-//     goroutines: span storage and metric registries are guarded by one
-//     mutex each, counters use atomics, and Span handles are owned by one
-//     goroutine at a time (handoff through the caller's own
+//     goroutines: span storage is sharded across per-shard mutexes (one
+//     global span lock becomes the bottleneck at serving rates — every
+//     request records ~9 lifecycle spans), the metric registry is guarded
+//     by its own mutex, counters use atomics, and Span handles are owned
+//     by one goroutine at a time (handoff through the caller's own
 //     synchronization, exactly like any other Go value).
 //   - Bounded memory. Ended spans land in a fixed-capacity ring buffer;
 //     when it wraps, the oldest spans are dropped and counted
@@ -32,6 +34,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +122,13 @@ type Series struct {
 	Device  string
 	Unit    string
 	Samples []int
+	// Start is the wall timestamp of the first sample and Step the
+	// spacing between consecutive samples, both in nanoseconds since
+	// the tracer's epoch — the declared time base that places the
+	// counter curve on the same axis as the recorded spans.
+	// RecordSeriesSpan spreads samples across a real span's interval;
+	// RecordSeries anchors at the call instant with a 1µs step.
+	Start, Step int64
 }
 
 // DefaultSpanCapacity is the ring-buffer bound used when Options.Capacity
@@ -132,6 +142,33 @@ type Options struct {
 	Capacity int
 }
 
+// spanShardCount is how many independent ring shards a Tracer's span
+// storage splits into. Span recording is the hottest path in the package
+// — at serving saturation every request pushes ~9 lifecycle spans, so a
+// single ring mutex is hammered at millions of acquisitions per second
+// from every core and becomes the dominant serving cost. Sequential span
+// IDs distribute round-robin across shards, so with per-shard capacity
+// cap/N the union of the shard rings holds exactly the most recent cap
+// spans — the same retention a single global FIFO ring would give.
+const spanShardCount = 16
+
+// spanShard is one independent slice of the span ring.
+type spanShard struct {
+	mu sync.Mutex
+	// spans is this shard's ring storage (len == cap once full), guarded
+	// by spanShard.mu.
+	spans []SpanData
+	cap   int // shard capacity; immutable after New
+	// next is the ring write index, guarded by spanShard.mu.
+	next int
+	// total counts spans ever recorded into this shard, guarded by
+	// spanShard.mu.
+	total uint64
+	// pad keeps adjacent shards off each other's cache line — the whole
+	// point of sharding is that cores stop ping-ponging one hot line.
+	_ [64]byte
+}
+
 // Tracer collects spans, metrics, and series. The zero *Tracer (nil) is
 // the no-op tracer: every method is safe and free on it (lint:nilsafe —
 // vmcu-lint's nilnoop analyzer enforces the guard on every exported
@@ -140,15 +177,16 @@ type Tracer struct {
 	epoch  time.Time // immutable after New
 	nextID atomic.Uint64
 
+	// shards is the sharded span ring (slice header and per-shard caps
+	// immutable after New; each shard's state guarded by its own mutex).
+	shards []spanShard
+	cap    int // total ring capacity; immutable after New
+
+	// flight is the optional tail-sampling recorder; swapped atomically
+	// so the record hot path reads it without a lock.
+	flight atomic.Pointer[flightRecorder]
+
 	mu sync.Mutex
-	// spans is the ring storage (len == cap once full), guarded by
-	// Tracer.mu.
-	spans []SpanData
-	cap   int // ring capacity; immutable after New
-	// next is the ring write index, guarded by Tracer.mu.
-	next int
-	// total counts spans ever recorded, guarded by Tracer.mu.
-	total uint64
 	// series is guarded by Tracer.mu.
 	series []Series
 	// metrics is the instrument registry, guarded by Tracer.mu.
@@ -161,11 +199,26 @@ func New(opts Options) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultSpanCapacity
 	}
-	return &Tracer{
+	nshards := spanShardCount
+	if capacity < nshards {
+		nshards = capacity
+	}
+	t := &Tracer{
 		epoch:   time.Now(),
 		cap:     capacity,
+		shards:  make([]spanShard, nshards),
 		metrics: newMetricsRegistry(),
 	}
+	// Distribute the capacity exactly: the first capacity%nshards shards
+	// take one extra slot, so the shard caps always sum to capacity.
+	base, extra := capacity/nshards, capacity%nshards
+	for i := range t.shards {
+		t.shards[i].cap = base
+		if i < extra {
+			t.shards[i].cap++
+		}
+	}
+	return t
 }
 
 // Enabled reports whether the tracer records anything (false on nil).
@@ -192,6 +245,13 @@ func (t *Tracer) Now() int64 {
 type Span struct {
 	tr   *Tracer
 	data SpanData
+	// attrStore is the inline backing for the first attrs (data.Attrs
+	// aliases it until an append outgrows it): lifecycle spans carry ≤4
+	// attributes, so the common case adds zero allocations beyond the
+	// Span itself. Safe to alias from recorded SpanData copies because
+	// Attr only ever appends — slots below a recorded copy's length are
+	// never rewritten.
+	attrStore [4]Attr
 }
 
 // Start opens a root span. Returns nil on a nil tracer.
@@ -200,9 +260,11 @@ func (t *Tracer) Start(name, kind string) *Span {
 		return nil
 	}
 	id := t.nextID.Add(1)
-	return &Span{tr: t, data: SpanData{
+	s := &Span{tr: t, data: SpanData{
 		ID: id, Trace: id, Name: name, Kind: kind, Start: t.now(),
 	}}
+	s.data.Attrs = s.attrStore[:0]
+	return s
 }
 
 // StartChild opens a span under parent, inheriting its trace. A nil
@@ -283,6 +345,94 @@ func (s *Span) End() {
 	s.tr.record(s.data)
 }
 
+// SpanBuffer accumulates the ended spans of one logical operation (a
+// serving request's lifecycle tree) for a single deferred flush through
+// Tracer.RecordTree. It does no synchronization of its own: exactly one
+// goroutine owns it at a time, handed along with the operation it
+// describes — the same ownership discipline as a Span handle. Buffering
+// exists for hot paths that end spans while holding contended locks: an
+// EndTo is a timestamp and a slice append, with every tracer lock, map
+// touch, and flight-recorder offer deferred to the flush.
+type SpanBuffer struct {
+	spans []SpanData
+}
+
+// Len reports how many ended spans the buffer holds (0 on nil).
+func (b *SpanBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.spans)
+}
+
+// Reserve pre-sizes the buffer for n spans, so later EndTo appends on
+// locked paths never grow the slice. No-op on nil or when capacity
+// already suffices.
+func (b *SpanBuffer) Reserve(n int) {
+	if b == nil || cap(b.spans)-len(b.spans) >= n {
+		return
+	}
+	grown := make([]SpanData, len(b.spans), len(b.spans)+n)
+	copy(grown, b.spans)
+	b.spans = grown
+}
+
+// EndTo closes the span and appends it to b instead of recording it in
+// the tracer — the caller flushes the buffer later with RecordTree. A
+// nil buffer falls back to End.
+func (s *Span) EndTo(b *SpanBuffer) {
+	if s == nil {
+		return
+	}
+	if b == nil {
+		s.End()
+		return
+	}
+	s.data.End = s.tr.now()
+	b.spans = append(b.spans, s.data)
+}
+
+// RecordTree flushes a span buffer into the ring storage and completes
+// the trace in the flight recorder (no-op when flight is disabled): a
+// non-empty reason retains the tree — the buffered spans plus any spans
+// recorded directly under the same trace ID, like the executor's
+// per-unit spans — and an empty reason discards it. The whole buffer
+// lands under one shard-lock acquisition, so a request's ~9 lifecycle
+// spans cost one lock hop at completion instead of nine on the hot path.
+// Nil-safe on the tracer and the buffer; the buffer is consumed (reset
+// to empty) so a retained tree can never be flushed twice.
+func (t *Tracer) RecordTree(b *SpanBuffer, trace uint64, reason string) {
+	if t == nil {
+		return
+	}
+	var owned []SpanData
+	if b != nil {
+		owned = b.spans
+		b.spans = nil
+	}
+	if len(owned) > 0 {
+		sh := &t.shards[trace%uint64(len(t.shards))]
+		sh.mu.Lock()
+		for _, d := range owned {
+			if len(sh.spans) < sh.cap {
+				sh.spans = append(sh.spans, d)
+				sh.next = len(sh.spans) % sh.cap
+			} else {
+				sh.spans[sh.next] = d
+				sh.next = (sh.next + 1) % sh.cap
+			}
+			sh.total++
+		}
+		sh.mu.Unlock()
+	}
+	if trace == 0 {
+		return
+	}
+	if fl := t.flight.Load(); fl != nil {
+		fl.completeTree(trace, reason, owned)
+	}
+}
+
 // Emit records a fully-formed span directly (used by call sites that
 // reconstruct timelines after the fact, like the network executor's
 // per-unit device timeline). A zero ID is assigned; a zero Trace becomes
@@ -301,28 +451,59 @@ func (t *Tracer) Emit(d SpanData) uint64 {
 	return d.ID
 }
 
-// record appends one ended span to the ring buffer.
+// record appends one ended span to its ring shard and offers it to the
+// flight recorder (after releasing the shard lock — the recorder has its
+// own synchronization and the two never nest).
 func (t *Tracer) record(d SpanData) {
-	t.mu.Lock()
-	if len(t.spans) < t.cap {
-		t.spans = append(t.spans, d)
-		t.next = len(t.spans) % t.cap
+	sh := &t.shards[d.ID%uint64(len(t.shards))]
+	sh.mu.Lock()
+	if len(sh.spans) < sh.cap {
+		sh.spans = append(sh.spans, d)
+		sh.next = len(sh.spans) % sh.cap
 	} else {
-		t.spans[t.next] = d
-		t.next = (t.next + 1) % t.cap
+		sh.spans[sh.next] = d
+		sh.next = (sh.next + 1) % sh.cap
 	}
-	t.total++
-	t.mu.Unlock()
+	sh.total++
+	sh.mu.Unlock()
+	if fl := t.flight.Load(); fl != nil {
+		fl.offer(d)
+	}
 }
 
-// RecordSeries stores one sample timeline (e.g. pool-occupancy samples).
+// RecordSeries stores one sample timeline (e.g. pool-occupancy samples)
+// anchored at the call instant with a declared 1µs step between samples.
+// Call sites that know the wall interval the samples actually cover
+// should use RecordSeriesSpan so the curve aligns with recorded spans.
 func (t *Tracer) RecordSeries(name, device, unit string, samples []int) {
 	if t == nil || len(samples) == 0 {
 		return
 	}
+	t.RecordSeriesSpan(name, device, unit, t.now(), 0, samples)
+}
+
+// RecordSeriesSpan stores one sample timeline spread evenly across the
+// wall interval [start, end] (nanoseconds since the tracer's epoch, the
+// Tracer.Now clock) — the exported counter curve then lines up with
+// spans recorded over the same interval. An end at or before start
+// falls back to a 1µs step.
+func (t *Tracer) RecordSeriesSpan(name, device, unit string, start, end int64, samples []int) {
+	if t == nil || len(samples) == 0 {
+		return
+	}
+	step := int64(1000)
+	if end > start && len(samples) > 1 {
+		step = (end - start) / int64(len(samples)-1)
+		if step <= 0 {
+			step = 1
+		}
+	}
 	cp := append([]int(nil), samples...)
 	t.mu.Lock()
-	t.series = append(t.series, Series{Name: name, Device: device, Unit: unit, Samples: cp})
+	t.series = append(t.series, Series{
+		Name: name, Device: device, Unit: unit, Samples: cp,
+		Start: start, Step: step,
+	})
 	t.mu.Unlock()
 }
 
@@ -335,10 +516,15 @@ type Snapshot struct {
 	TotalSpans, DroppedSpans uint64
 	// Series are the recorded sample timelines.
 	Series []Series
-	// Counters, Gauges, and Histograms are the metric registries' state.
+	// Counters, Gauges, and Histograms are the unlabeled metric
+	// registries' state.
 	Counters   map[string]uint64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramData
+	// Families are the labeled metric families (CounterVec/GaugeVec/
+	// HistogramVec), sorted by name, with trailing-window views merged
+	// as of the snapshot instant.
+	Families []FamilyData
 }
 
 // Snapshot returns a copy of the tracer's state (nil-safe: a nil tracer
@@ -352,18 +538,31 @@ func (t *Tracer) Snapshot() *Snapshot {
 	if t == nil {
 		return snap
 	}
-	t.mu.Lock()
-	snap.Spans = make([]SpanData, 0, len(t.spans))
-	if len(t.spans) == t.cap {
-		snap.Spans = append(snap.Spans, t.spans[t.next:]...)
-		snap.Spans = append(snap.Spans, t.spans[:t.next]...)
-	} else {
-		snap.Spans = append(snap.Spans, t.spans...)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if len(sh.spans) == sh.cap {
+			snap.Spans = append(snap.Spans, sh.spans[sh.next:]...)
+			snap.Spans = append(snap.Spans, sh.spans[:sh.next]...)
+		} else {
+			snap.Spans = append(snap.Spans, sh.spans...)
+		}
+		snap.TotalSpans += sh.total
+		sh.mu.Unlock()
 	}
-	snap.TotalSpans = t.total
-	snap.DroppedSpans = t.total - uint64(len(snap.Spans))
+	// Each shard contributed its spans oldest-first; interleave the
+	// shards back into one oldest-first timeline (End order, span ID as
+	// the tie-break for spans ended within the same nanosecond).
+	sort.Slice(snap.Spans, func(i, j int) bool {
+		if snap.Spans[i].End != snap.Spans[j].End {
+			return snap.Spans[i].End < snap.Spans[j].End
+		}
+		return snap.Spans[i].ID < snap.Spans[j].ID
+	})
+	snap.DroppedSpans = snap.TotalSpans - uint64(len(snap.Spans))
+	t.mu.Lock()
 	snap.Series = append([]Series(nil), t.series...)
-	t.metrics.fill(snap)
+	t.metrics.fill(snap, windowClock())
 	t.mu.Unlock()
 	return snap
 }

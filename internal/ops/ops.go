@@ -1,0 +1,173 @@
+// Package ops is the live operations plane for a long-running server: a
+// small stdlib-only HTTP surface exposing the serving system's labeled
+// windowed metrics, health, readiness, status JSON, and the tail-sampled
+// flight recorder.
+//
+//	GET /metrics       Prometheus text exposition of the tracer snapshot
+//	GET /healthz       200 while core safety invariants hold, else 503
+//	GET /readyz        200 while the server should receive traffic
+//	GET /debug/status  serve.Metrics as JSON (per-shard, per-device)
+//	GET /debug/flight  retained flight traces as Chrome trace JSON
+//
+// Health is about invariants, readiness about load: /healthz fails only
+// on evidence of a broken guarantee (a device ledger's peak usage above
+// its capacity — over-commit is supposed to be impossible by
+// construction), while /readyz additionally fails while any shard is in
+// degraded mode or the aggregate queue is nearly full, so a load
+// balancer drains traffic before the server starts shedding.
+//
+// Every handler reads a snapshot (Metrics(), Tracer.Snapshot(),
+// FlightSnapshot()) and serves from the copy: no handler holds serving
+// locks across a write to a slow client.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/vmcu-project/vmcu/internal/obs"
+	"github.com/vmcu-project/vmcu/internal/serve"
+)
+
+// DefaultReadyQueueFraction is the queue-saturation readiness threshold:
+// /readyz fails once the aggregate queue depth reaches this fraction of
+// the aggregate capacity.
+const DefaultReadyQueueFraction = 0.9
+
+// Source supplies the serving snapshot the health and status endpoints
+// report. *serve.Server implements it.
+type Source interface {
+	Metrics() serve.Metrics
+}
+
+// Handler serves the ops endpoints. Both fields are optional: with a nil
+// Source the health endpoints report 200 (nothing to check) and
+// /debug/status serves an empty object; with a nil Tracer /metrics
+// serves an empty exposition and /debug/flight an empty trace.
+type Handler struct {
+	// Source supplies serve.Metrics snapshots; nil disables the checks
+	// that need one.
+	Source Source
+	// Tracer supplies the metric families and the flight recorder.
+	Tracer *obs.Tracer
+	// ReadyQueueFraction overrides DefaultReadyQueueFraction; 0 uses the
+	// default.
+	ReadyQueueFraction float64
+}
+
+// NewHandler builds a Handler over a serving source and tracer (either
+// may be nil).
+func NewHandler(src Source, tr *obs.Tracer) *Handler {
+	return &Handler{Source: src, Tracer: tr}
+}
+
+// Mux returns an http.Handler routing all ops endpoints.
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /readyz", h.readyz)
+	mux.HandleFunc("GET /debug/status", h.status)
+	mux.HandleFunc("GET /debug/flight", h.flight)
+	return mux
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if h.Tracer == nil {
+		return
+	}
+	// Errors past the first byte cannot change the status; ignore them
+	// (the client sees a truncated body either way).
+	_ = obs.WritePrometheus(w, h.Tracer.Snapshot())
+}
+
+// healthProblems returns the broken-invariant findings (empty = healthy).
+func (h *Handler) healthProblems(m *serve.Metrics) []string {
+	var probs []string
+	for _, d := range m.Devices {
+		if d.PeakUsedBytes > d.CapacityBytes {
+			probs = append(probs, fmt.Sprintf(
+				"device %s: peak pool usage %d bytes exceeds capacity %d (over-commit invariant broken)",
+				d.Name, d.PeakUsedBytes, d.CapacityBytes))
+		}
+	}
+	return probs
+}
+
+// readyProblems returns the load findings that should drain traffic
+// (empty = ready). Health problems also make the server unready.
+func (h *Handler) readyProblems(m *serve.Metrics) []string {
+	probs := h.healthProblems(m)
+	for _, sh := range m.Shards {
+		if sh.Degraded {
+			probs = append(probs, fmt.Sprintf("shard %s: degraded mode engaged (queue depth %d)", sh.Key, sh.QueueDepth))
+		}
+	}
+	frac := h.ReadyQueueFraction
+	if frac == 0 {
+		frac = DefaultReadyQueueFraction
+	}
+	if total := m.QueueCap * len(m.Shards); total > 0 {
+		if depth := m.QueueDepth; float64(depth) >= frac*float64(total) {
+			probs = append(probs, fmt.Sprintf("queue depth %d at %.0f%% of aggregate capacity %d",
+				depth, 100*float64(depth)/float64(total), total))
+		}
+	}
+	return probs
+}
+
+// writeCheck renders a health-style check result: 200 "ok" or 503 with
+// one problem per line.
+func writeCheck(w http.ResponseWriter, probs []string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(probs) == 0 {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, p := range probs {
+		fmt.Fprintln(w, p)
+	}
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.Source == nil {
+		writeCheck(w, nil)
+		return
+	}
+	m := h.Source.Metrics()
+	writeCheck(w, h.healthProblems(&m))
+}
+
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if h.Source == nil {
+		writeCheck(w, nil)
+		return
+	}
+	m := h.Source.Metrics()
+	writeCheck(w, h.readyProblems(&m))
+}
+
+func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if h.Source == nil {
+		_ = enc.Encode(struct{}{})
+		return
+	}
+	_ = enc.Encode(h.Source.Metrics())
+}
+
+func (h *Handler) flight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var fs *obs.FlightSnapshot
+	if h.Tracer != nil {
+		fs = h.Tracer.FlightSnapshot()
+	} else {
+		fs = &obs.FlightSnapshot{}
+	}
+	_ = obs.WriteFlightChrome(w, fs)
+}

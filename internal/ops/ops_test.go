@@ -1,0 +1,192 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/graph"
+	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
+	"github.com/vmcu-project/vmcu/internal/plan"
+	"github.com/vmcu-project/vmcu/internal/serve"
+)
+
+// tinyNet is a one-module network small enough to serve in tests.
+func tinyNet() graph.Network {
+	return graph.Network{
+		Name: "tiny",
+		Modules: []plan.Bottleneck{{
+			Name: "M0", H: 8, W: 8, Cin: 4, Cmid: 16, Cout: 4,
+			R: 3, S: 3, S1: 1, S2: 1, S3: 1,
+		}},
+	}
+}
+
+func mcuProfile() mcu.Profile { return mcu.CortexM4() }
+
+// fakeSource injects arbitrary serving snapshots into the handler.
+type fakeSource struct{ m serve.Metrics }
+
+func (f *fakeSource) Metrics() serve.Metrics { return f.m }
+
+func get(t *testing.T, mux http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestHealthzOverCommit proves /healthz flips to 503 exactly when a
+// device reports peak pool usage above capacity — the invariant the
+// ledger makes impossible by construction, so seeing it means the
+// process is corrupt.
+func TestHealthzOverCommit(t *testing.T) {
+	src := &fakeSource{m: serve.Metrics{
+		QueueCap: 256,
+		Shards:   []serve.ShardMetrics{{Key: "m4"}},
+		Devices:  []serve.DeviceMetrics{{Name: "dev0", CapacityBytes: 1000, PeakUsedBytes: 900}},
+	}}
+	mux := NewHandler(src, nil).Mux()
+	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy fleet: got %d %q", code, body)
+	}
+
+	src.m.Devices[0].PeakUsedBytes = 1001 // over-commit: impossible unless broken
+	code, body := get(t, mux, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("over-committed fleet: got %d, want 503", code)
+	}
+	if !strings.Contains(body, "over-commit") || !strings.Contains(body, "dev0") {
+		t.Fatalf("503 body doesn't name the broken device: %q", body)
+	}
+	// Health problems imply unreadiness too.
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d on unhealthy fleet, want 503", code)
+	}
+
+	src.m.Devices[0].PeakUsedBytes = 1000 // exactly at capacity is legal
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("peak == capacity flagged unhealthy (got %d)", code)
+	}
+}
+
+// TestReadyzDegradedAndQueue proves /readyz tracks degraded-mode engage/
+// disengage and the queue-saturation threshold while /healthz stays 200:
+// load problems drain traffic, they don't mean the process is broken.
+func TestReadyzDegradedAndQueue(t *testing.T) {
+	src := &fakeSource{m: serve.Metrics{
+		QueueCap: 100,
+		Shards:   []serve.ShardMetrics{{Key: "m4"}, {Key: "m7"}},
+	}}
+	mux := NewHandler(src, nil).Mux()
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("idle server not ready (got %d)", code)
+	}
+
+	src.m.Shards[0].Degraded = true // engage
+	code, body := get(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded shard: got %d %q, want 503 naming degraded mode", code, body)
+	}
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatal("degraded mode must not fail /healthz — it is a load condition, not a broken invariant")
+	}
+
+	src.m.Shards[0].Degraded = false // disengage
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz still 503 after degraded mode disengaged")
+	}
+
+	// Aggregate queue saturation: 2 shards × cap 100, default threshold
+	// 90% → unready at depth 180, ready at 179.
+	src.m.QueueDepth = 179
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz 503 below the saturation threshold")
+	}
+	src.m.QueueDepth = 180
+	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "queue depth") {
+		t.Fatalf("saturated queue: got %d %q", code, body)
+	}
+}
+
+// TestNilSourceAndTracer: a handler over nothing serves degenerate but
+// valid responses on every route.
+func TestNilSourceAndTracer(t *testing.T) {
+	mux := NewHandler(nil, nil).Mux()
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/debug/status", "/debug/flight"} {
+		if code, _ := get(t, mux, path); code != http.StatusOK {
+			t.Errorf("GET %s = %d with nil source/tracer, want 200", path, code)
+		}
+	}
+}
+
+// TestOpsEndToEnd drives a real traced server and checks the full plane:
+// /metrics exposes the labeled windowed families with live values,
+// /debug/status round-trips as serve.Metrics JSON, and /debug/flight
+// serves the retained traces.
+func TestOpsEndToEnd(t *testing.T) {
+	tr := obs.New(obs.Options{})
+	tr.EnableFlight(obs.FlightOptions{})
+	srv, err := serve.NewServer(serve.Options{
+		Devices: []serve.DeviceConfig{{Name: "m4", Profile: mcuProfile()}},
+		Mode:    serve.ExecDryRun,
+		Tracer:  tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("tiny", tinyNet(), serve.ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tk, err := srv.Submit("tiny", serve.SubmitOptions{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mux := NewHandler(srv, tr).Mux()
+	code, body := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`vmcu_serve_submitted_total{model="tiny",shard="`,
+		`vmcu_serve_outcomes_total{model="tiny"`,
+		`vmcu_serve_latency_ms_window{model="tiny",quantile="0.99"}`,
+		`vmcu_serve_pool_capacity_bytes{device="m4"`,
+		"# HELP vmcu_serve_latency_ms ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, mux, "/debug/status")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/status = %d", code)
+	}
+	var m serve.Metrics
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/debug/status is not serve.Metrics JSON: %v", err)
+	}
+	if m.Completed != 20 || len(m.Devices) != 1 {
+		t.Fatalf("/debug/status completed=%d devices=%d, want 20/1", m.Completed, len(m.Devices))
+	}
+
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatal("/healthz 503 on a healthy live server")
+	}
+	if code, body := get(t, mux, "/debug/flight"); code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+		t.Fatalf("/debug/flight = %d %q", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -79,9 +79,18 @@ func (s *Server) addDeviceLocked(cfg DeviceConfig) (*device, error) {
 	if sh == nil {
 		sh = &shard{srv: s, index: len(s.shards), key: cfg.Profile.Name, profile: cfg.Profile}
 		sh.cond = sync.NewCond(&sh.mu)
+		sh.hQueueDepth = s.ins.queueDepth.With(sh.key)
+		sh.hDegraded = s.ins.degraded.With(sh.key)
+		sh.hRequeued = s.ins.requeued.With(sh.key)
+		sh.hVariantUpgrades = s.ins.variantUpgrades.With(sh.key)
+		sh.hDegradedAdmissions = s.ins.degradedAdmissions.With(sh.key)
 		s.shards = append(s.shards, sh)
 	}
 	d := &device{name: name, profile: cfg.Profile, ledger: led, slots: slots, sh: sh}
+	d.hPoolUsed = s.ins.poolUsed.With(name, sh.key)
+	d.hPoolCap = s.ins.poolCap.With(name, sh.key)
+	d.hPoolCap.Set(float64(pool))
+	d.tracePoolUsed()
 	sh.mu.Lock()
 	sh.devices = append(sh.devices, d)
 	sh.updatePoolMaxLocked()
@@ -127,6 +136,10 @@ func (s *Server) RemoveDevice(name string) error {
 	}
 	d.removed = true
 	sh.dropDeviceLocked(d)
+	// The device is gone: zero its gauges so the scrape reflects a fleet
+	// without it rather than freezing the last observed values.
+	d.hPoolUsed.Set(0)
+	d.hPoolCap.Set(0)
 	evacuated := sh.q.drainOver(int(sh.poolMax.Load()))
 	for _, req := range evacuated {
 		s.traceEvacuated(sh, req)
@@ -159,6 +172,8 @@ func (s *Server) CrashDevice(name string) (abandonedBytes int, err error) {
 	d.dead = true
 	sh.dropDeviceLocked(d)
 	bytes, _ := d.ledger.Abandon()
+	d.hPoolUsed.Set(0)
+	d.hPoolCap.Set(0)
 	sh.m.deviceCrashes++
 	evacuated := sh.q.drainOver(int(sh.poolMax.Load()))
 	for _, req := range evacuated {

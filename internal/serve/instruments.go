@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/vmcu-project/vmcu/internal/obs"
+)
+
+// Labeled serving metrics. The server publishes its live state as obs
+// metric families keyed by the fixed label set {model, shard, device,
+// outcome} — never request IDs or anything else unbounded — so one
+// scrape answers "which model/device/shard is degrading right now":
+//
+//	vmcu_serve_submitted_total{model,shard}        accepted submissions
+//	vmcu_serve_outcomes_total{model,shard,outcome} terminal outcomes
+//	vmcu_serve_requeued_total{shard}               churn-displaced absorbs
+//	vmcu_serve_variant_upgrades_total{shard}       bigger-peak admissions
+//	vmcu_serve_degraded_admissions_total{shard}    degraded-mode admissions
+//	vmcu_serve_latency_ms{model}                   sojourn latency, WINDOWED
+//	vmcu_serve_queue_depth{shard}                  live queue depth
+//	vmcu_serve_degraded{shard}                     degraded mode (0/1)
+//	vmcu_serve_pool_used_bytes{device,shard}       ledger bytes, WINDOWED
+//	vmcu_serve_pool_capacity_bytes{device,shard}   pool size
+//
+// Windowed families additionally export trailing-window views
+// (`_window{quantile=...}`, `_window_rps`, `_window_max`) so the scrape
+// reflects the last ~10 seconds, not since-boot totals.
+//
+// The per-labelset handles are resolved ONCE, when the labeled thing
+// comes into existence — shard handles at shard creation, device
+// handles at fleet join, the model's latency histogram at Register —
+// and then observed through directly, so the steady-state cost per
+// event is one atomic add or one short mutex hold. Only the terminal
+// outcome counter resolves its labelset at completion time (the outcome
+// isn't known earlier); that is one RWMutex read-lock map hit per
+// request lifetime.
+
+// Serving metric family names.
+const (
+	metricSubmitted          = "vmcu_serve_submitted_total"
+	metricOutcomes           = "vmcu_serve_outcomes_total"
+	metricRequeued           = "vmcu_serve_requeued_total"
+	metricVariantUpgrades    = "vmcu_serve_variant_upgrades_total"
+	metricDegradedAdmissions = "vmcu_serve_degraded_admissions_total"
+	metricLatencyMs          = "vmcu_serve_latency_ms"
+	metricQueueDepth         = "vmcu_serve_queue_depth"
+	metricDegraded           = "vmcu_serve_degraded"
+	metricPoolUsed           = "vmcu_serve_pool_used_bytes"
+	metricPoolCap            = "vmcu_serve_pool_capacity_bytes"
+)
+
+// Terminal outcome label values (the "outcome" label of
+// vmcu_serve_outcomes_total).
+const (
+	outcomeDone         = "done"
+	outcomeFailed       = "failed"
+	outcomeCanceled     = "canceled"
+	outcomeShedDeadline = "shed-deadline"
+	outcomeQueueFull    = "rejected-queue-full"
+	outcomeClosed       = "rejected-closed"
+	outcomeNoDevice     = "rejected-no-device"
+	outcomeDeviceLost   = "device-lost"
+)
+
+// serveInstruments holds the server's labeled metric families. Built
+// once at NewServer; with a nil tracer every family is nil and every
+// handle resolved from it is the nil no-op instrument, so instrumented
+// paths stay free when tracing is off.
+type serveInstruments struct {
+	submitted          *obs.CounterVec
+	outcomes           *obs.CounterVec
+	requeued           *obs.CounterVec
+	variantUpgrades    *obs.CounterVec
+	degradedAdmissions *obs.CounterVec
+	latency            *obs.HistogramVec
+	queueDepth         *obs.GaugeVec
+	degraded           *obs.GaugeVec
+	poolUsed           *obs.GaugeVec
+	poolCap            *obs.GaugeVec
+}
+
+// newServeInstruments registers the serving families on tr (nil-safe:
+// a nil tracer yields all-nil families).
+func newServeInstruments(tr *obs.Tracer) serveInstruments {
+	return serveInstruments{
+		submitted: tr.CounterVec(metricSubmitted,
+			"Accepted submissions (tickets created).", "model", "shard"),
+		outcomes: tr.CounterVec(metricOutcomes,
+			"Terminal request outcomes.", "model", "shard", "outcome"),
+		requeued: tr.CounterVec(metricRequeued,
+			"Churn-displaced requests absorbed by this shard.", "shard"),
+		variantUpgrades: tr.CounterVec(metricVariantUpgrades,
+			"Admissions whose selected variant's peak exceeded the model's minimum.", "shard"),
+		degradedAdmissions: tr.CounterVec(metricDegradedAdmissions,
+			"Admissions made while the shard was in degraded mode.", "shard"),
+		latency: tr.HistogramVec(metricLatencyMs,
+			"Request sojourn latency (submit to done), milliseconds.",
+			latencyHistBoundsMs(), obs.WindowOptions{SubWindows: 10, Width: time.Second}, "model"),
+		queueDepth: tr.GaugeVec(metricQueueDepth,
+			"Live admission-queue depth.", obs.WindowOptions{}, "shard"),
+		degraded: tr.GaugeVec(metricDegraded,
+			"Degraded-mode state (1 while engaged).", obs.WindowOptions{}, "shard"),
+		poolUsed: tr.GaugeVec(metricPoolUsed,
+			"Reserved SRAM pool bytes on the device ledger.",
+			obs.WindowOptions{SubWindows: 10, Width: time.Second}, "device", "shard"),
+		poolCap: tr.GaugeVec(metricPoolCap,
+			"SRAM pool capacity of the device ledger.", obs.WindowOptions{}, "device", "shard"),
+	}
+}
+
+// tracePoolUsed refreshes a device's pool-occupancy gauge from its
+// ledger. Called after every reservation/release/abandon; the gauge has
+// its own short lock, so callers need not hold shard.mu.
+func (d *device) tracePoolUsed() {
+	d.hPoolUsed.Set(float64(d.ledger.Used()))
+}

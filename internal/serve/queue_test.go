@@ -154,7 +154,7 @@ func TestShedExpired(t *testing.T) {
 		s.enqueueLocked(sh, r)
 	}
 
-	s.shedExpiredLocked(sh, now)
+	s.finishShed(now, s.shedExpiredLocked(sh, now, nil))
 	if sh.q.count != 2 {
 		t.Fatalf("queue after shed has %d entries, want 2", sh.q.count)
 	}
@@ -185,7 +185,7 @@ func TestShedBoundaryInstantInclusive(t *testing.T) {
 	atBoundary.deadline = now
 	s.enqueueLocked(sh, atBoundary)
 
-	s.shedExpiredLocked(sh, now)
+	s.finishShed(now, s.shedExpiredLocked(sh, now, nil))
 	select {
 	case <-atBoundary.doneCh:
 	default:

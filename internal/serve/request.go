@@ -183,9 +183,10 @@ type request struct {
 
 	// Written by the admitting dispatcher under shard.mu, read by execute
 	// and resolve after admission.
-	variant    *modelVariant
-	estLatency time.Duration
-	metBudget  bool
+	variant       *modelVariant
+	estLatency    time.Duration
+	metBudget     bool
+	degradedAdmit bool // admitted while the shard was in degraded mode
 
 	// Lifecycle spans, all nil unless the server's tracer is enabled. Each
 	// is owned by one goroutine at a time: Submit until the request is
@@ -197,6 +198,12 @@ type request struct {
 	// (admit, shed, cancel, or evacuation — all while holding the lock).
 	queueSpan    *obs.Span
 	dispatchSpan *obs.Span
+	// spanBuf accumulates the request's ended lifecycle spans, flushed to
+	// the tracer in one batch at the terminal point (flightDone). Owned by
+	// the same goroutine that owns the spans above at any moment — ending
+	// a span under a contended lock is then just a slice append, with all
+	// tracer synchronization deferred to completion, off the hot locks.
+	spanBuf obs.SpanBuffer
 
 	state  atomic.Int32
 	once   sync.Once

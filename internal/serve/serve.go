@@ -179,6 +179,9 @@ type model struct {
 	cfg      ModelConfig
 	variants []modelVariant
 	minPeak  int
+	// hLatency is the model's labeled sojourn-latency histogram handle,
+	// resolved once at registration (nil no-op without a tracer).
+	hLatency *obs.Histogram
 }
 
 // pick returns the fastest variant fitting free pool bytes under the
@@ -237,15 +240,20 @@ type device struct {
 	draining bool
 	dead     bool
 	removed  bool
+	// Labeled gauge handles for the device's pool occupancy and capacity,
+	// resolved once at fleet join (nil no-ops without a tracer).
+	hPoolUsed *obs.Gauge
+	hPoolCap  *obs.Gauge
 }
 
 // Server coordinates admission and execution across the fleet.
 type Server struct {
 	mode         ExecMode
 	cache        *netplan.Cache
-	tr           *obs.Tracer // nil unless Options.Tracer opted in
-	queueCap     int         // per shard
-	degradeDepth int         // per-shard degraded-mode engage threshold
+	tr           *obs.Tracer      // nil unless Options.Tracer opted in
+	ins          serveInstruments // labeled metric families; all-nil without a tracer
+	queueCap     int              // per shard
+	degradeDepth int              // per-shard degraded-mode engage threshold
 	started      time.Time
 
 	nextID atomic.Uint64 // request id allocator
@@ -315,6 +323,9 @@ func NewServer(opts Options) (*Server, error) {
 		devNames:     make(map[string]bool),
 		started:      time.Now(),
 	}
+	// Register the labeled families before any shard or device exists:
+	// addDeviceLocked resolves per-shard and per-device handles from them.
+	s.ins = newServeInstruments(opts.Tracer)
 	var devices []*device
 	s.mu.Lock()
 	for _, dc := range opts.Devices {
@@ -377,7 +388,10 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 	if _, dup := s.models[name]; dup {
 		return fmt.Errorf("serve: model %s already registered", name)
 	}
-	s.models[name] = &model{name: name, net: net, cfg: cfg, variants: kept, minPeak: minPeak}
+	s.models[name] = &model{
+		name: name, net: net, cfg: cfg, variants: kept, minPeak: minPeak,
+		hLatency: s.ins.latency.With(name),
+	}
 	return nil
 }
 
@@ -573,12 +587,16 @@ func (s *Server) dispatch(d *device) {
 	for {
 		sh.mu.Lock()
 		var req *request
+		var shed []*request
+		var now time.Time
 		for {
 			if d.dead || d.removed {
 				sh.mu.Unlock()
+				s.finishShed(now, shed)
 				return
 			}
-			s.shedExpiredLocked(sh, time.Now())
+			now = time.Now()
+			shed = s.shedExpiredLocked(sh, now, shed)
 			if !d.draining && d.active < d.slots {
 				req = sh.q.take(d.ledger.Free())
 			}
@@ -587,12 +605,21 @@ func (s *Server) dispatch(d *device) {
 			}
 			if sh.closed && sh.q.count == 0 {
 				sh.mu.Unlock()
+				s.finishShed(now, shed)
 				return
+			}
+			if len(shed) > 0 {
+				// Drop the lock to complete the shed batch (trace close +
+				// ticket resolve run off the admission lock), then retry.
+				break
 			}
 			sh.cond.Wait()
 		}
-		s.admitLocked(sh, d, req)
+		if req != nil {
+			s.admitLocked(sh, d, req)
+		}
 		sh.mu.Unlock()
+		s.finishShed(now, shed)
 	}
 }
 
@@ -621,6 +648,8 @@ func (s *Server) admitLocked(sh *shard, d *device, req *request) {
 	req.peak = v.peak
 	req.estLatency = time.Duration(v.stats.LatencySeconds(d.profile) * float64(time.Second))
 	req.metBudget = req.latencyBudget == 0 || req.estLatency <= req.latencyBudget
+	req.degradedAdmit = degraded
+	d.tracePoolUsed()
 	sh.noteQueueChangedLocked(s.degradeDepth)
 	s.traceAdmit(sh, d, req, degraded)
 	if degraded {
@@ -682,11 +711,12 @@ func (s *Server) execute(d *device, req *request) {
 		execSpan.SetCycles(0, cycles)
 		execSpan.Attr(obs.Float("device_cycles", cycles))
 	}
-	execSpan.End()
+	execSpan.EndTo(&req.spanBuf)
 	// A crashed device's ledger was force-released by Abandon, so this
 	// returns -1 on the dead path — expected there, an accounting bug
 	// anywhere else.
 	freed := d.ledger.Release(req.id)
+	d.tracePoolUsed()
 	now := time.Now()
 
 	sh := d.sh

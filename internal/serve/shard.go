@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/vmcu-project/vmcu/internal/mcu"
+	"github.com/vmcu-project/vmcu/internal/obs"
 )
 
 // shard is one device group's admission domain. Devices sharing an
@@ -40,6 +41,51 @@ type shard struct {
 	degraded bool         // guarded by shard.mu
 	closed   bool         // guarded by shard.mu
 	m        metricsState // guarded by shard.mu
+
+	// Labeled metric handles for this shard's labelset, resolved once at
+	// shard creation (nil no-ops without a tracer). The handles are
+	// immutable; the instruments carry their own synchronization.
+	hQueueDepth         *obs.Gauge
+	hDegraded           *obs.Gauge
+	hRequeued           *obs.Counter
+	hVariantUpgrades    *obs.Counter
+	hDegradedAdmissions *obs.Counter
+
+	// Per-model counter handles for the two per-request counters bumped
+	// while holding shard.mu (enqueue's submitted, deadline-shed's
+	// outcome). Resolved lazily on first use and cached so the steady
+	// state skips With()'s per-call label-key allocation under the lock.
+	// Guarded by shard.mu.
+	hSubmittedByModel map[*model]*obs.Counter
+	hShedByModel      map[*model]*obs.Counter
+}
+
+// submittedCounterLocked returns the cached submitted-total handle for
+// (model, shard), resolving it on first use. Runs with shard.mu held.
+func (sh *shard) submittedCounterLocked(m *model) *obs.Counter {
+	if h, ok := sh.hSubmittedByModel[m]; ok {
+		return h
+	}
+	h := sh.srv.ins.submitted.With(m.name, sh.key)
+	if sh.hSubmittedByModel == nil {
+		sh.hSubmittedByModel = make(map[*model]*obs.Counter)
+	}
+	sh.hSubmittedByModel[m] = h
+	return h
+}
+
+// shedCounterLocked returns the cached shed-deadline outcome handle for
+// (model, shard). Runs with shard.mu held.
+func (sh *shard) shedCounterLocked(m *model) *obs.Counter {
+	if h, ok := sh.hShedByModel[m]; ok {
+		return h
+	}
+	h := sh.srv.ins.outcomes.With(m.name, sh.key, outcomeShedDeadline)
+	if sh.hShedByModel == nil {
+		sh.hShedByModel = make(map[*model]*obs.Counter)
+	}
+	sh.hShedByModel[m] = h
+	return h
 }
 
 // updatePoolMaxLocked refreshes the routing mirror of the largest usable
@@ -63,11 +109,14 @@ func (sh *shard) updatePoolMaxLocked() {
 // so the mode doesn't flap at the threshold. Runs with shard.mu held.
 func (sh *shard) noteQueueChangedLocked(degradeDepth int) {
 	sh.depth.Store(int64(sh.q.count))
+	sh.hQueueDepth.Set(float64(sh.q.count))
 	if !sh.degraded && sh.q.count >= degradeDepth {
 		sh.degraded = true
 		sh.m.degradedEngaged++
+		sh.hDegraded.Set(1)
 	} else if sh.degraded && sh.q.count <= degradeDepth/2 {
 		sh.degraded = false
+		sh.hDegraded.Set(0)
 	}
 }
 
@@ -114,22 +163,37 @@ func (s *Server) enqueueLocked(sh *shard, req *request) {
 		sh.m.queueHighWater = sh.q.count
 	}
 	sh.noteQueueChangedLocked(s.degradeDepth)
-	s.traceQueueDepth(sh)
 	sh.cond.Broadcast()
 }
 
-// shedExpiredLocked sheds every queued request whose admission deadline
-// has been reached (inclusive boundary — see prioQueue.shed). Runs with
-// shard.mu held.
-func (s *Server) shedExpiredLocked(sh *shard, now time.Time) {
+// shedExpiredLocked removes every queued request whose admission
+// deadline has been reached (inclusive boundary — see prioQueue.shed)
+// and appends them to shed, which the caller MUST pass to finishShed
+// once the shard lock is released — until then the shed tickets are
+// unresolved. Runs with shard.mu held.
+func (s *Server) shedExpiredLocked(sh *shard, now time.Time, shed []*request) []*request {
 	sh.q.shed(now, func(req *request) {
 		sh.m.shedDeadline++
-		s.traceQueueExit(sh, req, "shed-deadline")
+		s.traceShedLocked(sh, req)
+		shed = append(shed, req)
+	})
+	sh.noteQueueChangedLocked(s.degradeDepth)
+	return shed
+}
+
+// finishShed completes deadline-shed requests after the shard lock is
+// released. The shed removed each request from the queue under the lock,
+// so the shedding dispatcher is its sole owner here: closing the span
+// tree, the flight-recorder flush, and the ticket resolve all run off
+// the admission lock — a mass shed on a deep queue no longer serializes
+// every dispatcher behind tracer work.
+func (s *Server) finishShed(now time.Time, shed []*request) {
+	for _, req := range shed {
+		s.traceShedFinish(req)
 		req.resolve(Result{
 			Model:     req.mdl.name,
 			PeakBytes: req.peak,
 			Latency:   now.Sub(req.submitted),
 		}, ErrDeadline, StateRejected)
-	})
-	sh.noteQueueChangedLocked(s.degradeDepth)
+	}
 }

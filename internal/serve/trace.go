@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"strings"
 	"time"
 
 	"github.com/vmcu-project/vmcu/internal/obs"
@@ -32,41 +31,37 @@ import (
 // span-touching path runs under the home shard's lock or in the single
 // goroutine owning the request at that stage, so the tracing is
 // race-clean; with a nil tracer every call below is a nil-check no-op.
+//
+// Lifecycle spans do not hit the tracer as they end: several stages end
+// spans while holding the shard lock on the admission hot path, so each
+// End is buffered into req.spanBuf (a plain slice append) and the whole
+// tree is flushed in one RecordTree call at the terminal point. Only the
+// executor's per-unit spans (emitted by netplan mid-execute) go through
+// the tracer directly; the flight recorder merges them back into the
+// request's tree by trace ID at completion.
+//
+// Every terminal path additionally completes the request's trace in the
+// tracer's flight recorder (no-op unless EnableFlight was called): a
+// non-empty reason retains the whole span tree as an exemplar. The
+// retention predicate — what counts as "interesting" — is:
+//
+//	error        execution failed or verification mismatched
+//	deadline     shed at the admission deadline
+//	queue-full   rejected at submit because every eligible queue was full
+//	no-device    rejected at submit because no usable pool fits
+//	device-lost  stranded by churn (crash with no surviving absorber)
+//	degraded     admitted in degraded mode (smallest-peak variant)
+//	budget-miss  served, but the variant's estimated latency broke the budget
+//	p99-outlier  served fine but slower than the live windowed p99
+//
+// Clean completions (and cancels, and shutdown-time rejections) return
+// an empty reason: their buffered spans are discarded, which is what
+// bounds the recorder at 137k RPS.
 
-// Tracer metric names exported by the serving layer. The queue-depth
-// gauge is per shard: metricQueueDepth + "_" + the sanitized shard key.
-const (
-	metricSubmitted       = "vmcu_serve_submitted"
-	metricCompleted       = "vmcu_serve_completed"
-	metricFailed          = "vmcu_serve_failed"
-	metricCanceled        = "vmcu_serve_canceled"
-	metricRejectedFull    = "vmcu_serve_rejected_queue_full"
-	metricShedDeadline    = "vmcu_serve_shed_deadline"
-	metricVariantUpgrades = "vmcu_serve_variant_upgrades"
-	metricQueueDepth      = "vmcu_serve_queue_depth"
-	metricLatencyMs       = "vmcu_serve_latency_ms"
-	metricDegraded        = "vmcu_serve_degraded_admissions"
-	metricRequeued        = "vmcu_serve_requeued"
-	metricDeviceLost      = "vmcu_serve_device_lost"
-)
-
-// gaugeName builds a shard's queue-depth gauge name, sanitizing the
-// shard key (a profile name like "STM32-F411RE (Cortex-M4)") to metric
-// charset.
-func gaugeName(key string) string {
-	var b strings.Builder
-	b.WriteString(metricQueueDepth)
-	b.WriteByte('_')
-	for _, r := range key {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
-		}
-	}
-	return b.String()
-}
+// flightP99MinCount is the minimum trailing-window completion count
+// before the p99-outlier retention predicate applies — below it the
+// live p99 is noise and every early request would be "an outlier".
+const flightP99MinCount = 100
 
 // latencyHistBoundsMs mirrors latencyBuckets for the tracer's histogram.
 func latencyHistBoundsMs() []float64 {
@@ -77,13 +72,14 @@ func latencyHistBoundsMs() []float64 {
 	return out
 }
 
-// traceQueueDepth refreshes a shard's queue-depth gauge. Runs with
-// shard.mu held.
-func (s *Server) traceQueueDepth(sh *shard) {
-	if s.tr == nil {
-		return
-	}
-	s.tr.Gauge(gaugeName(sh.key)).Set(float64(sh.q.count))
+// flightDone flushes the request's buffered span tree into the tracer
+// and completes its trace in the flight recorder: an empty reason
+// discards the tree from the recorder (the spans still land in the span
+// ring), a non-empty one retains it. This is the ONLY point the tracing
+// of a request takes tracer locks — every earlier stage just appended to
+// req.spanBuf. Nil-safe throughout (nil tracer → no-op).
+func (s *Server) flightDone(req *request, reason string) {
+	s.tr.RecordTree(&req.spanBuf, req.rootSpan.TraceID(), reason)
 }
 
 // traceSubmit opens the request's root span and the submit stage span.
@@ -91,6 +87,11 @@ func (s *Server) traceSubmit(req *request, modelName string) (submit *obs.Span) 
 	if s.tr == nil {
 		return nil
 	}
+	// Reserve only the rejection-path footprint here (root + submit);
+	// the full lifecycle reservation waits until the queue accepts the
+	// request — most submissions in an overload burst bounce at submit
+	// and would waste a 12-slot buffer.
+	req.spanBuf.Reserve(2)
 	req.rootSpan = s.tr.Start("request", obs.KindRequest)
 	req.rootSpan.Attr(obs.Str("model", modelName))
 	submit = s.tr.StartChild(req.rootSpan, "submit", obs.KindStage)
@@ -104,10 +105,11 @@ func (s *Server) traceEnqueued(sh *shard, req *request, submit *obs.Span) {
 		return
 	}
 	req.rootSpan.Attr(obs.Int("request_id", int64(req.id)))
-	submit.End()
+	req.spanBuf.Reserve(10)
+	submit.EndTo(&req.spanBuf)
 	req.queueSpan = s.tr.StartChild(req.rootSpan, "queue", obs.KindStage)
 	req.queueSpan.Attr(obs.Str("shard", sh.key))
-	s.tr.Counter(metricSubmitted).Inc()
+	sh.submittedCounterLocked(req.mdl).Inc()
 }
 
 // traceSubmitRejected closes the tree of a request rejected at submit
@@ -118,11 +120,19 @@ func (s *Server) traceSubmitRejected(req *request, submit *obs.Span, reason stri
 		return
 	}
 	submit.Attr(obs.Str("outcome", reason))
-	submit.End()
+	submit.EndTo(&req.spanBuf)
 	req.rootSpan.Attr(obs.Str("state", reason))
-	req.rootSpan.End()
-	if reason == "rejected-queue-full" {
-		s.tr.Counter(metricRejectedFull).Inc()
+	req.rootSpan.EndTo(&req.spanBuf)
+	// Submit-time rejections never reached a shard; the shard label is
+	// empty by design, not unknown.
+	s.ins.outcomes.With(req.mdl.name, "", reason).Inc()
+	switch reason {
+	case outcomeQueueFull:
+		s.flightDone(req, "queue-full")
+	case outcomeNoDevice:
+		s.flightDone(req, "no-device")
+	default:
+		s.flightDone(req, "")
 	}
 }
 
@@ -133,9 +143,8 @@ func (s *Server) traceAdmit(sh *shard, d *device, req *request, degraded bool) {
 	if s.tr == nil {
 		return
 	}
-	req.queueSpan.End()
+	req.queueSpan.EndTo(&req.spanBuf)
 	req.queueSpan = nil
-	s.traceQueueDepth(sh)
 	admit := s.tr.StartChild(req.rootSpan, "admit", obs.KindStage)
 	admit.SetDevice(d.name)
 	admit.Attr(
@@ -145,15 +154,15 @@ func (s *Server) traceAdmit(sh *shard, d *device, req *request, degraded bool) {
 	)
 	if degraded {
 		admit.Attr(obs.Str("mode", "degraded"))
-		s.tr.Counter(metricDegraded).Inc()
+		sh.hDegradedAdmissions.Inc()
 	}
 	res := s.tr.StartChild(admit, "ledger.reserve", obs.KindStage)
 	res.SetDevice(d.name)
 	res.Attr(obs.Int("bytes", int64(req.peak)))
-	res.End()
-	admit.End()
+	res.EndTo(&req.spanBuf)
+	admit.EndTo(&req.spanBuf)
 	if req.variant.peak > req.mdl.minPeak {
-		s.tr.Counter(metricVariantUpgrades).Inc()
+		sh.hVariantUpgrades.Inc()
 	}
 	req.dispatchSpan = s.tr.StartChild(req.rootSpan, "dispatch", obs.KindStage)
 	req.dispatchSpan.SetDevice(d.name)
@@ -166,17 +175,42 @@ func (s *Server) traceQueueExit(sh *shard, req *request, outcome string) {
 		return
 	}
 	req.queueSpan.Attr(obs.Str("outcome", outcome))
-	req.queueSpan.End()
+	req.queueSpan.EndTo(&req.spanBuf)
 	req.queueSpan = nil
-	s.traceQueueDepth(sh)
 	req.rootSpan.Attr(obs.Str("state", outcome))
-	req.rootSpan.End()
-	switch outcome {
-	case "shed-deadline":
-		s.tr.Counter(metricShedDeadline).Inc()
-	case "canceled":
-		s.tr.Counter(metricCanceled).Inc()
+	req.rootSpan.EndTo(&req.spanBuf)
+	s.ins.outcomes.With(req.mdl.name, sh.key, outcome).Inc()
+	s.flightDone(req, "")
+}
+
+// traceShedLocked ends a deadline-shed request's queue span (an EndTo is
+// a buffered append — no tracer locks) and bumps its outcome counter.
+// Runs with shard.mu held, in the shed scan that removed the request
+// from the queue; the expensive rest of the tree close happens off-lock
+// in traceShedFinish.
+func (s *Server) traceShedLocked(sh *shard, req *request) {
+	if s.tr == nil {
+		return
 	}
+	req.queueSpan.Attr(obs.Str("outcome", outcomeShedDeadline))
+	req.queueSpan.EndTo(&req.spanBuf)
+	req.queueSpan = nil
+	sh.shedCounterLocked(req.mdl).Inc()
+}
+
+// traceShedFinish closes the rest of a deadline-shed request's tree.
+// Unlike the other queue exits it runs WITHOUT the shard lock: the shed
+// already removed the request from the queue and ended its queue span
+// under the lock (traceShedLocked), making the shedding dispatcher the
+// request's sole owner, so the root close and the flight flush happen
+// off the admission path.
+func (s *Server) traceShedFinish(req *request) {
+	if s.tr == nil {
+		return
+	}
+	req.rootSpan.Attr(obs.Str("state", outcomeShedDeadline))
+	req.rootSpan.EndTo(&req.spanBuf)
+	s.flightDone(req, "deadline")
 }
 
 // traceEvacuated ends the queue span of a request evacuated from a
@@ -188,9 +222,8 @@ func (s *Server) traceEvacuated(sh *shard, req *request) {
 		return
 	}
 	req.queueSpan.Attr(obs.Str("outcome", "evacuated"))
-	req.queueSpan.End()
+	req.queueSpan.EndTo(&req.spanBuf)
 	req.queueSpan = nil
-	s.traceQueueDepth(sh)
 }
 
 // traceRequeue opens a fresh queue span for a churn-displaced request
@@ -206,7 +239,7 @@ func (s *Server) traceRequeue(sh *shard, req *request, from string) {
 		obs.Str("shard", sh.key),
 		obs.Str("requeued_from", from),
 	)
-	s.tr.Counter(metricRequeued).Inc()
+	sh.hRequeued.Inc()
 }
 
 // traceDeviceLost closes the tree of a request stranded by churn: its
@@ -219,11 +252,12 @@ func (s *Server) traceDeviceLost(req *request, devName string) {
 		return
 	}
 	req.rootSpan.Attr(
-		obs.Str("state", "device-lost"),
+		obs.Str("state", outcomeDeviceLost),
 		obs.Str("device", devName),
 	)
-	req.rootSpan.End()
-	s.tr.Counter(metricDeviceLost).Inc()
+	req.rootSpan.EndTo(&req.spanBuf)
+	s.ins.outcomes.With(req.mdl.name, "", outcomeDeviceLost).Inc()
+	s.flightDone(req, "device-lost")
 }
 
 // traceExecuteStart ends the dispatch span and opens the execute span in
@@ -232,7 +266,7 @@ func (s *Server) traceExecuteStart(d *device, req *request) *obs.Span {
 	if s.tr == nil {
 		return nil
 	}
-	req.dispatchSpan.End()
+	req.dispatchSpan.EndTo(&req.spanBuf)
 	req.dispatchSpan = nil
 	exec := s.tr.StartChild(req.rootSpan, "execute", obs.KindStage)
 	exec.SetDevice(d.name)
@@ -240,9 +274,10 @@ func (s *Server) traceExecuteStart(d *device, req *request) *obs.Span {
 	return exec
 }
 
-// traceComplete records the completion stage (ledger release + metrics)
-// and closes the root span. Runs in the executor goroutine after the
-// request resolved its outcome fields.
+// traceComplete records the completion stage (ledger release + metrics),
+// closes the root span, and decides the flight-retention outcome. Runs
+// in the executor goroutine after the request resolved its outcome
+// fields.
 func (s *Server) traceComplete(d *device, req *request, freed int, latency time.Duration, err error) {
 	if s.tr == nil {
 		return
@@ -252,19 +287,32 @@ func (s *Server) traceComplete(d *device, req *request, freed int, latency time.
 	rel := s.tr.StartChild(complete, "ledger.release", obs.KindStage)
 	rel.SetDevice(d.name)
 	rel.Attr(obs.Int("bytes", int64(freed)))
-	rel.End()
-	state := "done"
+	rel.EndTo(&req.spanBuf)
+	state := outcomeDone
 	if err != nil {
-		state = "failed"
-		s.tr.Counter(metricFailed).Inc()
-	} else {
-		s.tr.Counter(metricCompleted).Inc()
+		state = outcomeFailed
 	}
 	complete.Attr(obs.Str("state", state))
-	complete.End()
+	complete.EndTo(&req.spanBuf)
 	req.rootSpan.Attr(obs.Str("state", state))
 	req.rootSpan.SetDevice(d.name)
-	req.rootSpan.End()
-	s.tr.Histogram(metricLatencyMs, latencyHistBoundsMs()).
-		Observe(float64(latency) / float64(time.Millisecond))
+	req.rootSpan.EndTo(&req.spanBuf)
+	s.ins.outcomes.With(req.mdl.name, d.sh.key, state).Inc()
+
+	latMs := float64(latency) / float64(time.Millisecond)
+	req.mdl.hLatency.Observe(latMs)
+	switch {
+	case err != nil:
+		s.flightDone(req, "error")
+	case req.degradedAdmit:
+		s.flightDone(req, "degraded")
+	case req.latencyBudget > 0 && !req.metBudget:
+		s.flightDone(req, "budget-miss")
+	default:
+		reason := ""
+		if p99, n := req.mdl.hLatency.LiveQuantile(0.99); n >= flightP99MinCount && latMs > p99 {
+			reason = "p99-outlier"
+		}
+		s.flightDone(req, reason)
+	}
 }

@@ -43,6 +43,38 @@ func collectTrees(snap *obs.Snapshot) map[uint64]*requestTree {
 	return trees
 }
 
+// findFamily returns a snapshot's labeled metric family by name, or nil.
+func findFamily(snap *obs.Snapshot, name string) *obs.FamilyData {
+	for i := range snap.Families {
+		if snap.Families[i].Name == name {
+			return &snap.Families[i]
+		}
+	}
+	return nil
+}
+
+// sumFamily sums a labeled counter family's series whose labels match
+// every key=value in filter (nil matches everything).
+func sumFamily(snap *obs.Snapshot, name string, filter map[string]string) uint64 {
+	fam := findFamily(snap, name)
+	if fam == nil {
+		return 0
+	}
+	var total uint64
+series:
+	for _, sr := range fam.Series {
+		for k, v := range filter {
+			for i, key := range fam.Keys {
+				if key == k && sr.Values[i] != v {
+					continue series
+				}
+			}
+		}
+		total += sr.Counter
+	}
+	return total
+}
+
 // TestTracedLifecycleSpanTree drives a traced server end to end and proves
 // every completed request records a connected span tree — submit, queue,
 // admit (with its ledger.reserve child), dispatch, execute (with one unit
@@ -136,15 +168,21 @@ func TestTracedLifecycleSpanTree(t *testing.T) {
 		}
 	}
 
-	if got := snap.Counters[metricSubmitted]; got != n {
+	if got := sumFamily(snap, metricSubmitted, map[string]string{"model": "tiny"}); got != n {
 		t.Errorf("tracer submitted = %d, want %d", got, n)
 	}
-	if got := snap.Counters[metricCompleted]; got != n {
-		t.Errorf("tracer completed = %d, want %d", got, n)
+	if got := sumFamily(snap, metricOutcomes, map[string]string{"outcome": outcomeDone}); got != n {
+		t.Errorf("tracer done outcomes = %d, want %d", got, n)
 	}
-	h, ok := snap.Histograms[metricLatencyMs]
-	if !ok || h.Count != n {
-		t.Errorf("tracer latency histogram count = %d (ok=%v), want %d", h.Count, ok, n)
+	latFam := findFamily(snap, metricLatencyMs)
+	if latFam == nil || len(latFam.Series) != 1 {
+		t.Fatalf("latency family missing or wrong shape: %+v", latFam)
+	}
+	if h := latFam.Series[0].Hist; h == nil || h.Count != n {
+		t.Errorf("tracer latency histogram = %+v, want count %d", h, n)
+	}
+	if w := latFam.Series[0].Window; w == nil || w.Count != n {
+		t.Errorf("tracer latency window = %+v, want count %d", w, n)
 	}
 
 	// The snapshot exports as valid Chrome trace JSON and Prometheus text.
@@ -257,11 +295,10 @@ func TestTracedQueueExits(t *testing.T) {
 			t.Errorf("outcome %q trees = %d, want %d (all: %v)", state, outcomes[state], n, outcomes)
 		}
 	}
-	if snap.Counters[metricShedDeadline] != 1 || snap.Counters[metricCanceled] != 1 ||
-		snap.Counters[metricRejectedFull] != 1 {
-		t.Errorf("exit counters shed=%d canceled=%d rejected=%d, want 1/1/1",
-			snap.Counters[metricShedDeadline], snap.Counters[metricCanceled],
-			snap.Counters[metricRejectedFull])
+	for _, outcome := range []string{outcomeShedDeadline, outcomeCanceled, outcomeQueueFull} {
+		if got := sumFamily(snap, metricOutcomes, map[string]string{"outcome": outcome}); got != 1 {
+			t.Errorf("outcome counter %q = %d, want 1", outcome, got)
+		}
 	}
 }
 

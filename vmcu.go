@@ -49,6 +49,7 @@ import (
 	"github.com/vmcu-project/vmcu/internal/mcu"
 	"github.com/vmcu-project/vmcu/internal/netplan"
 	"github.com/vmcu-project/vmcu/internal/obs"
+	"github.com/vmcu-project/vmcu/internal/ops"
 	"github.com/vmcu-project/vmcu/internal/plan"
 	"github.com/vmcu-project/vmcu/internal/serve"
 	"github.com/vmcu-project/vmcu/internal/tensor"
@@ -452,6 +453,55 @@ func WriteChromeTrace(w io.Writer, snap *TraceSnapshot) error {
 // in the Prometheus text exposition format.
 func WritePrometheus(w io.Writer, snap *TraceSnapshot) error {
 	return obs.WritePrometheus(w, snap)
+}
+
+// WindowOptions opt a labeled gauge or histogram family into windowed
+// aggregation: a ring of rotating sub-windows behind each series serving
+// live trailing-window quantiles (p50/p90/p99), rates, and maxima. The
+// zero value disables windowing; obs.DefaultSubWindows ×
+// obs.DefaultWindowWidth (10 × 1s) is the conventional live view.
+type WindowOptions = obs.WindowOptions
+
+// FlightOptions configure the tracer's tail-sampled flight recorder
+// (budgets for retained traces, spans per tree, and pending buffers);
+// the zero value uses the obs.DefaultFlight* budgets. Enable with
+// Tracer.EnableFlight; requests whose terminal outcome is interesting
+// (errors, sheds, deadline misses, degraded admissions, device loss,
+// live-p99 outliers) retain their whole span tree, everything else is
+// discarded at completion.
+type FlightOptions = obs.FlightOptions
+
+// FlightSnapshot is a consistent copy of the flight recorder's retained
+// traces and traffic stats, from Tracer.FlightSnapshot.
+type FlightSnapshot = obs.FlightSnapshot
+
+// MetricFamily is one labeled metric family in a TraceSnapshot
+// (TraceSnapshot.Families): name, help, kind, label keys, and the
+// per-labelset series with their windowed views.
+type MetricFamily = obs.FamilyData
+
+// WriteFlightChrome exports a flight snapshot as Chrome trace JSON; each
+// retained root span carries its retention reason as a "flight_reason"
+// attribute.
+func WriteFlightChrome(w io.Writer, fs *FlightSnapshot) error {
+	return obs.WriteFlightChrome(w, fs)
+}
+
+// OpsHandler serves the live operations plane over HTTP: GET /metrics
+// (Prometheus text), /healthz and /readyz (invariant and load checks),
+// /debug/status (ServeMetrics JSON), and /debug/flight (retained flight
+// traces as Chrome trace JSON). Mount Mux() on any net/http server. See
+// DESIGN.md §5i.
+type OpsHandler = ops.Handler
+
+// NewOpsHandler builds the ops plane over a serving server and tracer
+// (either may be nil: missing pieces serve degenerate 200s).
+func NewOpsHandler(s *Server, tr *Tracer) *OpsHandler {
+	// A nil *Server must become a nil interface, not a typed nil.
+	if s == nil {
+		return ops.NewHandler(nil, tr)
+	}
+	return ops.NewHandler(s, tr)
 }
 
 // RunNetworkTraced is RunNetwork with per-unit observability: every
