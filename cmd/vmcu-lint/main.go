@@ -4,7 +4,9 @@
 // mutex-guarded state (lockguard), nil-receiver no-op instruments
 // (nilnoop), deterministic simulation clocks (simclock), exhaustive
 // plan-cache keys (cachekey), wrappable sentinel errors (errsentinel),
-// and ledger-private byte accounting (ledgerwrite).
+// ledger-private byte accounting (ledgerwrite), and the span-pool
+// release discipline — no span or buffer use after its release edge
+// (spanrelease).
 //
 // Usage:
 //

@@ -198,6 +198,8 @@ func main() {
 	promOut := flag.String("prom-out", "", "write a Prometheus text-format metrics dump to this file (enables tracing)")
 	listen := flag.String("listen", "", "serve live ops endpoints (/metrics /healthz /readyz /debug/status /debug/flight) on this address, e.g. :9090 (enables tracing)")
 	flightOut := flag.String("flight-out", "", "write the retained flight traces as Chrome trace JSON at exit (enables tracing)")
+	sampleRate := flag.Float64("sample-rate", 1, "head-sampling keep probability for request traces in [0,1]; 1 traces every request, lower rates make tracing saturation-proof (counters and always-keep flight classes stay 100%)")
+	sampleTargetRPS := flag.Float64("sample-target-rps", 0, "adaptive head sampling: steer the keep probability toward this many sampled requests/sec (overrides a fixed -sample-rate; 0 = fixed-rate mode)")
 	flag.Parse()
 
 	devices, err := parseFleet(*fleet)
@@ -224,6 +226,16 @@ func main() {
 		// Always-on tail sampling: every request's span tree is buffered
 		// and retained only if its terminal outcome is interesting.
 		tracer.EnableFlight(vmcu.FlightOptions{})
+		if *sampleRate < 1 || *sampleTargetRPS > 0 {
+			// Head sampling on top: the keep/drop decision moves to
+			// admission, so unsampled requests never build a span tree
+			// at all (counters and always-keep flight classes are
+			// unaffected). /debug/sampling shows the live state.
+			tracer.EnableSampling(vmcu.SamplerOptions{
+				Rate:      *sampleRate,
+				TargetRPS: *sampleTargetRPS,
+			})
+		}
 	}
 	s, err := vmcu.NewServer(vmcu.ServeOptions{
 		Devices: devices, QueueCap: *queueCap, DegradeDepth: *degradeDepth,

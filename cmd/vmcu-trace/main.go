@@ -13,6 +13,14 @@
 // catches submit paths that open a span tree and never resolve it (the
 // historical rejected-submission leak).
 //
+// Head sampling changes what "no request trees" means: a server run with
+// -sample-rate below 1 legitimately retains no tree for an unsampled
+// request, so a trace with ZERO request roots passes -check with a note
+// instead of failing — absence of a tree is not an orphan. A PARTIAL
+// tree is still an error: once a request root is present, its lifecycle
+// must be complete, because head sampling is decided once at admission
+// and a sampled request flushes every stage or none.
+//
 // With -flight it summarizes a flight-recorder dump (vmcu-serve
 // -flight-out or GET /debug/flight): retained request trees grouped by
 // retention reason, with per-reason counts and total-latency statistics.
@@ -90,6 +98,38 @@ func main() {
 		fatal(fmt.Errorf("%s: %w", *in, err))
 	}
 
+	spans := wallSpans(tr)
+	if *flight {
+		// An empty flight dump is healthy: nothing interesting happened.
+		summarizeFlight(*in, spans)
+		return
+	}
+
+	if *check {
+		if err := validate(spans); err != nil {
+			fatal(err)
+		}
+		if countRoots(spans, func(span) bool { return true }) == 0 {
+			// Head-sampled run that kept nothing: structurally fine, but
+			// say so explicitly — an operator expecting exemplars should
+			// raise -sample-rate, not hunt for a trace bug.
+			fmt.Printf("vmcu-trace: %s OK (%d spans, no retained request trees — head sampling kept no requests)\n",
+				*in, len(spans))
+			return
+		}
+		fmt.Printf("vmcu-trace: %s OK (%d spans, %d completed requests, all lifecycle stages present and connected)\n",
+			*in, len(spans), countRoots(spans, isCompleted))
+		return
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("%s: no wall-clock spans (is this a -trace-out file?)", *in))
+	}
+	summarize(spans)
+}
+
+// wallSpans extracts the wall-clock complete events and rebuilds their
+// span identities (the pid-2 device-clock duplicates are skipped).
+func wallSpans(tr trace) []span {
 	spans := make([]span, 0, len(tr.TraceEvents))
 	for _, e := range tr.TraceEvents {
 		if e.Phase != "X" || e.PID != wallPID {
@@ -102,24 +142,7 @@ func main() {
 			trace:  argID(e, "trace_id"),
 		})
 	}
-	if *flight {
-		// An empty flight dump is healthy: nothing interesting happened.
-		summarizeFlight(*in, spans)
-		return
-	}
-	if len(spans) == 0 {
-		fatal(fmt.Errorf("%s: no wall-clock spans (is this a -trace-out file?)", *in))
-	}
-
-	if *check {
-		if err := validate(spans); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("vmcu-trace: %s OK (%d spans, %d completed requests, all lifecycle stages present and connected)\n",
-			*in, len(spans), countRoots(spans, isCompleted))
-		return
-	}
-	summarize(spans)
+	return spans
 }
 
 // argID reads a span-identity arg; the exporter writes them as JSON
@@ -156,19 +179,31 @@ func countRoots(spans []span, pred func(span) bool) int {
 
 // validate is the CI gate: every lifecycle stage appears, every completed
 // request's tree is connected end to end, and no span is orphaned.
+//
+// The stage-coverage and completed-request checks apply only when the
+// trace holds request roots at all: under head sampling an unsampled
+// request retains no tree, so a run whose sampler kept nothing exports a
+// trace with zero request roots — valid, just quiet. The structural
+// checks (no orphans, no unresolved roots) apply unconditionally: a
+// PARTIALLY flushed tree can never be explained by sampling, because the
+// keep/drop decision is made once at admission for the whole tree.
 func validate(spans []span) error {
 	byName := map[string]int{}
 	byID := map[uint64]bool{}
 	children := map[uint64][]span{}
+	requests := 0
 	for _, s := range spans {
 		byName[s.Name]++
 		byID[s.id] = true
 		if s.parent != 0 {
 			children[s.parent] = append(children[s.parent], s)
 		}
+		if s.Cat == "request" {
+			requests++
+		}
 	}
 	for _, st := range lifecycleStages {
-		if byName[st] == 0 {
+		if requests > 0 && byName[st] == 0 {
 			return fmt.Errorf("lifecycle stage %q has no spans", st)
 		}
 	}
@@ -213,8 +248,8 @@ func validate(spans []span) error {
 			return fmt.Errorf("completed request span %d has no kernel unit spans under execute", s.id)
 		}
 	}
-	if completed == 0 {
-		return fmt.Errorf("trace has no completed requests")
+	if requests > 0 && completed == 0 {
+		return fmt.Errorf("trace has %d request roots but no completed requests", requests)
 	}
 	return nil
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fixture builds a trace JSON blob and runs it through the same parse
+// path as main (json → trace → wallSpans), so the tests cover the arg
+// decoding as well as the validation rules.
+func fixture(t *testing.T, events string) []span {
+	t.Helper()
+	var tr trace
+	if err := json.Unmarshal([]byte(fmt.Sprintf(`{"traceEvents":[%s]}`, events)), &tr); err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return wallSpans(tr)
+}
+
+// ev renders one complete event; args is the raw JSON object body.
+func ev(name, cat string, args string) string {
+	return fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","pid":1,"tid":1,"ts":0,"dur":100,"args":{%s}}`, name, cat, args)
+}
+
+// completedTree is a fully connected single-request trace: root with a
+// terminal state, every lifecycle stage, and a kernel unit under execute.
+func completedTree() string {
+	rows := []string{
+		ev("request", "request", `"span_id":1,"trace_id":1,"state":"done"`),
+	}
+	for i, st := range lifecycleStages {
+		id := 10 + i
+		rows = append(rows, ev(st, "stage", fmt.Sprintf(`"span_id":%d,"parent_id":1,"trace_id":1`, id)))
+	}
+	// execute is stage index 4 → span_id 14.
+	rows = append(rows, ev("conv", "unit", `"span_id":20,"parent_id":14,"trace_id":1,"cycles":42`))
+	return strings.Join(rows, ",")
+}
+
+func TestValidateCompletedTree(t *testing.T) {
+	spans := fixture(t, completedTree())
+	if err := validate(spans); err != nil {
+		t.Fatalf("connected tree rejected: %v", err)
+	}
+	if n := countRoots(spans, isCompleted); n != 1 {
+		t.Fatalf("completed roots = %d, want 1", n)
+	}
+}
+
+// TestValidateHeadUnsampledTrace is the head-sampling contract: a trace
+// with ZERO request roots — every request dropped at admission — passes
+// -check. Absence of a tree is not an orphan. Non-request spans (a plan
+// solve traced outside any request) don't change that.
+func TestValidateHeadUnsampledTrace(t *testing.T) {
+	if err := validate(nil); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+	spans := fixture(t, ev("netplan.plan", "plan", `"span_id":7,"trace_id":9`))
+	if err := validate(spans); err != nil {
+		t.Fatalf("request-free trace rejected: %v", err)
+	}
+}
+
+// TestValidatePartialTreesStillFail pins the other half of the contract:
+// head sampling can explain a missing tree, never a partial one. Each
+// fixture is a structural leak that must keep failing -check.
+func TestValidatePartialTreesStillFail(t *testing.T) {
+	cases := []struct {
+		name, events, want string
+	}{
+		{
+			// A stage span whose root was never flushed: the classic
+			// partially flushed tree. Fails even with no request roots.
+			name:   "orphaned stage",
+			events: ev("execute", "stage", `"span_id":14,"parent_id":1,"trace_id":1`),
+			want:   "orphaned",
+		},
+		{
+			name: "root without terminal state",
+			events: strings.Join([]string{
+				ev("request", "request", `"span_id":1,"trace_id":1`),
+				ev("submit", "stage", `"span_id":10,"parent_id":1,"trace_id":1`),
+				ev("queue", "stage", `"span_id":11,"parent_id":1,"trace_id":1`),
+				ev("admit", "stage", `"span_id":12,"parent_id":1,"trace_id":1`),
+				ev("dispatch", "stage", `"span_id":13,"parent_id":1,"trace_id":1`),
+				ev("execute", "stage", `"span_id":14,"parent_id":1,"trace_id":1`),
+				ev("complete", "stage", `"span_id":15,"parent_id":1,"trace_id":1`),
+			}, ","),
+			want: "no terminal state",
+		},
+		{
+			name: "completed root missing a stage",
+			events: strings.Join([]string{
+				ev("request", "request", `"span_id":1,"trace_id":1,"state":"done"`),
+				ev("submit", "stage", `"span_id":10,"parent_id":1,"trace_id":1`),
+				ev("queue", "stage", `"span_id":11,"parent_id":1,"trace_id":1`),
+				ev("admit", "stage", `"span_id":12,"parent_id":1,"trace_id":1`),
+				ev("dispatch", "stage", `"span_id":13,"parent_id":1,"trace_id":1`),
+				ev("execute", "stage", `"span_id":14,"parent_id":1,"trace_id":1`),
+				ev("complete", "stage", `"span_id":15,"parent_id":1,"trace_id":1`),
+				ev("conv", "unit", `"span_id":20,"parent_id":14,"trace_id":1,"cycles":42`),
+				ev("request", "request", `"span_id":2,"trace_id":2,"state":"done"`),
+				ev("submit", "stage", `"span_id":30,"parent_id":2,"trace_id":2`),
+			}, ","),
+			want: "missing stage",
+		},
+		{
+			name: "completed execute without kernel units",
+			events: strings.Join([]string{
+				ev("request", "request", `"span_id":1,"trace_id":1,"state":"done"`),
+				ev("submit", "stage", `"span_id":10,"parent_id":1,"trace_id":1`),
+				ev("queue", "stage", `"span_id":11,"parent_id":1,"trace_id":1`),
+				ev("admit", "stage", `"span_id":12,"parent_id":1,"trace_id":1`),
+				ev("dispatch", "stage", `"span_id":13,"parent_id":1,"trace_id":1`),
+				ev("execute", "stage", `"span_id":14,"parent_id":1,"trace_id":1`),
+				ev("complete", "stage", `"span_id":15,"parent_id":1,"trace_id":1`),
+			}, ","),
+			want: "no kernel unit",
+		},
+		{
+			// Roots retained but none completed: with request trees present
+			// the old completeness gate still applies.
+			name:   "roots but no completed requests",
+			events: ev("request", "request", `"span_id":1,"trace_id":1,"state":"rejected-queue-full"`) + "," + ev("submit", "stage", `"span_id":10,"parent_id":1,"trace_id":1`) + "," + ev("queue", "stage", `"span_id":11,"parent_id":1,"trace_id":1`) + "," + ev("admit", "stage", `"span_id":12,"parent_id":1,"trace_id":1`) + "," + ev("dispatch", "stage", `"span_id":13,"parent_id":1,"trace_id":1`) + "," + ev("execute", "stage", `"span_id":14,"parent_id":1,"trace_id":1`) + "," + ev("complete", "stage", `"span_id":15,"parent_id":1,"trace_id":1`),
+			want:   "no completed requests",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(fixture(t, tc.events))
+			if err == nil {
+				t.Fatalf("broken trace accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,255 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/vmcu-project/vmcu/internal/lint"
+)
+
+// obsPkgPath is the pooled-tracing package whose release discipline this
+// analyzer enforces on the rest of the repo.
+const obsPkgPath = "github.com/vmcu-project/vmcu/internal/obs"
+
+// Spanrelease enforces the span-tree pooling discipline: obs handles are
+// recycled at their release edge, so a *obs.Span must not be used after
+// End or EndTo released it, and a *obs.SpanBuffer must not be used after
+// Release or after being handed to Tracer.RecordTree. The released
+// object goes back to a sync.Pool and is immediately reusable by another
+// goroutine — a use-after-release reads (or worse, mutates) somebody
+// else's span, which is exactly the aliasing bug class pooling
+// introduced. The rule the analyzer machine-checks is the one the API
+// docs state: capture ID()/TraceID() before ending a span, and treat
+// RecordTree as consuming its buffer.
+//
+// The analysis is per-block and flow-light: a release inside a nested
+// block (an early-return error path) taints only that block, and
+// reassigning the variable clears its taint. internal/obs itself is
+// exempt — the pool internals necessarily touch released handles.
+var Spanrelease = &lint.Analyzer{
+	Name: "spanrelease",
+	Doc:  "pooled obs spans and span buffers must not be used after their release edge",
+	Run:  runSpanrelease,
+}
+
+// releaseSite records how a variable was released, for the diagnostic.
+type releaseSite struct {
+	what string // "span" or "span buffer"
+	via  string // the releasing call, e.g. "End()"
+}
+
+func runSpanrelease(pass *lint.Pass) error {
+	// The obs package is the pool implementation: release/recycle methods
+	// legitimately operate on released handles.
+	if pass.Pkg.Path() == obsPkgPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visitSpanStmts(pass, fd.Body.List, map[*types.Var]releaseSite{})
+		}
+	}
+	return nil
+}
+
+// visitSpanStmts walks one statement list in order, carrying the set of
+// released variables. Nested blocks inherit the current taint but their
+// own releases do not escape upward (an error path that ends the span
+// and returns must not poison the happy path).
+func visitSpanStmts(pass *lint.Pass, stmts []ast.Stmt, taint map[*types.Var]releaseSite) {
+	for _, s := range stmts {
+		visitSpanStmt(pass, s, taint)
+	}
+}
+
+func visitSpanStmt(pass *lint.Pass, stmt ast.Stmt, taint map[*types.Var]releaseSite) {
+	cloned := func() map[*types.Var]releaseSite {
+		c := make(map[*types.Var]releaseSite, len(taint))
+		for k, v := range taint {
+			c[k] = v
+		}
+		return c
+	}
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		visitSpanStmts(pass, s.List, cloned())
+	case *ast.LabeledStmt:
+		visitSpanStmt(pass, s.Stmt, taint)
+	case *ast.IfStmt:
+		visitSpanStmt(pass, s.Init, taint)
+		reportTaintedUses(pass, s.Cond, taint, nil)
+		visitSpanStmt(pass, s.Body, taint)
+		visitSpanStmt(pass, s.Else, taint)
+	case *ast.ForStmt:
+		visitSpanStmt(pass, s.Init, taint)
+		reportTaintedUses(pass, s.Cond, taint, nil)
+		visitSpanStmt(pass, s.Body, taint)
+	case *ast.RangeStmt:
+		reportTaintedUses(pass, s.X, taint, nil)
+		visitSpanStmt(pass, s.Body, taint)
+	case *ast.SwitchStmt:
+		visitSpanStmt(pass, s.Init, taint)
+		reportTaintedUses(pass, s.Tag, taint, nil)
+		visitSpanStmt(pass, s.Body, taint)
+	case *ast.TypeSwitchStmt:
+		visitSpanStmt(pass, s.Init, taint)
+		visitSpanStmt(pass, s.Body, taint)
+	case *ast.SelectStmt:
+		visitSpanStmt(pass, s.Body, taint)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			reportTaintedUses(pass, e, taint, nil)
+		}
+		visitSpanStmts(pass, s.Body, cloned())
+	case *ast.CommClause:
+		visitSpanStmt(pass, s.Comm, taint)
+		visitSpanStmts(pass, s.Body, cloned())
+	case *ast.DeferStmt, *ast.GoStmt:
+		// The call runs later: its receiver/args are evaluated now (so
+		// tainted uses still report), but an End inside it has not
+		// happened yet and must not taint the following statements.
+		reportTaintedUses(pass, stmt, taint, nil)
+	default:
+		// Simple statement: report uses of already-released variables,
+		// then record this statement's own releases, then clear taint on
+		// reassigned variables. The ordering makes the releasing call
+		// itself legal while a second release (double End) reports.
+		reportTaintedUses(pass, stmt, taint, assignedVars(pass, stmt))
+		for v, site := range releasesIn(pass, stmt) {
+			taint[v] = site
+		}
+		for v := range assignedVars(pass, stmt) {
+			delete(taint, v)
+		}
+	}
+}
+
+// reportTaintedUses reports every identifier in the subtree that resolves
+// to a released variable. Function literals are skipped: their bodies run
+// at call time, not here. skip holds variables being reassigned by the
+// enclosing statement (writing a fresh value over a released handle is
+// the sanctioned reset, not a use).
+func reportTaintedUses(pass *lint.Pass, n ast.Node, taint map[*types.Var]releaseSite, skip map[*types.Var]bool) {
+	if n == nil || len(taint) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || skip[v] {
+			return true
+		}
+		if site, released := taint[v]; released {
+			pass.Reportf(id.Pos(),
+				"use of %s %s after %s released it: pooled handles recycle at the release edge — capture what you need before releasing",
+				site.what, id.Name, site.via)
+		}
+		return true
+	})
+}
+
+// releasesIn finds the variables a statement releases: span.End(),
+// span.EndTo(buf), buf.Release(), and tracer.RecordTree(buf, ...) —
+// the last consumes its buffer argument. Only plain identifier
+// receivers/arguments are tracked; releases inside function literals
+// belong to the literal's own execution, not this statement.
+func releasesIn(pass *lint.Pass, stmt ast.Stmt) map[*types.Var]releaseSite {
+	out := map[*types.Var]releaseSite{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "End", "EndTo":
+			if v := obsVar(pass, sel.X, "Span"); v != nil {
+				out[v] = releaseSite{what: "span", via: sel.Sel.Name + "()"}
+			}
+		case "Release":
+			if v := obsVar(pass, sel.X, "SpanBuffer"); v != nil {
+				out[v] = releaseSite{what: "span buffer", via: "Release()"}
+			}
+		case "RecordTree":
+			if len(call.Args) == 0 || obsTypeName(pass, sel.X) != "Tracer" {
+				return true
+			}
+			if v := obsVar(pass, call.Args[0], "SpanBuffer"); v != nil {
+				out[v] = releaseSite{what: "span buffer", via: "RecordTree()"}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// assignedVars collects the plain-identifier assignment targets of a
+// statement (both = and :=).
+func assignedVars(pass *lint.Pass, stmt ast.Stmt) map[*types.Var]bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	out := map[*types.Var]bool{}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// obsVar resolves an expression to a plain identifier whose type is a
+// (pointer to) the named obs type, or nil.
+func obsVar(pass *lint.Pass, e ast.Expr, typeName string) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if obsTypeName(pass, e) != typeName {
+		return nil
+	}
+	return v
+}
+
+// obsTypeName returns the named-type name of e (one pointer unwrapped)
+// when that type is declared in internal/obs, else "".
+func obsTypeName(pass *lint.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	n := namedOf(tv.Type)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != obsPkgPath {
+		return ""
+	}
+	return n.Obj().Name()
+}

@@ -1,0 +1,22 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/vmcu-project/vmcu/internal/lint/analyzers"
+	"github.com/vmcu-project/vmcu/internal/lint/linttest"
+)
+
+func TestSpanrelease(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "spanrelease"),
+		"example.test/spanrelease", analyzers.Spanrelease)
+}
+
+// TestSpanreleaseObsExempt poses a releasing package as internal/obs
+// itself: the pool implementation is exempt, so its deliberate
+// use-after-release does not report.
+func TestSpanreleaseObsExempt(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "spanrelease_obs"),
+		"github.com/vmcu-project/vmcu/internal/obs", analyzers.Spanrelease)
+}

@@ -13,5 +13,6 @@ func All() []*lint.Analyzer {
 		Cachekey,
 		Errsentinel,
 		Ledgerwrite,
+		Spanrelease,
 	}
 }

@@ -40,7 +40,7 @@ func TestRepoIsLintClean(t *testing.T) {
 // //lint:allow annotation surface, so removing or renaming one is a
 // breaking change to every annotation in the tree.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"lockguard", "nilnoop", "simclock", "cachekey", "errsentinel", "ledgerwrite"}
+	want := []string{"lockguard", "nilnoop", "simclock", "cachekey", "errsentinel", "ledgerwrite", "spanrelease"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -3,7 +3,11 @@
 // reports each from its own analyzer.
 package a
 
-import "errors"
+import (
+	"errors"
+
+	"github.com/vmcu-project/vmcu/internal/obs"
+)
 
 // ErrBusy is a sentinel.
 var ErrBusy = errors.New("busy")
@@ -27,4 +31,10 @@ func (g *Gauge) Set(v float64) { // want `uses receiver g before a nil guard`
 func Drain(a *Account, err error) bool {
 	a.bytes = 0           // want `write to ledger field bytes outside Account methods`
 	return err == ErrBusy // want `sentinel ErrBusy compared with ==`
+}
+
+// Flush violates spanrelease: RecordTree consumed the buffer.
+func Flush(tr *obs.Tracer, b *obs.SpanBuffer) int {
+	tr.RecordTree(b, 1, "error")
+	return b.Len() // want `use of span buffer b after RecordTree\(\) released it`
 }

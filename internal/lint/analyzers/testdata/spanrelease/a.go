@@ -1,0 +1,89 @@
+// Package a is spanrelease golden testdata: uses of pooled obs handles
+// after their release edge, the capture-first idiom that is the fix,
+// branch-local releases, taint-clearing reassignment, and an
+// allow-annotated deliberate violation. It imports the real obs package
+// so the release edges carry their production types.
+package a
+
+import "github.com/vmcu-project/vmcu/internal/obs"
+
+// CaptureBeforeEnd is the sanctioned idiom: read identity first, then
+// release.
+func CaptureBeforeEnd(tr *obs.Tracer) uint64 {
+	s := tr.Start("request", "request")
+	id := s.ID()
+	s.End()
+	return id
+}
+
+// UseAfterEnd reads the recycled handle.
+func UseAfterEnd(tr *obs.Tracer) uint64 {
+	s := tr.Start("request", "request")
+	s.End()
+	return s.ID() // want `use of span s after End\(\) released it`
+}
+
+// DoubleEnd releases twice: the second End is itself a use.
+func DoubleEnd(tr *obs.Tracer) {
+	s := tr.Start("request", "request")
+	s.End()
+	s.End() // want `use of span s after End\(\) released it`
+}
+
+// UseAfterEndTo: EndTo releases the span handle (the buffer stays live).
+func UseAfterEndTo(tr *obs.Tracer, b *obs.SpanBuffer) uint64 {
+	s := tr.Start("execute", "stage")
+	s.EndTo(b)
+	b.Reserve(1)       // the buffer is NOT released by EndTo
+	return s.TraceID() // want `use of span s after EndTo\(\) released it`
+}
+
+// BufferAfterRelease touches a recycled buffer.
+func BufferAfterRelease() int {
+	b := obs.NewSpanBuffer()
+	b.Release()
+	return b.Len() // want `use of span buffer b after Release\(\) released it`
+}
+
+// BufferAfterRecordTree: handing the buffer to RecordTree consumes it.
+func BufferAfterRecordTree(tr *obs.Tracer, trace uint64) {
+	b := obs.NewSpanBuffer()
+	tr.RecordTree(b, trace, "error")
+	b.Release() // want `use of span buffer b after RecordTree\(\) released it`
+}
+
+// ReassignClears: a fresh value over the released variable resets it.
+func ReassignClears(tr *obs.Tracer) uint64 {
+	s := tr.Start("submit", "stage")
+	s.End()
+	s = tr.Start("queue", "stage")
+	defer s.End()
+	return s.ID()
+}
+
+// BranchLocal ends the span only on the error path; the happy path's
+// own End must not report (the error-path release is branch-local).
+func BranchLocal(tr *obs.Tracer, fail bool) {
+	s := tr.Start("dispatch", "stage")
+	if fail {
+		s.End()
+		return
+	}
+	s.Attr(obs.Str("state", "done"))
+	s.End()
+}
+
+// DeferredEnd runs at function exit: later statements may still use the
+// span.
+func DeferredEnd(tr *obs.Tracer) uint64 {
+	s := tr.Start("complete", "stage")
+	defer s.End()
+	return s.ID()
+}
+
+// Waived is a deliberate use-after-release, suppressed with a reason.
+func Waived(tr *obs.Tracer) uint64 {
+	s := tr.Start("request", "request")
+	s.End()
+	return s.ID() //lint:allow spanrelease exercising the zero-value read on purpose
+}

@@ -1,0 +1,22 @@
+// Package obs poses as internal/obs itself: the pool implementation
+// necessarily touches released handles (recycle, zeroing, Put), so the
+// analyzer exempts the package — none of these lines report.
+package obs
+
+// Span stands in for the real pooled span; its path IS the obs path in
+// this test, so End would be a release edge anywhere else.
+type Span struct{ id uint64 }
+
+// End releases the handle.
+func (s *Span) End() {}
+
+// ID reads the span identity.
+func (s *Span) ID() uint64 { return s.id }
+
+// Recycle is the kind of pool-internal code that reads a handle after
+// its release edge by design.
+func Recycle() uint64 {
+	s := &Span{}
+	s.End()
+	return s.ID() // exempt: pass package is internal/obs
+}

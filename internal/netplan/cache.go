@@ -34,12 +34,19 @@ type Cache struct {
 	lru       *list.List             // completed-entry keys, front = most recent; guarded by Cache.mu
 	hits      uint64                 // guarded by Cache.mu
 	misses    uint64                 // guarded by Cache.mu
+	coalesced uint64                 // guarded by Cache.mu
 	evictions uint64                 // guarded by Cache.mu
 	// Tracer counter handles, mirroring the lifetime counters above onto
 	// an attached obs.Tracer (all nil until SetTracer; nil-safe to Inc);
 	// guarded by Cache.mu.
-	trHits, trMisses, trEvictions *obs.Counter
+	trHits, trMisses, trCoalesced, trEvictions *obs.Counter
 }
+
+// planFn is the solve the cache runs on a miss. A package variable so
+// the stampede test can substitute a blocking solve and prove that N
+// concurrent cold lookups for one key run it exactly once; production
+// code never reassigns it.
+var planFn = Plan
 
 // cacheEntry is one in-flight or completed solve; ready closes when np/err
 // are set. elem is non-nil exactly while the completed entry is retained
@@ -74,6 +81,7 @@ var Default = NewCache()
 const (
 	MetricCacheHits      = "vmcu_plancache_hits"
 	MetricCacheMisses    = "vmcu_plancache_misses"
+	MetricCacheCoalesced = "vmcu_plancache_coalesced_misses"
 	MetricCacheEvictions = "vmcu_plancache_evictions"
 )
 
@@ -85,11 +93,12 @@ func (c *Cache) SetTracer(tr *obs.Tracer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if tr == nil {
-		c.trHits, c.trMisses, c.trEvictions = nil, nil, nil
+		c.trHits, c.trMisses, c.trCoalesced, c.trEvictions = nil, nil, nil, nil
 		return
 	}
 	c.trHits = tr.Counter(MetricCacheHits)
 	c.trMisses = tr.Counter(MetricCacheMisses)
+	c.trCoalesced = tr.Counter(MetricCacheCoalesced)
 	c.trEvictions = tr.Counter(MetricCacheEvictions)
 }
 
@@ -134,11 +143,25 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 	key := Key(net, opts)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		// A lookup that lands on a NOT-yet-ready entry is a coalesced
+		// miss: without the per-key single-flight it would have run its
+		// own solve (the model-rollout stampede). Probe readiness before
+		// waiting — afterwards the distinction is gone.
+		coalesced := false
+		select {
+		case <-e.ready:
+		default:
+			coalesced = true
+		}
 		c.mu.Unlock()
 		<-e.ready
 		c.mu.Lock()
 		c.hits++
 		c.trHits.Inc()
+		if coalesced {
+			c.coalesced++
+			c.trCoalesced.Inc()
+		}
 		// Refresh recency, unless the entry was evicted or Reset away while
 		// we waited (its plan is still valid for this caller either way).
 		if e.elem != nil && c.entries[key] == e {
@@ -154,7 +177,7 @@ func (c *Cache) Plan(net graph.Network, opts Options) (*NetworkPlan, bool, error
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	e.np, e.err = Plan(net, opts)
+	e.np, e.err = planFn(net, opts)
 	close(e.ready)
 	c.mu.Lock()
 	c.misses++
@@ -203,6 +226,12 @@ type CacheStats struct {
 	// possibly failed) entry; Misses are requests that ran a solve,
 	// successful or not.
 	Hits, Misses uint64
+	// CoalescedMisses are the subset of Hits that arrived while the
+	// entry's solve was still in flight and waited on it instead of
+	// solving themselves — the stampede the per-key single-flight
+	// absorbs (a model rollout's concurrent cold lookups show up here
+	// as N-1 coalesced misses per key).
+	CoalescedMisses uint64
 	// Evictions counts completed plans dropped by the LRU bound (always 0
 	// on an unbounded cache).
 	Evictions uint64
@@ -216,7 +245,10 @@ type CacheStats struct {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.entries)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, CoalescedMisses: c.coalesced,
+		Evictions: c.evictions, Len: len(c.entries),
+	}
 }
 
 // Reset drops every cached plan and zeroes the counters. In-flight solves
@@ -226,5 +258,5 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*cacheEntry)
 	c.lru.Init()
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits, c.misses, c.coalesced, c.evictions = 0, 0, 0, 0
 }

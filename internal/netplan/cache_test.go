@@ -3,6 +3,7 @@ package netplan
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/vmcu-project/vmcu/internal/graph"
@@ -104,6 +105,80 @@ func TestCacheBoundedConcurrent(t *testing.T) {
 	// Evicting never loses correctness, only work: every key re-solves.
 	if _, _, err := c.Plan(tinyNet(4), Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCacheStampedeCoalesces is the model-rollout stampede scenario: N
+// goroutines request the SAME cold key concurrently. The per-key
+// single-flight must run the solve exactly once, serve every other
+// request from the in-flight entry, and account those as coalesced
+// misses. The solve is blocked on a gate until all N requests are
+// inside Plan, so the concurrency is real, not racy luck.
+func TestCacheStampedeCoalesces(t *testing.T) {
+	const stampede = 16
+	var (
+		solves  int32
+		arrived sync.WaitGroup
+		gate    = make(chan struct{})
+	)
+	realPlan := planFn
+	planFn = func(net graph.Network, opts Options) (*NetworkPlan, error) {
+		atomic.AddInt32(&solves, 1)
+		<-gate // hold the solve until every request has arrived
+		return realPlan(net, opts)
+	}
+	defer func() { planFn = realPlan }()
+
+	c := NewCache()
+	net := tinyNet(8)
+	arrived.Add(stampede)
+	var done sync.WaitGroup
+	results := make([]bool, stampede)
+	for g := 0; g < stampede; g++ {
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			arrived.Done()
+			_, hit, err := c.Plan(net, Options{})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = hit
+		}(g)
+	}
+	// Release the solve only after every goroutine is running; the
+	// laggards pile onto the in-flight entry while it blocks.
+	arrived.Wait()
+	close(gate)
+	done.Wait()
+
+	if n := atomic.LoadInt32(&solves); n != 1 {
+		t.Fatalf("stampede ran %d solves, want exactly 1", n)
+	}
+	misses := 0
+	for _, hit := range results {
+		if !hit {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d requests reported miss, want exactly 1 (the solver)", misses)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != stampede-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", st, stampede-1)
+	}
+	// Every hit waited on the in-flight solve (the gate guaranteed no
+	// request could arrive after it completed), so all must be coalesced.
+	if st.CoalescedMisses != stampede-1 {
+		t.Fatalf("coalesced misses = %d, want %d", st.CoalescedMisses, stampede-1)
+	}
+	// A warm hit after the dust settles is NOT coalesced.
+	if _, hit, err := c.Plan(net, Options{}); err != nil || !hit {
+		t.Fatalf("warm lookup: hit=%v err=%v", hit, err)
+	}
+	if st := c.Stats(); st.CoalescedMisses != stampede-1 {
+		t.Fatalf("warm hit counted as coalesced (%d)", st.CoalescedMisses)
 	}
 }
 

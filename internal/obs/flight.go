@@ -7,8 +7,8 @@ import (
 
 // The flight recorder is the always-on tail-sampling layer: at serving
 // rates (~137k RPS in BENCH_7) recording every request's span tree is
-// unbounded, and sampling heads (decide at submit) misses exactly the
-// requests an operator cares about — the ones that went wrong. Tail
+// unbounded, and sampling heads alone (decide at submit) misses exactly
+// the requests an operator cares about — the ones that went wrong. Tail
 // sampling inverts it: every in-flight request's spans accumulate in a
 // bounded pending reservoir keyed by trace ID, and at completion the
 // OWNER of the request (the serve layer, which knows the outcome)
@@ -21,6 +21,12 @@ import (
 // total pending spans, and retained traces. Overflow always evicts the
 // OLDEST pending work — under overload the recorder degrades to keeping
 // the most recent trees, never grows.
+//
+// The head sampler (sample.go) composes with, not replaces, this layer:
+// head-sampled requests keep the full tail predicate here, and
+// head-unsampled requests ending in an always-keep class retain a
+// synthetic single-span exemplar directly in the ring (retain), so the
+// interesting outcomes stay 100%-captured at any head rate.
 
 // Flight recorder defaults (used when the corresponding FlightOptions
 // field is 0).
@@ -289,14 +295,19 @@ func (t *Tracer) FlightComplete(trace uint64, reason string) {
 	if fl == nil {
 		return
 	}
-	fl.completeTree(trace, reason, nil)
+	if fl.completeTree(trace, reason, nil) {
+		if sp := t.sampler.Load(); sp != nil {
+			sp.noteClass(reason)
+		}
+	}
 }
 
 // completeTree finishes a trace: its pending reservoir spans (if any)
 // plus the owner-buffered spans handed in by RecordTree form the tree; a
 // non-empty reason retains it in the exemplar ring, an empty reason
 // discards it. The per-tree span budget applies to the combined tree.
-func (fl *flightRecorder) completeTree(trace uint64, reason string, owned []SpanData) {
+// Reports whether the tree was retained.
+func (fl *flightRecorder) completeTree(trace uint64, reason string, owned []SpanData) bool {
 	fl.completed.Add(1)
 	var spans []SpanData
 	var truncated uint64
@@ -314,28 +325,49 @@ func (fl *flightRecorder) completeTree(trace uint64, reason string, owned []Span
 		// an O(n) removal here.
 	}
 	if reason == "" {
-		return
+		return false
 	}
-	// The owner handed over its buffer (RecordTree resets it), so a tree
-	// with no reservoir spans — the common case; only executor-emitted
-	// unit spans land in the reservoir — retains with zero copying.
-	if spans == nil {
-		spans = owned
-	} else {
-		spans = append(spans, owned...)
-	}
-	if over := len(spans) - fl.opts.MaxSpansPerTree; over > 0 {
+	// The owner's buffered spans alias the SpanBuffer's pooled attr
+	// arena, which RecordTree recycles the moment this returns — so
+	// retention deep-copies their attrs. Only actually-kept trees (the
+	// rare ones) pay the copy; reservoir spans already own their attrs.
+	keep := len(spans) + len(owned)
+	if over := keep - fl.opts.MaxSpansPerTree; over > 0 {
 		truncated += uint64(over)
-		spans = spans[:fl.opts.MaxSpansPerTree]
+		keep = fl.opts.MaxSpansPerTree
 	}
-	if len(spans) == 0 {
-		return
+	if keep == 0 {
+		return false
 	}
-	fl.retainedCount.Add(1)
-	ft := FlightTrace{
+	cp := make([]SpanData, 0, keep)
+	cp = append(cp, spans...)
+	if len(cp) > keep {
+		cp = cp[:keep]
+	}
+	for _, d := range owned {
+		if len(cp) == keep {
+			break
+		}
+		if len(d.Attrs) > 0 {
+			d.Attrs = append([]Attr(nil), d.Attrs...)
+		}
+		cp = append(cp, d)
+	}
+	fl.retain(FlightTrace{
 		Trace: trace, Reason: reason,
-		Spans: spans, Truncated: truncated,
-	}
+		Spans: cp, Truncated: truncated,
+	})
+	return true
+}
+
+// retain puts one finished tree into the exemplar ring. Besides
+// completeTree, this is the entry point for the head sampler's
+// synthetic always-keep exemplars (Tracer.SampleTailKeep), which never
+// had a pending tree — those bump Retained without a matching
+// Completed, so FlightStats.Retained can exceed Completed under head
+// sampling.
+func (fl *flightRecorder) retain(ft FlightTrace) {
+	fl.retainedCount.Add(1)
 	fl.retMu.Lock()
 	if len(fl.retained) < fl.opts.MaxTraces {
 		fl.retained = append(fl.retained, ft)

@@ -26,6 +26,7 @@ func TestFlightRetentionProperty(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				root := tr.Start(fmt.Sprintf("request-%d-%d", w, i), KindRequest)
+				trace := root.TraceID()
 				child := tr.StartChild(root, "execute", KindStage)
 				child.End()
 				root.End()
@@ -34,7 +35,7 @@ func TestFlightRetentionProperty(t *testing.T) {
 				if i%7 == 0 {
 					reason = "deadline"
 				}
-				tr.FlightComplete(root.TraceID(), reason)
+				tr.FlightComplete(trace, reason)
 			}
 		}(w)
 	}
@@ -76,11 +77,11 @@ func TestFlightRetentionProperty(t *testing.T) {
 func TestFlightPendingBudgets(t *testing.T) {
 	tr := New(Options{})
 	tr.EnableFlight(FlightOptions{MaxPending: 8, MaxSpansPerTree: 4})
-	var roots []*Span
+	var traces []uint64
 	for i := 0; i < 32; i++ {
 		root := tr.Start("request", KindRequest)
+		traces = append(traces, root.TraceID())
 		root.End()
-		roots = append(roots, root)
 	}
 	fs := tr.FlightSnapshot()
 	if fs.Pending > 8 {
@@ -91,23 +92,24 @@ func TestFlightPendingBudgets(t *testing.T) {
 	}
 	// The oldest traces were evicted: completing one of them with a
 	// reason retains nothing (its spans are gone).
-	tr.FlightComplete(roots[0].TraceID(), "error")
+	tr.FlightComplete(traces[0], "error")
 	if got := len(tr.FlightSnapshot().Traces); got != 0 {
 		t.Fatalf("evicted trace retained %d trees", got)
 	}
 	// A surviving (recent) trace retains fine.
-	tr.FlightComplete(roots[31].TraceID(), "error")
+	tr.FlightComplete(traces[31], "error")
 	if got := len(tr.FlightSnapshot().Traces); got != 1 {
 		t.Fatalf("recent trace not retained (got %d)", got)
 	}
 
 	// Per-tree span budget: a chatty trace is truncated, not unbounded.
 	root := tr.Start("request", KindRequest)
+	chatty := root.TraceID()
 	for i := 0; i < 10; i++ {
 		tr.StartChild(root, "unit", KindUnit).End()
 	}
 	root.End()
-	tr.FlightComplete(root.TraceID(), "p99")
+	tr.FlightComplete(chatty, "p99")
 	fs = tr.FlightSnapshot()
 	last := fs.Traces[len(fs.Traces)-1]
 	if len(last.Spans) != 4 {
@@ -129,8 +131,9 @@ func TestFlightDisabledAndNil(t *testing.T) {
 	}
 	tr := New(Options{})
 	s := tr.Start("request", KindRequest)
+	sTrace := s.TraceID()
 	s.End()
-	tr.FlightComplete(s.TraceID(), "error")
+	tr.FlightComplete(sTrace, "error")
 	if fs := tr.FlightSnapshot(); len(fs.Traces) != 0 || tr.FlightEnabled() {
 		t.Fatal("flight recorder active without EnableFlight")
 	}
@@ -142,9 +145,10 @@ func TestWriteFlightChrome(t *testing.T) {
 	tr := New(Options{})
 	tr.EnableFlight(FlightOptions{})
 	root := tr.Start("request", KindRequest)
+	trace := root.TraceID()
 	tr.StartChild(root, "execute", KindStage).End()
 	root.End()
-	tr.FlightComplete(root.TraceID(), "device-lost")
+	tr.FlightComplete(trace, "device-lost")
 	var b strings.Builder
 	if err := WriteFlightChrome(&b, tr.FlightSnapshot()); err != nil {
 		t.Fatal(err)

@@ -17,6 +17,14 @@ import (
 // so the per-observation cost is identical to an unlabeled instrument —
 // one atomic add or one short mutex hold, no map lookup.
 //
+// The series map itself is copy-on-write: With's hit path is one atomic
+// pointer load plus a lock-free map read, and snapshots read the same
+// immutable map. Only series CREATION takes the family mutex (it copies
+// the map, inserts, and republishes), which is paid once per labelset
+// for the family's lifetime — so even a caller that ignores the
+// resolve-once advice never contends a reader-writer lock at
+// per-request rates.
+//
 // Cardinality is bounded by construction twice over: the label KEYS are
 // fixed per family, and the number of distinct label VALUES per family
 // is capped at MaxSeriesPerVec. Past the cap, With returns the family's
@@ -55,9 +63,11 @@ type CounterVec struct {
 	keys       []string // immutable after construction
 	overflow   atomic.Uint64
 
-	mu sync.RWMutex
-	// series is guarded by CounterVec.mu.
-	series map[string]*counterSeries
+	// series holds the live labelset→series map. The pointed-to map is
+	// immutable: creation copies it, inserts, and stores the copy, so
+	// readers never lock. mu serializes creators only.
+	series atomic.Pointer[map[string]*counterSeries]
+	mu     sync.Mutex
 }
 
 type counterSeries struct {
@@ -65,33 +75,51 @@ type counterSeries struct {
 	c      Counter
 }
 
+// load returns the current immutable series map (nil before the first
+// series exists; a nil map reads fine).
+func (v *CounterVec) load() map[string]*counterSeries {
+	if m := v.series.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// insertLocked republishes the series map with one more entry. Runs with
+// CounterVec.mu held.
+func (v *CounterVec) insertLocked(k string, s *counterSeries) {
+	cur := v.load()
+	next := make(map[string]*counterSeries, len(cur)+1)
+	for kk, ss := range cur {
+		next[kk] = ss
+	}
+	next[k] = s
+	v.series.Store(&next)
+}
+
 // With returns the counter for the given label values (one per key, in
 // key order), creating the series on first use. Nil-safe: a nil family
-// hands out a nil counter. Callers should resolve once and hold the
-// handle; With itself takes the family's read lock on the hit path.
+// hands out a nil counter. The hit path is lock-free (one atomic load
+// plus a map read); only series creation locks.
 func (v *CounterVec) With(values ...string) *Counter {
 	if v == nil {
 		return nil
 	}
 	values = normalizeValues(values, len(v.keys))
 	k := labelKey(values)
-	v.mu.RLock()
-	s := v.series[k]
-	v.mu.RUnlock()
-	if s != nil {
+	if s := v.load()[k]; s != nil {
 		return &s.c
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if s = v.series[k]; s != nil {
+	if s := v.load()[k]; s != nil {
 		return &s.c
 	}
-	if len(v.series) >= MaxSeriesPerVec {
+	if len(v.load()) >= MaxSeriesPerVec {
 		v.overflow.Add(1)
 		return v.otherLocked()
 	}
-	s = &counterSeries{values: append([]string(nil), values...)}
-	v.series[k] = s
+	s := &counterSeries{values: append([]string(nil), values...)}
+	v.insertLocked(k, s)
 	return &s.c
 }
 
@@ -103,10 +131,10 @@ func (v *CounterVec) otherLocked() *Counter {
 		vals[i] = overflowLabel
 	}
 	k := labelKey(vals)
-	s := v.series[k]
+	s := v.load()[k]
 	if s == nil {
 		s = &counterSeries{values: vals}
-		v.series[k] = s
+		v.insertLocked(k, s)
 	}
 	return &s.c
 }
@@ -119,9 +147,10 @@ type GaugeVec struct {
 	win        WindowOptions // zero value = unwindowed; immutable
 	overflow   atomic.Uint64
 
-	mu sync.RWMutex
-	// series is guarded by GaugeVec.mu.
-	series map[string]*gaugeSeries
+	// series is copy-on-write like CounterVec.series; mu serializes
+	// creators only.
+	series atomic.Pointer[map[string]*gaugeSeries]
+	mu     sync.Mutex
 }
 
 type gaugeSeries struct {
@@ -129,31 +158,49 @@ type gaugeSeries struct {
 	g      *Gauge
 }
 
+// load returns the current immutable series map (nil is fine to read).
+func (v *GaugeVec) load() map[string]*gaugeSeries {
+	if m := v.series.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// insertLocked republishes the series map with one more entry. Runs with
+// GaugeVec.mu held.
+func (v *GaugeVec) insertLocked(k string, s *gaugeSeries) {
+	cur := v.load()
+	next := make(map[string]*gaugeSeries, len(cur)+1)
+	for kk, ss := range cur {
+		next[kk] = ss
+	}
+	next[k] = s
+	v.series.Store(&next)
+}
+
 // With returns the gauge for the given label values, creating the
-// series on first use (windowed if the family is). Nil-safe.
+// series on first use (windowed if the family is). Nil-safe; the hit
+// path is lock-free.
 func (v *GaugeVec) With(values ...string) *Gauge {
 	if v == nil {
 		return nil
 	}
 	values = normalizeValues(values, len(v.keys))
 	k := labelKey(values)
-	v.mu.RLock()
-	s := v.series[k]
-	v.mu.RUnlock()
-	if s != nil {
+	if s := v.load()[k]; s != nil {
 		return s.g
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if s = v.series[k]; s != nil {
+	if s := v.load()[k]; s != nil {
 		return s.g
 	}
-	if len(v.series) >= MaxSeriesPerVec {
+	if len(v.load()) >= MaxSeriesPerVec {
 		v.overflow.Add(1)
 		return v.otherLocked()
 	}
-	s = v.newSeriesLocked(values)
-	v.series[k] = s
+	s := v.newSeriesLocked(values)
+	v.insertLocked(k, s)
 	return s.g
 }
 
@@ -178,10 +225,10 @@ func (v *GaugeVec) otherLocked() *Gauge {
 		vals[i] = overflowLabel
 	}
 	k := labelKey(vals)
-	s := v.series[k]
+	s := v.load()[k]
 	if s == nil {
 		s = v.newSeriesLocked(vals)
-		v.series[k] = s
+		v.insertLocked(k, s)
 	}
 	return s.g
 }
@@ -195,9 +242,10 @@ type HistogramVec struct {
 	win        WindowOptions // zero value = unwindowed; immutable
 	overflow   atomic.Uint64
 
-	mu sync.RWMutex
-	// series is guarded by HistogramVec.mu.
-	series map[string]*histogramSeries
+	// series is copy-on-write like CounterVec.series; mu serializes
+	// creators only.
+	series atomic.Pointer[map[string]*histogramSeries]
+	mu     sync.Mutex
 }
 
 type histogramSeries struct {
@@ -205,31 +253,49 @@ type histogramSeries struct {
 	h      *Histogram
 }
 
+// load returns the current immutable series map (nil is fine to read).
+func (v *HistogramVec) load() map[string]*histogramSeries {
+	if m := v.series.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// insertLocked republishes the series map with one more entry. Runs with
+// HistogramVec.mu held.
+func (v *HistogramVec) insertLocked(k string, s *histogramSeries) {
+	cur := v.load()
+	next := make(map[string]*histogramSeries, len(cur)+1)
+	for kk, ss := range cur {
+		next[kk] = ss
+	}
+	next[k] = s
+	v.series.Store(&next)
+}
+
 // With returns the histogram for the given label values, creating the
-// series on first use (windowed if the family is). Nil-safe.
+// series on first use (windowed if the family is). Nil-safe; the hit
+// path is lock-free.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil {
 		return nil
 	}
 	values = normalizeValues(values, len(v.keys))
 	k := labelKey(values)
-	v.mu.RLock()
-	s := v.series[k]
-	v.mu.RUnlock()
-	if s != nil {
+	if s := v.load()[k]; s != nil {
 		return s.h
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if s = v.series[k]; s != nil {
+	if s := v.load()[k]; s != nil {
 		return s.h
 	}
-	if len(v.series) >= MaxSeriesPerVec {
+	if len(v.load()) >= MaxSeriesPerVec {
 		v.overflow.Add(1)
 		return v.otherLocked()
 	}
-	s = v.newSeriesLocked(values)
-	v.series[k] = s
+	s := v.newSeriesLocked(values)
+	v.insertLocked(k, s)
 	return s.h
 }
 
@@ -252,10 +318,10 @@ func (v *HistogramVec) otherLocked() *Histogram {
 		vals[i] = overflowLabel
 	}
 	k := labelKey(vals)
-	s := v.series[k]
+	s := v.load()[k]
 	if s == nil {
 		s = v.newSeriesLocked(vals)
-		v.series[k] = s
+		v.insertLocked(k, s)
 	}
 	return s.h
 }
@@ -273,8 +339,7 @@ func (t *Tracer) CounterVec(name, help string, keys ...string) *CounterVec {
 	if !ok {
 		v = &CounterVec{
 			name: name, help: help,
-			keys:   append([]string(nil), keys...),
-			series: map[string]*counterSeries{},
+			keys: append([]string(nil), keys...),
 		}
 		t.metrics.counterVecs[name] = v
 	}
@@ -294,8 +359,7 @@ func (t *Tracer) GaugeVec(name, help string, win WindowOptions, keys ...string) 
 	if !ok {
 		v = &GaugeVec{
 			name: name, help: help, win: win,
-			keys:   append([]string(nil), keys...),
-			series: map[string]*gaugeSeries{},
+			keys: append([]string(nil), keys...),
 		}
 		t.metrics.gaugeVecs[name] = v
 	}
@@ -319,7 +383,6 @@ func (t *Tracer) HistogramVec(name, help string, bounds []float64, win WindowOpt
 			name: name, help: help, win: win,
 			bounds: b,
 			keys:   append([]string(nil), keys...),
-			series: map[string]*histogramSeries{},
 		}
 		t.metrics.histogramVecs[name] = v
 	}
@@ -359,16 +422,14 @@ type FamilyData struct {
 }
 
 // snapshot captures a counter family. Safe to call without Tracer.mu;
-// takes the family's own lock.
+// reads the immutable series map, no lock.
 func (v *CounterVec) snapshot(nanos int64) FamilyData {
 	if v == nil {
 		return FamilyData{}
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	fd := FamilyData{Name: v.name, Help: v.help, Kind: "counter",
 		Keys: append([]string(nil), v.keys...), Overflow: v.overflow.Load()}
-	for _, s := range v.series {
+	for _, s := range v.load() {
 		fd.Series = append(fd.Series, SeriesPoint{
 			Values:  append([]string(nil), s.values...),
 			Counter: s.c.Value(),
@@ -384,11 +445,9 @@ func (v *GaugeVec) snapshot(nanos int64) FamilyData {
 	if v == nil {
 		return FamilyData{}
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	fd := FamilyData{Name: v.name, Help: v.help, Kind: "gauge",
 		Keys: append([]string(nil), v.keys...), Overflow: v.overflow.Load()}
-	for _, s := range v.series {
+	for _, s := range v.load() {
 		p := SeriesPoint{
 			Values: append([]string(nil), s.values...),
 			Gauge:  s.g.Value(),
@@ -410,11 +469,9 @@ func (v *HistogramVec) snapshot(nanos int64) FamilyData {
 	if v == nil {
 		return FamilyData{}
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	fd := FamilyData{Name: v.name, Help: v.help, Kind: "histogram",
 		Keys: append([]string(nil), v.keys...), Overflow: v.overflow.Load()}
-	for _, s := range v.series {
+	for _, s := range v.load() {
 		hd := s.h.snapshot()
 		p := SeriesPoint{
 			Values: append([]string(nil), s.values...),

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,9 +44,14 @@ type Gauge struct {
 	// the ring's state is guarded by Gauge.mu.
 	win *gaugeWindows
 
+	// bits holds the last value as float64 bits, so an unwindowed gauge
+	// sets and reads with one atomic — several gauges (queue depth most
+	// of all) are set inside admission critical sections, where a mutex
+	// acquisition per queue mutation is pure serialized overhead.
+	bits atomic.Uint64
+
+	// mu guards the window ring's state only.
 	mu sync.Mutex
-	// v is guarded by Gauge.mu.
-	v float64
 }
 
 // Set stores v.
@@ -53,12 +59,12 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.mu.Lock()
-	g.v = v
+	g.bits.Store(math.Float64bits(v))
 	if g.win != nil {
+		g.mu.Lock()
 		g.win.set(windowClock(), v)
+		g.mu.Unlock()
 	}
-	g.mu.Unlock()
 }
 
 // Value returns the stored value (0 on nil).
@@ -66,9 +72,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram counts observations into cumulative-style buckets: an

@@ -186,6 +186,10 @@ type Tracer struct {
 	// so the record hot path reads it without a lock.
 	flight atomic.Pointer[flightRecorder]
 
+	// sampler is the optional head sampler (sample.go); swapped
+	// atomically so the admission-time decision reads it without a lock.
+	sampler atomic.Pointer[sampler]
+
 	mu sync.Mutex
 	// series is guarded by Tracer.mu.
 	series []Series
@@ -242,16 +246,37 @@ func (t *Tracer) Now() int64 {
 // nilnoop analyzer). A Span is owned by one goroutine
 // at a time — hand it across goroutines only through synchronized
 // structures, like any Go value.
+//
+// Handles are pooled: End/EndTo recycle the handle back to the package
+// pool, where another goroutine's Start may immediately reuse it. A
+// span must therefore not be touched after the statement that ends it —
+// the spanrelease analyzer (vmcu-lint) flags same-block use after
+// End/EndTo. A double End on a stale handle before reuse is a no-op
+// (release clears tr, and every method nil-guards through it).
 type Span struct {
 	tr   *Tracer
 	data SpanData
 	// attrStore is the inline backing for the first attrs (data.Attrs
 	// aliases it until an append outgrows it): lifecycle spans carry ≤4
 	// attributes, so the common case adds zero allocations beyond the
-	// Span itself. Safe to alias from recorded SpanData copies because
-	// Attr only ever appends — slots below a recorded copy's length are
-	// never rewritten.
+	// pooled handle. End/EndTo copy the attrs out (into the record or
+	// the buffer's arena) before recycling, so nothing aliases attrStore
+	// after release.
 	attrStore [4]Attr
+}
+
+// spanPool recycles Span handles: Start draws from it, End/EndTo return
+// to it, so a steady-state lifecycle span performs zero heap
+// allocations. The recycling is what turns use-after-end from a style
+// nit into a real bug — an ended handle may already be another
+// goroutine's live span — hence the lint-enforced release discipline.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// release zeroes the handle (dropping its attr references) and returns
+// it to the pool.
+func (s *Span) release() {
+	*s = Span{}
+	spanPool.Put(s)
 }
 
 // Start opens a root span. Returns nil on a nil tracer.
@@ -260,9 +285,9 @@ func (t *Tracer) Start(name, kind string) *Span {
 		return nil
 	}
 	id := t.nextID.Add(1)
-	s := &Span{tr: t, data: SpanData{
-		ID: id, Trace: id, Name: name, Kind: kind, Start: t.now(),
-	}}
+	s := spanPool.Get().(*Span)
+	s.tr = t
+	s.data = SpanData{ID: id, Trace: id, Name: name, Kind: kind, Start: t.now()}
 	s.data.Attrs = s.attrStore[:0]
 	return s
 }
@@ -336,13 +361,24 @@ func (s *Span) Attr(attrs ...Attr) {
 	s.data.Attrs = append(s.data.Attrs, attrs...)
 }
 
-// End closes the span and records it in the tracer's ring buffer.
+// End closes the span, records it in the tracer's ring buffer, and
+// recycles the handle — the span must not be used after this call.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.tr == nil {
 		return
 	}
 	s.data.End = s.tr.now()
-	s.tr.record(s.data)
+	d := s.data
+	if len(d.Attrs) > 0 {
+		// The attrs alias the handle's inline store, which is about to
+		// be recycled: the recorded copy needs its own backing.
+		d.Attrs = append([]Attr(nil), d.Attrs...)
+	} else {
+		d.Attrs = nil
+	}
+	tr := s.tr
+	s.release()
+	tr.record(d)
 }
 
 // SpanBuffer accumulates the ended spans of one logical operation (a
@@ -353,8 +389,74 @@ func (s *Span) End() {
 // exists for hot paths that end spans while holding contended locks: an
 // EndTo is a timestamp and a slice append, with every tracer lock, map
 // touch, and flight-recorder offer deferred to the flush.
+//
+// Buffers recycle: NewSpanBuffer draws from a package pool, and the
+// terminal flush edge — RecordTree, or Release for abandoned trees —
+// returns the buffer (spans, attr arena and all) to it. A buffer must
+// reach exactly one terminal edge and must not be touched after it
+// (spanrelease-enforced, like span handles).
 type SpanBuffer struct {
 	spans []SpanData
+	// attrs is the buffer's attribute arena: EndTo copies each ended
+	// span's attrs here and the span's Attrs field becomes a capped
+	// sub-slice of it, so one request's whole tree shares (at most) one
+	// attr allocation — and a recycled buffer shares zero. Arena growth
+	// can move earlier entries to a new backing array; the sub-slices
+	// already taken keep the old one alive, which is fine (Attr values
+	// are never mutated in place).
+	attrs []Attr
+	// pooled marks buffers drawn from NewSpanBuffer, the ones recycle
+	// returns to the pool. Zero-value buffers are merely cleared.
+	pooled bool
+}
+
+// bufPool recycles SpanBuffers with their backing arrays, so a warm
+// serving path builds span trees with zero steady-state allocations.
+var bufPool = sync.Pool{New: func() any { return new(SpanBuffer) }}
+
+// NewSpanBuffer draws a recycled span buffer from the package pool. It
+// must reach exactly one terminal edge — RecordTree (which recycles it)
+// or Release — and must not be used afterwards.
+func NewSpanBuffer() *SpanBuffer {
+	b := bufPool.Get().(*SpanBuffer)
+	b.pooled = true
+	return b
+}
+
+// Release clears the buffer and, if it came from NewSpanBuffer, returns
+// it to the pool — the terminal edge for trees that will never flush.
+// Safe on nil; zero-value buffers are just cleared.
+func (b *SpanBuffer) Release() {
+	if b == nil {
+		return
+	}
+	b.recycle()
+}
+
+// recycle zeroes the buffer's entries (dropping their references for
+// the GC) while keeping both backing arrays, then pools the buffer if
+// it is poolable.
+func (b *SpanBuffer) recycle() {
+	clear(b.spans)
+	clear(b.attrs)
+	b.spans = b.spans[:0]
+	b.attrs = b.attrs[:0]
+	if b.pooled {
+		b.pooled = false
+		bufPool.Put(b)
+	}
+}
+
+// internAttrs copies attrs into the buffer's arena and returns the
+// arena-backed copy, capped so later arena appends cannot write through
+// it. Empty input returns nil.
+func (b *SpanBuffer) internAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	start := len(b.attrs)
+	b.attrs = append(b.attrs, attrs...)
+	return b.attrs[start:len(b.attrs):len(b.attrs)]
 }
 
 // Len reports how many ended spans the buffer holds (0 on nil).
@@ -365,23 +467,33 @@ func (b *SpanBuffer) Len() int {
 	return len(b.spans)
 }
 
-// Reserve pre-sizes the buffer for n spans, so later EndTo appends on
-// locked paths never grow the slice. No-op on nil or when capacity
-// already suffices.
+// Reserve pre-sizes the buffer for n spans (and their attrs, at the
+// lifecycle spans' ≤4-attrs-per-span budget), so later EndTo appends on
+// locked paths never grow a slice. No-op on nil or when capacity
+// already suffices; a pooled buffer's arrays stay grown across
+// recycles, so this stops allocating once the pool is warm.
 func (b *SpanBuffer) Reserve(n int) {
-	if b == nil || cap(b.spans)-len(b.spans) >= n {
+	if b == nil {
 		return
 	}
-	grown := make([]SpanData, len(b.spans), len(b.spans)+n)
-	copy(grown, b.spans)
-	b.spans = grown
+	if cap(b.spans)-len(b.spans) < n {
+		grown := make([]SpanData, len(b.spans), len(b.spans)+n)
+		copy(grown, b.spans)
+		b.spans = grown
+	}
+	if need := 4 * n; cap(b.attrs)-len(b.attrs) < need {
+		grown := make([]Attr, len(b.attrs), len(b.attrs)+need)
+		copy(grown, b.attrs)
+		b.attrs = grown
+	}
 }
 
-// EndTo closes the span and appends it to b instead of recording it in
-// the tracer — the caller flushes the buffer later with RecordTree. A
-// nil buffer falls back to End.
+// EndTo closes the span, appends it to b instead of recording it in the
+// tracer — the caller flushes the buffer later with RecordTree — and
+// recycles the handle; the span must not be used after this call. A nil
+// buffer falls back to End.
 func (s *Span) EndTo(b *SpanBuffer) {
-	if s == nil {
+	if s == nil || s.tr == nil {
 		return
 	}
 	if b == nil {
@@ -389,7 +501,10 @@ func (s *Span) EndTo(b *SpanBuffer) {
 		return
 	}
 	s.data.End = s.tr.now()
-	b.spans = append(b.spans, s.data)
+	d := s.data
+	d.Attrs = b.internAttrs(d.Attrs)
+	b.spans = append(b.spans, d)
+	s.release()
 }
 
 // RecordTree flushes a span buffer into the ring storage and completes
@@ -399,37 +514,41 @@ func (s *Span) EndTo(b *SpanBuffer) {
 // per-unit spans — and an empty reason discards it. The whole buffer
 // lands under one shard-lock acquisition, so a request's ~9 lifecycle
 // spans cost one lock hop at completion instead of nine on the hot path.
-// Nil-safe on the tracer and the buffer; the buffer is consumed (reset
-// to empty) so a retained tree can never be flushed twice.
+// Nil-safe on the tracer and the buffer; RecordTree is the buffer's
+// terminal edge — it is recycled (pooled buffers return to the pool)
+// and must not be used after this call.
 func (t *Tracer) RecordTree(b *SpanBuffer, trace uint64, reason string) {
 	if t == nil {
+		if b != nil {
+			b.recycle()
+		}
 		return
 	}
 	var owned []SpanData
 	if b != nil {
 		owned = b.spans
-		b.spans = nil
 	}
 	if len(owned) > 0 {
 		sh := &t.shards[trace%uint64(len(t.shards))]
 		sh.mu.Lock()
 		for _, d := range owned {
-			if len(sh.spans) < sh.cap {
-				sh.spans = append(sh.spans, d)
-				sh.next = len(sh.spans) % sh.cap
-			} else {
-				sh.spans[sh.next] = d
-				sh.next = (sh.next + 1) % sh.cap
-			}
-			sh.total++
+			sh.storeLocked(d)
 		}
 		sh.mu.Unlock()
 	}
-	if trace == 0 {
-		return
+	if trace != 0 {
+		if fl := t.flight.Load(); fl != nil {
+			// completeTree deep-copies anything it retains, so recycling
+			// the buffer below cannot corrupt a kept tree.
+			if fl.completeTree(trace, reason, owned) {
+				if sp := t.sampler.Load(); sp != nil {
+					sp.noteClass(reason)
+				}
+			}
+		}
 	}
-	if fl := t.flight.Load(); fl != nil {
-		fl.completeTree(trace, reason, owned)
+	if b != nil {
+		b.recycle()
 	}
 }
 
@@ -457,18 +576,33 @@ func (t *Tracer) Emit(d SpanData) uint64 {
 func (t *Tracer) record(d SpanData) {
 	sh := &t.shards[d.ID%uint64(len(t.shards))]
 	sh.mu.Lock()
-	if len(sh.spans) < sh.cap {
-		sh.spans = append(sh.spans, d)
-		sh.next = len(sh.spans) % sh.cap
-	} else {
-		sh.spans[sh.next] = d
-		sh.next = (sh.next + 1) % sh.cap
-	}
-	sh.total++
+	sh.storeLocked(d)
 	sh.mu.Unlock()
 	if fl := t.flight.Load(); fl != nil {
 		fl.offer(d)
 	}
+}
+
+// storeLocked writes one ended span into the ring, recycling the
+// overwritten slot's attr storage in place: ring slots own their attr
+// backing exclusively (every store path copies attr values in, never
+// the caller's slice header), so a warm wrapped ring records spans with
+// zero allocations and nothing outside the shard can alias a recycled
+// slot. Runs with spanShard.mu held.
+func (sh *spanShard) storeLocked(d SpanData) {
+	var slot *SpanData
+	if len(sh.spans) < sh.cap {
+		sh.spans = append(sh.spans, SpanData{})
+		slot = &sh.spans[len(sh.spans)-1]
+		sh.next = len(sh.spans) % sh.cap
+	} else {
+		slot = &sh.spans[sh.next]
+		sh.next = (sh.next + 1) % sh.cap
+	}
+	reuse := slot.Attrs[:0]
+	*slot = d
+	slot.Attrs = append(reuse, d.Attrs...)
+	sh.total++
 }
 
 // RecordSeries stores one sample timeline (e.g. pool-occupancy samples)
@@ -541,11 +675,19 @@ func (t *Tracer) Snapshot() *Snapshot {
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
+		start := len(snap.Spans)
 		if len(sh.spans) == sh.cap {
 			snap.Spans = append(snap.Spans, sh.spans[sh.next:]...)
 			snap.Spans = append(snap.Spans, sh.spans[:sh.next]...)
 		} else {
 			snap.Spans = append(snap.Spans, sh.spans...)
+		}
+		// Ring slots recycle their attr storage in place (storeLocked),
+		// so the snapshot takes its own attr copies under the shard lock.
+		for j := start; j < len(snap.Spans); j++ {
+			if a := snap.Spans[j].Attrs; len(a) > 0 {
+				snap.Spans[j].Attrs = append([]Attr(nil), a...)
+			}
 		}
 		snap.TotalSpans += sh.total
 		sh.mu.Unlock()

@@ -45,8 +45,9 @@ func TestSpanTreeRecording(t *testing.T) {
 	root.SetDevice("m4")
 	root.Attr(Str("model", "vww"))
 	child := tr.StartChild(root, "queue", KindStage)
+	childID, childTrace := child.ID(), child.TraceID()
 	child.End()
-	grand := tr.StartUnder(child.ID(), child.TraceID(), "unit", KindUnit)
+	grand := tr.StartUnder(childID, childTrace, "unit", KindUnit)
 	grand.SetCycles(100, 350)
 	grand.End()
 	root.End()

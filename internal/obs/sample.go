@@ -1,0 +1,488 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Head sampling. The flight recorder (flight.go) tail-samples: every
+// request builds its full span tree and the keep/discard decision falls
+// at completion, when the outcome is known. That is the right decision
+// *point* but the wrong cost model at saturation — BENCH_8 measured the
+// tree build itself at ~3.5 KB/request and ~60% of processed-throughput
+// capacity at the unpaced cliff, paid even for the >99% of trees that
+// are discarded. The head sampler moves the expensive part of the
+// decision to admission, Dapper-style: when the request root span would
+// be created, one hash decides keep or drop, and a dropped request takes
+// a no-op SpanBuffer path that allocates nothing and records only
+// counters. The tail still gets its exemplars two ways:
+//
+//   - sampled requests keep the full tail-retention predicate (the
+//     flight recorder is unchanged for them);
+//   - head-unsampled requests that end in an always-keep class (error,
+//     deadline shed, queue-full, no-device, device-lost, degraded by
+//     default) retain a synthetic single-span tree via SampleTailKeep,
+//     so the operator still sees 100% of the interesting outcomes — just
+//     without the per-stage breakdown a sampled tree carries.
+//
+// The adaptive mode closes the loop against load instead of a fixed
+// probability: the sampler keeps its own trailing window of decision
+// counts (the same observation-clock sub-window ring the windowed
+// instruments use) and, once per sub-window rotation, re-solves
+// rate = TargetRPS / trailing-seen-RPS, clamped to [MinRate, MaxRate].
+// A traffic step converges within one trailing window.
+
+// Default sampler parameters.
+const (
+	// DefaultSamplerMinRate is the adaptive mode's lower clamp when
+	// SamplerOptions.MinRate is 0: even a millionfold overload keeps at
+	// least one trace per ten thousand requests.
+	DefaultSamplerMinRate = 0.0001
+	// DefaultSamplerMaxRate is the adaptive upper clamp when
+	// SamplerOptions.MaxRate is 0.
+	DefaultSamplerMaxRate = 1.0
+)
+
+// DefaultKeepClasses are the always-keep outcome classes when
+// SamplerOptions.KeepClasses is nil: a head-unsampled request ending in
+// one of these still leaves a (synthetic) flight exemplar.
+func DefaultKeepClasses() []string {
+	return []string{"error", "deadline", "queue-full", "no-device", "device-lost", "degraded"}
+}
+
+// SamplerOptions configure head sampling.
+type SamplerOptions struct {
+	// Rate is the keep probability in [0, 1]. 1 keeps every head (the
+	// pre-sampler behaviour), 0 keeps none. In adaptive mode it is only
+	// the starting rate.
+	Rate float64
+	// TargetRPS, when > 0, enables the adaptive mode: the sampler steers
+	// the rate so the kept-head throughput tracks this many requests per
+	// second, using its trailing-window seen rate.
+	TargetRPS float64
+	// MinRate and MaxRate clamp the adaptive controller; 0 means
+	// DefaultSamplerMinRate / DefaultSamplerMaxRate.
+	MinRate, MaxRate float64
+	// KeepClasses are the outcome classes SampleTailKeep retains for
+	// head-unsampled requests; nil means DefaultKeepClasses(). An empty
+	// non-nil slice disables tail keeps entirely.
+	KeepClasses []string
+	// Window shapes the decision-rate trailing window (the adaptive
+	// controller's sensor); the zero value uses the package window
+	// defaults (10 × 1s).
+	Window WindowOptions
+	// Seed perturbs the decision hash; 0 is a fixed default, so two runs
+	// over the same request sequence sample identically.
+	Seed uint64
+}
+
+// sampleWindow is one sub-window of the sampler's decision ring. All
+// fields are atomics: the decision path is lock-free.
+type sampleWindow struct {
+	idx  atomic.Int64 // absolute sub-window index this slot holds; -1 empty
+	seen atomic.Uint64
+	kept atomic.Uint64
+}
+
+// sampler is the head-sampling state behind Tracer.SampleHead.
+type sampler struct {
+	opts     SamplerOptions
+	width    int64 // sub-window width, nanoseconds; immutable
+	adaptive bool
+	minRate  float64
+	maxRate  float64
+	seed     uint64
+
+	// threshold is the keep bound: a decision keeps when its hash is
+	// below it (thresholdKeepAll keeps unconditionally). The adaptive
+	// controller rewrites it once per sub-window rotation.
+	threshold atomic.Uint64
+	// seq numbers decisions; its hash is the per-decision coin flip
+	// (counter-hash instead of a shared PRNG state: no write contention,
+	// and deterministic under a fixed seed). It doubles as the lifetime
+	// seen count — one atomic bump serves both, and the decision path
+	// runs once per submission at the saturation cliff.
+	seq atomic.Uint64
+
+	// kept is the lifetime keep count.
+	kept atomic.Uint64
+
+	// lastIdx caches the absolute sub-window index the last clock-reading
+	// decision resolved (see windowCheckStride).
+	lastIdx atomic.Int64
+
+	// wins is the trailing decision-count ring, rotated by the decision
+	// path on the package windowClock. Slot clearing after an index CAS
+	// can race a concurrent add into the same slot; the loss is a
+	// boundary count or two, never a torn value.
+	wins []sampleWindow
+
+	// classKeep holds the per-class keep counters for the always-keep
+	// classes, and doubles as the always-keep set itself (a class is
+	// always-keep iff it has an entry): SampleTailKeep runs for nearly
+	// every accepted request at a mass-shed cliff, so membership test and
+	// count are one map lookup plus one lock-free add. The map itself is
+	// immutable after EnableSampling; only the counters move.
+	classKeep map[string]*atomic.Uint64
+
+	// classMu guards classOther, the keep counts for every other
+	// retention reason (a genuinely cold path: only sampled trees'
+	// tail-retention reasons land here).
+	classMu    sync.Mutex
+	classOther map[string]uint64
+}
+
+// thresholdKeepAll marks a rate of 1: keep without consulting the hash,
+// so rate 1 can never lose a head to the one-in-2^64 boundary.
+const thresholdKeepAll = ^uint64(0)
+
+const two64 = 18446744073709551616.0 // 2^64 as a float64
+
+// thresholdFor converts a keep probability to a hash bound.
+func thresholdFor(rate float64) uint64 {
+	if rate >= 1 {
+		return thresholdKeepAll
+	}
+	if rate <= 0 {
+		return 0
+	}
+	f := rate * two64
+	if f >= two64 {
+		return thresholdKeepAll
+	}
+	return uint64(f)
+}
+
+// rateFor inverts thresholdFor for reporting.
+func rateFor(threshold uint64) float64 {
+	if threshold == thresholdKeepAll {
+		return 1
+	}
+	return float64(threshold) / two64
+}
+
+// splitmix64 is the decision hash (Steele et al.'s SplitMix64 finalizer):
+// a well-mixed bijection, so hashing the decision counter gives a
+// uniform coin without shared PRNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// EnableSampling installs a head sampler (safe on a nil tracer; calling
+// it again replaces the sampler and resets its counters). Without it,
+// SampleHead keeps every head — existing tracer users are unaffected.
+func (t *Tracer) EnableSampling(opts SamplerOptions) {
+	if t == nil {
+		return
+	}
+	w := opts.Window.withDefaults()
+	sp := &sampler{
+		opts:     opts,
+		width:    int64(w.Width),
+		adaptive: opts.TargetRPS > 0,
+		minRate:  opts.MinRate,
+		maxRate:  opts.MaxRate,
+		seed:     opts.Seed,
+		wins:     make([]sampleWindow, w.SubWindows),
+	}
+	if sp.minRate <= 0 {
+		sp.minRate = DefaultSamplerMinRate
+	}
+	if sp.maxRate <= 0 || sp.maxRate > 1 {
+		sp.maxRate = DefaultSamplerMaxRate
+	}
+	for i := range sp.wins {
+		sp.wins[i].idx.Store(-1)
+	}
+	rate := opts.Rate
+	if sp.adaptive && rate <= 0 {
+		// An adaptive sampler with no starting rate begins wide open and
+		// lets the controller pull it down from real traffic.
+		rate = sp.maxRate
+	}
+	sp.threshold.Store(thresholdFor(rate))
+	classes := opts.KeepClasses
+	if classes == nil {
+		classes = DefaultKeepClasses()
+	}
+	sp.classKeep = make(map[string]*atomic.Uint64, len(classes))
+	for _, c := range classes {
+		sp.classKeep[c] = new(atomic.Uint64)
+	}
+	sp.classOther = map[string]uint64{}
+	t.sampler.Store(sp)
+}
+
+// SampleHead makes the admission-time keep/drop decision for a new
+// request root. Without an installed sampler every head is kept; a nil
+// tracer keeps nothing (there is nothing to record into). The decision
+// path is lock-free: one counter hash against an atomic threshold plus
+// windowed decision accounting.
+func (t *Tracer) SampleHead() bool {
+	if t == nil {
+		return false
+	}
+	sp := t.sampler.Load()
+	if sp == nil {
+		return true
+	}
+	return sp.decide()
+}
+
+// windowCheckStride bounds clock reads on the decision path: only every
+// strideth decision reads the window clock to resolve (and, when due,
+// rotate) the ring slot; the rest count into the slot the last reader
+// resolved. The clock read was a measurable share of the per-decision
+// cost at the saturation cliff, and the skew is bounded and harmless:
+// at most stride-1 decisions can land one sub-window behind, and the
+// adaptive controller's in-range filter already ignores stale slots.
+const windowCheckStride = 8
+
+// decide is SampleHead's body: rotate the decision window, adapt the
+// threshold on rotation, and flip the counter-hash coin.
+func (sp *sampler) decide() bool {
+	n := sp.seq.Add(1)
+	var idx int64
+	if n%windowCheckStride == 1 {
+		idx = windowClock() / sp.width
+		sp.lastIdx.Store(idx)
+	} else {
+		idx = sp.lastIdx.Load()
+	}
+	w := &sp.wins[idx%int64(len(sp.wins))]
+	if cur := w.idx.Load(); cur != idx {
+		if w.idx.CompareAndSwap(cur, idx) {
+			// This decision won the rotation: clear the recycled slot and
+			// let the controller re-solve the rate from the window that
+			// just closed.
+			w.seen.Store(0)
+			w.kept.Store(0)
+			if sp.adaptive {
+				sp.adapt(idx)
+			}
+		}
+	}
+	w.seen.Add(1)
+	th := sp.threshold.Load()
+	keep := th == thresholdKeepAll || splitmix64(sp.seed^n) < th
+	if keep {
+		sp.kept.Add(1)
+		w.kept.Add(1)
+	}
+	return keep
+}
+
+// adapt re-solves the keep rate from the trailing windows strictly
+// before cur (the current one was just cleared). Slots outside the
+// trailing range are stale traffic from a previous era and are skipped;
+// the rate divides by the in-range slot count, so a load step that has
+// only filled two sub-windows measures two sub-windows' worth of time —
+// the controller converges within one trailing window of a step.
+func (sp *sampler) adapt(cur int64) {
+	var seen uint64
+	inRange := 0
+	lo := cur - int64(len(sp.wins))
+	for i := range sp.wins {
+		w := &sp.wins[i]
+		idx := w.idx.Load()
+		if idx < lo || idx >= cur || idx < 0 {
+			continue
+		}
+		seen += w.seen.Load()
+		inRange++
+	}
+	if inRange == 0 || seen == 0 {
+		return // no signal; hold the current rate
+	}
+	secs := float64(inRange) * float64(sp.width) / float64(time.Second)
+	seenRPS := float64(seen) / secs
+	rate := sp.opts.TargetRPS / seenRPS
+	if rate < sp.minRate {
+		rate = sp.minRate
+	}
+	if rate > sp.maxRate {
+		rate = sp.maxRate
+	}
+	sp.threshold.Store(thresholdFor(rate))
+}
+
+// noteClass counts one retained tree under its outcome class (the
+// per-class keep counts /debug/sampling reports) and returns the new
+// count. Always-keep classes bump a lock-free counter — at a mass-shed
+// cliff this runs for nearly every accepted request; everything else
+// (tail-retention reasons of sampled trees) takes the cold mutex map.
+func (sp *sampler) noteClass(class string) uint64 {
+	if sp == nil || class == "" {
+		return 0
+	}
+	if c := sp.classKeep[class]; c != nil {
+		return c.Add(1)
+	}
+	sp.classMu.Lock()
+	sp.classOther[class]++
+	n := sp.classOther[class]
+	sp.classMu.Unlock()
+	return n
+}
+
+// Tail-exemplar damping: the flight ring holds a few dozen traces, so
+// materializing a synthetic exemplar for EVERY always-keep instance is
+// pure overwrite churn once a class is hot — at the saturation cliff the
+// deadline class fires for nearly every accepted request, and building a
+// FlightTrace plus taking the ring lock per shed measurably eats into
+// processed throughput. Every instance is still counted (ClassKept is
+// exact); the ring materialization keeps the first exemplarFull
+// instances of a class — enough to fill the ring when traffic is calm,
+// which is when individual exemplars are informative — then 1 in
+// exemplarStride.
+const (
+	exemplarFull   = 128
+	exemplarStride = 64
+)
+
+// SampleTailKeep gives a head-unsampled request its tail exemplar: when
+// class is in the sampler's always-keep set, a synthetic single-span
+// request tree (root only — the per-stage breakdown was never built) is
+// retained in the flight recorder under that class, and the keep is
+// counted per class. Reports whether the class was an always-keep.
+// No-op without a sampler (every head is kept then, so the real tree
+// already went through RecordTree) or on a nil tracer. Counting is
+// exact; ring materialization is damped once a class is hot (see the
+// exemplar constants) so a mass-shed event cannot turn the flight ring
+// into a per-request allocation and lock hot spot. submitted is the
+// request's wall-clock admission time, read for the exemplar's span
+// bounds only when one is actually materialized — the damped path never
+// touches a clock.
+func (t *Tracer) SampleTailKeep(class, model string, submitted time.Time) bool {
+	if t == nil || class == "" {
+		return false
+	}
+	sp := t.sampler.Load()
+	if sp == nil {
+		return false
+	}
+	// One lookup covers both the always-keep membership test and the
+	// exact per-class count — this path runs per rejection at the cliff.
+	c := sp.classKeep[class]
+	if c == nil {
+		return false
+	}
+	n := c.Add(1)
+	if n > exemplarFull && n%exemplarStride != 0 {
+		return true
+	}
+	fl := t.flight.Load()
+	if fl == nil {
+		return true
+	}
+	var latency time.Duration
+	if !submitted.IsZero() {
+		latency = time.Since(submitted)
+	}
+	id := t.nextID.Add(1)
+	end := t.now()
+	start := end - int64(latency)
+	if start < 0 {
+		start = 0
+	}
+	fl.retain(FlightTrace{
+		Trace:  id,
+		Reason: class,
+		Spans: []SpanData{{
+			ID: id, Trace: id, Name: "request", Kind: KindRequest,
+			Start: start, End: end,
+			Attrs: []Attr{
+				Str("model", model),
+				Str("state", class),
+				Int("head_sampled", 0),
+			},
+		}},
+	})
+	return true
+}
+
+// SamplerStats is the live head-sampling view behind /debug/sampling.
+type SamplerStats struct {
+	// Enabled reports whether a sampler is installed (false means every
+	// head is kept).
+	Enabled bool `json:"enabled"`
+	// Adaptive reports the mode; TargetRPS is the adaptive setpoint.
+	Adaptive  bool    `json:"adaptive"`
+	TargetRPS float64 `json:"target_rps,omitempty"`
+	// Rate is the current keep probability (the adaptive controller's
+	// latest solution, or the fixed rate).
+	Rate float64 `json:"rate"`
+	// Seen and Kept are lifetime decision counts.
+	Seen uint64 `json:"seen"`
+	Kept uint64 `json:"kept"`
+	// SeenRPS and KeptRPS are trailing-window decision rates; KeptRPS is
+	// the effective sampled throughput the adaptive mode steers.
+	SeenRPS float64 `json:"window_seen_rps"`
+	KeptRPS float64 `json:"window_kept_rps"`
+	// ClassKept counts retained trees per outcome class: always-keep
+	// exemplars of head-unsampled requests and tail-retained trees of
+	// sampled ones.
+	ClassKept map[string]uint64 `json:"class_kept,omitempty"`
+}
+
+// SamplerStats reports the live sampler state (zero value on a nil
+// tracer or without EnableSampling).
+func (t *Tracer) SamplerStats() SamplerStats {
+	var st SamplerStats
+	if t == nil {
+		return st
+	}
+	sp := t.sampler.Load()
+	if sp == nil {
+		return st
+	}
+	st.Enabled = true
+	st.Adaptive = sp.adaptive
+	st.TargetRPS = sp.opts.TargetRPS
+	st.Rate = rateFor(sp.threshold.Load())
+	st.Seen = sp.seq.Load()
+	st.Kept = sp.kept.Load()
+	cur := windowClock() / sp.width
+	lo := cur - int64(len(sp.wins)) + 1
+	var seen, kept uint64
+	inRange := 0
+	for i := range sp.wins {
+		w := &sp.wins[i]
+		idx := w.idx.Load()
+		if idx < lo || idx > cur || idx < 0 {
+			continue
+		}
+		seen += w.seen.Load()
+		kept += w.kept.Load()
+		inRange++
+	}
+	if inRange > 0 {
+		secs := float64(inRange) * float64(sp.width) / float64(time.Second)
+		st.SeenRPS = float64(seen) / secs
+		st.KeptRPS = float64(kept) / secs
+	}
+	for c, ctr := range sp.classKeep {
+		if n := ctr.Load(); n > 0 {
+			if st.ClassKept == nil {
+				st.ClassKept = map[string]uint64{}
+			}
+			st.ClassKept[c] = n
+		}
+	}
+	sp.classMu.Lock()
+	for c, n := range sp.classOther {
+		if st.ClassKept == nil {
+			st.ClassKept = map[string]uint64{}
+		}
+		st.ClassKept[c] += n
+	}
+	sp.classMu.Unlock()
+	return st
+}

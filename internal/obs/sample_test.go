@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSampleHeadFixedRateBinomial checks the fixed-rate coin: over many
+// decisions the keep count must land inside a wide binomial confidence
+// band around n·rate, and the lifetime stats must agree with what the
+// caller observed.
+func TestSampleHeadFixedRateBinomial(t *testing.T) {
+	const n = 200000
+	for _, rate := range []float64{0.5, 0.1, 0.01} {
+		tr := New(Options{})
+		tr.EnableSampling(SamplerOptions{Rate: rate})
+		kept := 0
+		for i := 0; i < n; i++ {
+			if tr.SampleHead() {
+				kept++
+			}
+		}
+		mean := float64(n) * rate
+		sigma := math.Sqrt(float64(n) * rate * (1 - rate))
+		if d := math.Abs(float64(kept) - mean); d > 6*sigma {
+			t.Errorf("rate %v: kept %d of %d, want %.0f ± %.0f (6σ)", rate, kept, n, mean, 6*sigma)
+		}
+		st := tr.SamplerStats()
+		if !st.Enabled || st.Adaptive {
+			t.Errorf("rate %v: stats report enabled=%v adaptive=%v", rate, st.Enabled, st.Adaptive)
+		}
+		if st.Seen != n || st.Kept != uint64(kept) {
+			t.Errorf("rate %v: stats seen/kept = %d/%d, caller observed %d/%d", rate, st.Seen, st.Kept, n, kept)
+		}
+		if math.Abs(st.Rate-rate) > 1e-9 {
+			t.Errorf("rate %v: stats report rate %v", rate, st.Rate)
+		}
+	}
+}
+
+// TestSampleHeadEdgeRates pins the boundary semantics: rate 1 must keep
+// every head (no one-in-2^64 hash boundary losses), rate 0 must keep
+// none.
+func TestSampleHeadEdgeRates(t *testing.T) {
+	const n = 50000
+	one := New(Options{})
+	one.EnableSampling(SamplerOptions{Rate: 1})
+	zero := New(Options{})
+	zero.EnableSampling(SamplerOptions{Rate: 0})
+	for i := 0; i < n; i++ {
+		if !one.SampleHead() {
+			t.Fatal("rate 1 dropped a head")
+		}
+		if zero.SampleHead() {
+			t.Fatal("rate 0 kept a head")
+		}
+	}
+	if st := zero.SamplerStats(); st.Seen != n || st.Kept != 0 {
+		t.Errorf("rate 0 stats seen/kept = %d/%d, want %d/0", st.Seen, st.Kept, n)
+	}
+}
+
+// TestSampleHeadDeterministicUnderSeed checks the counter-hash property
+// the sampler documents: two samplers with the same options see the same
+// request sequence identically.
+func TestSampleHeadDeterministicUnderSeed(t *testing.T) {
+	a := New(Options{})
+	b := New(Options{})
+	a.EnableSampling(SamplerOptions{Rate: 0.3, Seed: 42})
+	b.EnableSampling(SamplerOptions{Rate: 0.3, Seed: 42})
+	for i := 0; i < 20000; i++ {
+		if a.SampleHead() != b.SampleHead() {
+			t.Fatalf("decision %d diverged under identical seeds", i)
+		}
+	}
+}
+
+// TestSampleHeadDefaults pins the no-sampler and nil-tracer behaviour:
+// without EnableSampling every head is kept (pre-sampler tracers are
+// unaffected); a nil tracer keeps nothing and every sampling entry point
+// is a safe no-op on it.
+func TestSampleHeadDefaults(t *testing.T) {
+	tr := New(Options{})
+	if !tr.SampleHead() {
+		t.Fatal("tracer without a sampler must keep every head")
+	}
+	if tr.SampleTailKeep("error", "m", time.Time{}) {
+		t.Fatal("tail keep without a sampler must report false (the real tree was recorded)")
+	}
+	var nilTr *Tracer
+	nilTr.EnableSampling(SamplerOptions{Rate: 0.5})
+	if nilTr.SampleHead() {
+		t.Fatal("nil tracer must not keep heads")
+	}
+	if nilTr.SampleTailKeep("error", "m", time.Time{}) {
+		t.Fatal("nil tracer must not retain tail keeps")
+	}
+	if st := nilTr.SamplerStats(); st.Enabled {
+		t.Fatal("nil tracer reports an enabled sampler")
+	}
+}
+
+// driveDecisions offers `windows` sub-windows' worth of decisions at the
+// given simulated request rate, advancing the fake window clock by the
+// inter-arrival interval per decision, and reports how many were kept.
+// The caller must keep the per-window decision count comfortably above
+// windowCheckStride so the strided clock gate still observes every
+// rotation.
+func driveDecisions(tr *Tracer, now *int64, width int64, rps, windows int) uint64 {
+	interval := int64(time.Second) / int64(rps)
+	var kept uint64
+	for end := *now + int64(windows)*width; *now < end; *now += interval {
+		if tr.SampleHead() {
+			kept++
+		}
+	}
+	return kept
+}
+
+// TestAdaptiveConvergesUnderStepLoad drives the adaptive controller with
+// a deterministic clock through load steps in both directions: after each
+// step the re-solved rate must settle near TargetRPS / offered-RPS within
+// one trailing window, and the kept throughput must track the target.
+func TestAdaptiveConvergesUnderStepLoad(t *testing.T) {
+	now := fakeClock(t)
+	*now = int64(time.Hour) // arbitrary nonzero epoch
+	const width = int64(100 * time.Millisecond)
+	tr := New(Options{})
+	tr.EnableSampling(SamplerOptions{
+		TargetRPS: 1000,
+		Window:    WindowOptions{SubWindows: 4, Width: time.Duration(width)},
+	})
+
+	steps := []struct {
+		rps      int
+		wantRate float64
+	}{
+		{20000, 1000.0 / 20000},   // step down from the wide-open start
+		{200000, 1000.0 / 200000}, // 10× load step up
+		{4000, 1000.0 / 4000},     // 50× step back down
+	}
+	for _, step := range steps {
+		// Let the controller settle: 12 sub-windows is three trailing
+		// windows, well past the one-window convergence bound.
+		driveDecisions(tr, now, width, step.rps, 12)
+		st := tr.SamplerStats()
+		if st.Rate < step.wantRate/2 || st.Rate > step.wantRate*2 {
+			t.Errorf("at %d RPS: adapted rate %.5f, want ~%.5f", step.rps, st.Rate, step.wantRate)
+		}
+		// Converged keep throughput tracks the setpoint: count keeps over
+		// one simulated second.
+		kept := driveDecisions(tr, now, width, step.rps, 10)
+		if kept < 500 || kept > 2000 {
+			t.Errorf("at %d RPS: kept %d per simulated second, want ~1000", step.rps, kept)
+		}
+	}
+}
+
+// TestAdaptiveClampsToRateBounds pins the controller's clamps: a target
+// far above the offered load clamps at MaxRate, a target far below it
+// clamps at MinRate.
+func TestAdaptiveClampsToRateBounds(t *testing.T) {
+	now := fakeClock(t)
+	const width = int64(100 * time.Millisecond)
+
+	hi := New(Options{})
+	hi.EnableSampling(SamplerOptions{
+		TargetRPS: 1e9, MaxRate: 0.5,
+		Window: WindowOptions{SubWindows: 4, Width: time.Duration(width)},
+	})
+	driveDecisions(hi, now, width, 20000, 12)
+	if st := hi.SamplerStats(); math.Abs(st.Rate-0.5) > 1e-9 {
+		t.Errorf("overload target: rate %v, want MaxRate clamp 0.5", st.Rate)
+	}
+
+	lo := New(Options{})
+	lo.EnableSampling(SamplerOptions{
+		TargetRPS: 1, MinRate: 0.01,
+		Window: WindowOptions{SubWindows: 4, Width: time.Duration(width)},
+	})
+	driveDecisions(lo, now, width, 20000, 12)
+	if st := lo.SamplerStats(); math.Abs(st.Rate-0.01) > 1e-9 {
+		t.Errorf("starved target: rate %v, want MinRate clamp 0.01", st.Rate)
+	}
+}
+
+// TestConcurrentTreeFlushRecycle hammers the pooled span-buffer path from
+// many goroutines under the race detector: every iteration draws a buffer
+// from the pool, builds an attributed tree, and flushes it through
+// RecordTree (which recycles the buffer for the next taker). The retained
+// exemplars must come out internally consistent — every span of a
+// retained tree carries the tag its builder wrote — proving recycled
+// arenas never leak attribute data across trees.
+func TestConcurrentTreeFlushRecycle(t *testing.T) {
+	tr := New(Options{})
+	tr.EnableFlight(FlightOptions{MaxTraces: 1024})
+	const goroutines = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				b := NewSpanBuffer()
+				b.Reserve(4)
+				tag := fmt.Sprintf("g%d-i%d", g, i)
+				root := tr.Start("request", KindRequest)
+				root.Attr(Str("tag", tag))
+				for c := 0; c < 3; c++ {
+					child := tr.StartChild(root, fmt.Sprintf("stage%d", c), KindStage)
+					child.Attr(Str("tag", tag), Int("child", int64(c)))
+					child.EndTo(b)
+				}
+				trace := root.TraceID()
+				root.EndTo(b)
+				reason := ""
+				if i%3 == 0 {
+					reason = "error"
+				}
+				tr.RecordTree(b, trace, reason)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := tr.FlightSnapshot()
+	if len(snap.Traces) == 0 {
+		t.Fatal("no retained traces")
+	}
+	for _, ft := range snap.Traces {
+		if len(ft.Spans) != 4 {
+			t.Fatalf("trace %d retained %d spans, want 4", ft.Trace, len(ft.Spans))
+		}
+		var tag string
+		for _, sp := range ft.Spans {
+			for _, a := range sp.Attrs {
+				if a.Key != "tag" {
+					continue
+				}
+				if tag == "" {
+					tag = a.Str
+				} else if a.Str != tag {
+					t.Fatalf("trace %d mixes attrs %q and %q — recycled buffer corrupted a retained tree",
+						ft.Trace, tag, a.Str)
+				}
+			}
+		}
+		if tag == "" {
+			t.Fatalf("trace %d lost its attributes", ft.Trace)
+		}
+	}
+}
+
+// TestTailKeepDampedExemplars pins the two halves of the tail-keep
+// contract separately: per-class counting is exact for every instance,
+// while ring materialization is damped — the first exemplarFull instances
+// of a class all materialize, then one in exemplarStride.
+func TestTailKeepDampedExemplars(t *testing.T) {
+	tr := New(Options{})
+	tr.EnableFlight(FlightOptions{MaxTraces: 4096})
+	tr.EnableSampling(SamplerOptions{Rate: 0})
+	const n = exemplarFull + 10*exemplarStride
+	submitted := time.Now().Add(-10 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		if !tr.SampleTailKeep("deadline", "tiny", submitted) {
+			t.Fatal("always-keep class reported not kept")
+		}
+	}
+	if tr.SampleTailKeep("not-a-keep-class", "tiny", submitted) {
+		t.Fatal("class outside the keep set retained an exemplar")
+	}
+
+	st := tr.SamplerStats()
+	if got := st.ClassKept["deadline"]; got != n {
+		t.Errorf("ClassKept[deadline] = %d, want exact count %d", got, n)
+	}
+	if _, ok := st.ClassKept["not-a-keep-class"]; ok {
+		t.Error("non-keep class leaked into ClassKept")
+	}
+
+	fs := tr.FlightSnapshot()
+	// First exemplarFull all materialize; past that only multiples of
+	// exemplarStride do.
+	wantRing := uint64(exemplarFull + 10)
+	if fs.Stats.Retained != wantRing {
+		t.Errorf("ring retains %d exemplars, want damped %d of %d", fs.Stats.Retained, wantRing, n)
+	}
+	if len(fs.Traces) != int(wantRing) {
+		t.Errorf("snapshot holds %d traces, want %d", len(fs.Traces), wantRing)
+	}
+	ex := fs.Traces[0]
+	if ex.Reason != "deadline" || len(ex.Spans) != 1 {
+		t.Fatalf("exemplar shape wrong: reason %q, %d spans", ex.Reason, len(ex.Spans))
+	}
+	root := ex.Spans[0]
+	if root.End < root.Start {
+		t.Errorf("exemplar span bounds inverted: [%d, %d]", root.Start, root.End)
+	}
+	attrs := map[string]Attr{}
+	for _, a := range root.Attrs {
+		attrs[a.Key] = a
+	}
+	if attrs["model"].Str != "tiny" || attrs["state"].Str != "deadline" {
+		t.Errorf("exemplar attrs = %+v, want model/state identifying the outcome", root.Attrs)
+	}
+	if a, ok := attrs["head_sampled"]; !ok || a.Int != 0 {
+		t.Errorf("exemplar must mark itself head_sampled=0: %+v", root.Attrs)
+	}
+}
+
+// TestTailKeepConcurrent exercises the damped tail-keep path from many
+// goroutines under the race detector and checks the exact-count half of
+// the contract survives concurrency.
+func TestTailKeepConcurrent(t *testing.T) {
+	tr := New(Options{})
+	tr.EnableFlight(FlightOptions{})
+	tr.EnableSampling(SamplerOptions{Rate: 0})
+	const goroutines = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.SampleTailKeep("error", "m", time.Time{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.SamplerStats().ClassKept["error"]; got != goroutines*per {
+		t.Errorf("ClassKept[error] = %d, want %d", got, goroutines*per)
+	}
+}

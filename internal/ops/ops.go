@@ -3,11 +3,22 @@
 // windowed metrics, health, readiness, status JSON, and the tail-sampled
 // flight recorder.
 //
-//	GET /metrics       Prometheus text exposition of the tracer snapshot
-//	GET /healthz       200 while core safety invariants hold, else 503
-//	GET /readyz        200 while the server should receive traffic
-//	GET /debug/status  serve.Metrics as JSON (per-shard, per-device)
-//	GET /debug/flight  retained flight traces as Chrome trace JSON
+//	GET /metrics         Prometheus text exposition of the tracer snapshot
+//	GET /healthz         200 while core safety invariants hold, else 503
+//	GET /readyz          200 while the server should receive traffic
+//	GET /debug/status    serve.Metrics as JSON (per-shard, per-device)
+//	GET /debug/flight    retained flight traces as Chrome trace JSON
+//	GET /debug/sampling  live head-sampler state as JSON (rate, RPS, classes)
+//	/debug/pprof/...     net/http/pprof continuous-profiling endpoints
+//
+// The pprof mount is what makes profiling *continuous*: heap, CPU,
+// goroutine, mutex, and block profiles scrape from the live server
+// under real load (the CI ops smoke pulls /debug/pprof/heap mid-flood),
+// instead of requiring a bench harness rebuild to investigate a
+// regression. /debug/sampling is its observability counterpart — the
+// head sampler's live keep rate, effective sampled RPS, and per-class
+// keep counts, for verifying a production sample rate is actually
+// delivering exemplars.
 //
 // Health is about invariants, readiness about load: /healthz fails only
 // on evidence of a broken guarantee (a device ledger's peak usage above
@@ -25,6 +36,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"github.com/vmcu-project/vmcu/internal/obs"
 	"github.com/vmcu-project/vmcu/internal/serve"
@@ -70,7 +82,28 @@ func (h *Handler) Mux() *http.ServeMux {
 	mux.HandleFunc("GET /readyz", h.readyz)
 	mux.HandleFunc("GET /debug/status", h.status)
 	mux.HandleFunc("GET /debug/flight", h.flight)
+	mux.HandleFunc("GET /debug/sampling", h.sampling)
+	// Continuous profiling: the explicit pprof mounts an http.DefaultServeMux
+	// user gets for free, registered on our own mux (vmcu-serve never
+	// serves the default mux). Index also routes the named profiles —
+	// /debug/pprof/heap, /goroutine, /mutex, /block, /allocs — and the
+	// method is left open because the symbol endpoint accepts POST.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// sampling serves the head sampler's live state. With a nil tracer (or
+// sampling never enabled) the JSON reports enabled=false — scraping it
+// is always safe.
+func (h *Handler) sampling(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h.Tracer.SamplerStats())
 }
 
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {

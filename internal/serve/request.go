@@ -188,10 +188,23 @@ type request struct {
 	metBudget     bool
 	degradedAdmit bool // admitted while the shard was in degraded mode
 
-	// Lifecycle spans, all nil unless the server's tracer is enabled. Each
-	// is owned by one goroutine at a time: Submit until the request is
-	// enqueued, then whichever dispatcher holds the home shard's lock,
-	// then the executor goroutine.
+	// sampled is the head-sampling decision, made exactly once when the
+	// root span would be created (traceSubmit) and never revisited: true
+	// means the request carries a full span tree, false means the spans
+	// below stay nil and the request records only counters (plus, for
+	// always-keep outcome classes, a synthetic flight exemplar at the
+	// terminal edge). Immutable after traceSubmit.
+	sampled bool
+	// traceID is the root span's trace ID, captured at traceSubmit —
+	// the root span handle recycles when it ends, so the terminal flush
+	// cannot read the ID off the span. 0 when unsampled.
+	traceID uint64
+
+	// Lifecycle spans, all nil unless the server's tracer is enabled AND
+	// the request was head-sampled. Each is owned by one goroutine at a
+	// time: Submit until the request is enqueued, then whichever
+	// dispatcher holds the home shard's lock, then the executor
+	// goroutine.
 	rootSpan *obs.Span
 	// queueSpan is guarded by shard.mu: opened at enqueue and ended
 	// exactly once, by the path that removes the request from the queue
@@ -203,7 +216,10 @@ type request struct {
 	// the same goroutine that owns the spans above at any moment — ending
 	// a span under a contended lock is then just a slice append, with all
 	// tracer synchronization deferred to completion, off the hot locks.
-	spanBuf obs.SpanBuffer
+	// Drawn from the obs buffer pool at traceSubmit and recycled by the
+	// RecordTree flush; nil for unsampled requests — their no-op tracing
+	// path allocates nothing at all.
+	spanBuf *obs.SpanBuffer
 
 	state  atomic.Int32
 	once   sync.Once

@@ -182,6 +182,12 @@ type model struct {
 	// hLatency is the model's labeled sojourn-latency histogram handle,
 	// resolved once at registration (nil no-op without a tracer).
 	hLatency *obs.Histogram
+	// hQueueFull and hNoDevice are the submit-rejection outcome handles,
+	// resolved at registration: at the saturation cliff nearly every
+	// submission bounces with one of these two outcomes, so the terminal
+	// edge must not pay even a cached-map hash for them.
+	hQueueFull *obs.Counter
+	hNoDevice  *obs.Counter
 }
 
 // pick returns the fastest variant fitting free pool bytes under the
@@ -257,6 +263,14 @@ type Server struct {
 	started      time.Time
 
 	nextID atomic.Uint64 // request id allocator
+
+	// outcomeHandles caches resolve-once outcome-counter handles for the
+	// per-request terminal sites in trace.go, copy-on-write and keyed by
+	// (model, shard, outcome) as comparable values: the hit path is one
+	// atomic load plus a map read — no label-key join, no allocation.
+	// outcomeMu serializes creators only.
+	outcomeHandles atomic.Pointer[map[outcomeKey]*obs.Counter]
+	outcomeMu      sync.Mutex
 
 	mu               sync.Mutex
 	models           map[string]*model // guarded by Server.mu
@@ -390,7 +404,9 @@ func (s *Server) Register(name string, net graph.Network, cfg ModelConfig) error
 	}
 	s.models[name] = &model{
 		name: name, net: net, cfg: cfg, variants: kept, minPeak: minPeak,
-		hLatency: s.ins.latency.With(name),
+		hLatency:   s.ins.latency.With(name),
+		hQueueFull: s.ins.outcomes.With(name, "", outcomeQueueFull),
+		hNoDevice:  s.ins.outcomes.With(name, "", outcomeNoDevice),
 	}
 	return nil
 }
@@ -691,8 +707,15 @@ func (s *Server) execute(d *device, req *request) {
 		// scheduling point so residency windows genuinely overlap.
 		runtime.Gosched()
 	default:
+		// An unsampled request suppresses the executor's per-unit span
+		// emission too (nil tracer into RunTraced): the no-op path must
+		// not pay per-kernel Emit allocations either.
+		extr := s.tr
+		if !req.sampled {
+			extr = nil
+		}
 		run, err = netplan.RunTraced(d.profile, req.mdl.net, req.seed, req.variant.opts, s.cache,
-			s.tr, execSpan.ID(), execSpan.TraceID(), d.name)
+			extr, execSpan.ID(), execSpan.TraceID(), d.name)
 		if err == nil && !run.AllVerified {
 			err = fmt.Errorf("serve: %s on %s: output verification failed", req.mdl.name, d.name)
 		}
@@ -711,7 +734,7 @@ func (s *Server) execute(d *device, req *request) {
 		execSpan.SetCycles(0, cycles)
 		execSpan.Attr(obs.Float("device_cycles", cycles))
 	}
-	execSpan.EndTo(&req.spanBuf)
+	execSpan.EndTo(req.spanBuf)
 	// A crashed device's ledger was force-released by Abandon, so this
 	// returns -1 on the dead path — expected there, an accounting bug
 	// anywhere else.

@@ -57,11 +57,68 @@ import (
 // Clean completions (and cancels, and shutdown-time rejections) return
 // an empty reason: their buffered spans are discarded, which is what
 // bounds the recorder at 137k RPS.
+//
+// Head sampling gates all of the above. traceSubmit asks the tracer's
+// head sampler (obs.SampleHead) exactly once, when the root span would
+// be created; an unsampled request keeps every span pointer nil and its
+// spanBuf nil — each helper below still bumps its counters (metrics see
+// 100% of traffic at any sample rate) and then returns before touching
+// spans, so the unsampled tracing cost is a few predictable branches
+// and zero allocations. At the terminal edge an unsampled request that
+// ended in an always-keep class (error, deadline, queue-full,
+// no-device, device-lost, degraded) retains a synthetic single-span
+// exemplar via obs.SampleTailKeep, so flight coverage of interesting
+// outcomes stays complete. Sampled requests draw their spanBuf from the
+// obs buffer pool; RecordTree recycles it, which is why flightDone
+// clears req.spanBuf — nothing may touch the buffer after its flush.
 
 // flightP99MinCount is the minimum trailing-window completion count
 // before the p99-outlier retention predicate applies — below it the
 // live p99 is noise and every early request would be "an outlier".
 const flightP99MinCount = 100
+
+// outcomeKey identifies one cached outcome-counter handle: the model (by
+// identity), the shard key ("" for submit-time and churn terminals that
+// never reached a shard), and the outcome label.
+type outcomeKey struct {
+	m       *model
+	shard   string
+	outcome string
+}
+
+// outcomeCounter returns the resolve-once handle for one outcome
+// labelset. The terminal tracing edges below run once per request — at
+// the saturation cliff that is >100k calls per second — so they must not
+// pay With()'s label-key join per call; the cache makes every hit a
+// lock-free map read on a comparable key, and the cardinality is bounded
+// by the same label set the family itself bounds (models × shards ×
+// outcome states). Nil counters cache fine (a nil tracer's With returns
+// nil and Inc on nil is a no-op).
+func (s *Server) outcomeCounter(m *model, shard, outcome string) *obs.Counter {
+	k := outcomeKey{m: m, shard: shard, outcome: outcome}
+	if cur := s.outcomeHandles.Load(); cur != nil {
+		if h, ok := (*cur)[k]; ok {
+			return h
+		}
+	}
+	s.outcomeMu.Lock()
+	defer s.outcomeMu.Unlock()
+	var cur map[outcomeKey]*obs.Counter
+	if p := s.outcomeHandles.Load(); p != nil {
+		cur = *p
+		if h, ok := cur[k]; ok {
+			return h
+		}
+	}
+	h := s.ins.outcomes.With(m.name, shard, outcome)
+	next := make(map[outcomeKey]*obs.Counter, len(cur)+1)
+	for kk, hh := range cur {
+		next[kk] = hh
+	}
+	next[k] = h
+	s.outcomeHandles.Store(&next)
+	return h
+}
 
 // latencyHistBoundsMs mirrors latencyBuckets for the tracer's histogram.
 func latencyHistBoundsMs() []float64 {
@@ -72,27 +129,51 @@ func latencyHistBoundsMs() []float64 {
 	return out
 }
 
-// flightDone flushes the request's buffered span tree into the tracer
-// and completes its trace in the flight recorder: an empty reason
-// discards the tree from the recorder (the spans still land in the span
-// ring), a non-empty one retains it. This is the ONLY point the tracing
-// of a request takes tracer locks — every earlier stage just appended to
-// req.spanBuf. Nil-safe throughout (nil tracer → no-op).
+// flightDone is the request's terminal tracing edge. For a sampled
+// request it flushes the buffered span tree into the tracer and
+// completes its trace in the flight recorder: an empty reason discards
+// the tree from the recorder (the spans still land in the span ring), a
+// non-empty one retains it. This is the ONLY point the tracing of a
+// request takes tracer locks — every earlier stage just appended to
+// req.spanBuf — and it consumes the buffer (RecordTree recycles it to
+// the pool), so req.spanBuf is cleared here and must not be used after.
+// For an unsampled request it offers the outcome to the tail-keep path
+// instead: an always-keep class retains a synthetic exemplar. Nil-safe
+// throughout (nil tracer → no-op).
 func (s *Server) flightDone(req *request, reason string) {
-	s.tr.RecordTree(&req.spanBuf, req.rootSpan.TraceID(), reason)
+	if s.tr == nil {
+		return
+	}
+	if req.sampled {
+		s.tr.RecordTree(req.spanBuf, req.traceID, reason)
+		req.spanBuf = nil
+		return
+	}
+	if reason != "" {
+		s.tr.SampleTailKeep(reason, req.mdl.name, req.submitted)
+	}
 }
 
-// traceSubmit opens the request's root span and the submit stage span.
+// traceSubmit makes the head-sampling decision and, for kept requests,
+// opens the root span and the submit stage span. An unsampled request
+// leaves every span field nil and allocates nothing — this is the no-op
+// path the rest of the helpers fall through.
 func (s *Server) traceSubmit(req *request, modelName string) (submit *obs.Span) {
 	if s.tr == nil {
 		return nil
 	}
+	if !s.tr.SampleHead() {
+		return nil
+	}
+	req.sampled = true
 	// Reserve only the rejection-path footprint here (root + submit);
 	// the full lifecycle reservation waits until the queue accepts the
 	// request — most submissions in an overload burst bounce at submit
 	// and would waste a 12-slot buffer.
+	req.spanBuf = obs.NewSpanBuffer()
 	req.spanBuf.Reserve(2)
 	req.rootSpan = s.tr.Start("request", obs.KindRequest)
+	req.traceID = req.rootSpan.TraceID()
 	req.rootSpan.Attr(obs.Str("model", modelName))
 	submit = s.tr.StartChild(req.rootSpan, "submit", obs.KindStage)
 	return submit
@@ -104,12 +185,15 @@ func (s *Server) traceEnqueued(sh *shard, req *request, submit *obs.Span) {
 	if s.tr == nil {
 		return
 	}
+	sh.submittedCounterLocked(req.mdl).Inc()
+	if !req.sampled {
+		return
+	}
 	req.rootSpan.Attr(obs.Int("request_id", int64(req.id)))
 	req.spanBuf.Reserve(10)
-	submit.EndTo(&req.spanBuf)
+	submit.EndTo(req.spanBuf)
 	req.queueSpan = s.tr.StartChild(req.rootSpan, "queue", obs.KindStage)
 	req.queueSpan.Attr(obs.Str("shard", sh.key))
-	sh.submittedCounterLocked(req.mdl).Inc()
 }
 
 // traceSubmitRejected closes the tree of a request rejected at submit
@@ -119,13 +203,23 @@ func (s *Server) traceSubmitRejected(req *request, submit *obs.Span, reason stri
 	if s.tr == nil {
 		return
 	}
-	submit.Attr(obs.Str("outcome", reason))
-	submit.EndTo(&req.spanBuf)
-	req.rootSpan.Attr(obs.Str("state", reason))
-	req.rootSpan.EndTo(&req.spanBuf)
 	// Submit-time rejections never reached a shard; the shard label is
-	// empty by design, not unknown.
-	s.ins.outcomes.With(req.mdl.name, "", reason).Inc()
+	// empty by design, not unknown. The two cliff-dominant outcomes go
+	// through the model's pre-resolved handles.
+	switch reason {
+	case outcomeQueueFull:
+		req.mdl.hQueueFull.Inc()
+	case outcomeNoDevice:
+		req.mdl.hNoDevice.Inc()
+	default:
+		s.outcomeCounter(req.mdl, "", reason).Inc()
+	}
+	if req.sampled {
+		submit.Attr(obs.Str("outcome", reason))
+		submit.EndTo(req.spanBuf)
+		req.rootSpan.Attr(obs.Str("state", reason))
+		req.rootSpan.EndTo(req.spanBuf)
+	}
 	switch reason {
 	case outcomeQueueFull:
 		s.flightDone(req, "queue-full")
@@ -143,7 +237,16 @@ func (s *Server) traceAdmit(sh *shard, d *device, req *request, degraded bool) {
 	if s.tr == nil {
 		return
 	}
-	req.queueSpan.EndTo(&req.spanBuf)
+	if degraded {
+		sh.hDegradedAdmissions.Inc()
+	}
+	if req.variant.peak > req.mdl.minPeak {
+		sh.hVariantUpgrades.Inc()
+	}
+	if !req.sampled {
+		return
+	}
+	req.queueSpan.EndTo(req.spanBuf)
 	req.queueSpan = nil
 	admit := s.tr.StartChild(req.rootSpan, "admit", obs.KindStage)
 	admit.SetDevice(d.name)
@@ -154,16 +257,12 @@ func (s *Server) traceAdmit(sh *shard, d *device, req *request, degraded bool) {
 	)
 	if degraded {
 		admit.Attr(obs.Str("mode", "degraded"))
-		sh.hDegradedAdmissions.Inc()
 	}
 	res := s.tr.StartChild(admit, "ledger.reserve", obs.KindStage)
 	res.SetDevice(d.name)
 	res.Attr(obs.Int("bytes", int64(req.peak)))
-	res.EndTo(&req.spanBuf)
-	admit.EndTo(&req.spanBuf)
-	if req.variant.peak > req.mdl.minPeak {
-		sh.hVariantUpgrades.Inc()
-	}
+	res.EndTo(req.spanBuf)
+	admit.EndTo(req.spanBuf)
 	req.dispatchSpan = s.tr.StartChild(req.rootSpan, "dispatch", obs.KindStage)
 	req.dispatchSpan.SetDevice(d.name)
 }
@@ -174,12 +273,14 @@ func (s *Server) traceQueueExit(sh *shard, req *request, outcome string) {
 	if s.tr == nil {
 		return
 	}
-	req.queueSpan.Attr(obs.Str("outcome", outcome))
-	req.queueSpan.EndTo(&req.spanBuf)
-	req.queueSpan = nil
-	req.rootSpan.Attr(obs.Str("state", outcome))
-	req.rootSpan.EndTo(&req.spanBuf)
-	s.ins.outcomes.With(req.mdl.name, sh.key, outcome).Inc()
+	s.outcomeCounter(req.mdl, sh.key, outcome).Inc()
+	if req.sampled {
+		req.queueSpan.Attr(obs.Str("outcome", outcome))
+		req.queueSpan.EndTo(req.spanBuf)
+		req.queueSpan = nil
+		req.rootSpan.Attr(obs.Str("state", outcome))
+		req.rootSpan.EndTo(req.spanBuf)
+	}
 	s.flightDone(req, "")
 }
 
@@ -192,10 +293,13 @@ func (s *Server) traceShedLocked(sh *shard, req *request) {
 	if s.tr == nil {
 		return
 	}
-	req.queueSpan.Attr(obs.Str("outcome", outcomeShedDeadline))
-	req.queueSpan.EndTo(&req.spanBuf)
-	req.queueSpan = nil
 	sh.shedCounterLocked(req.mdl).Inc()
+	if !req.sampled {
+		return
+	}
+	req.queueSpan.Attr(obs.Str("outcome", outcomeShedDeadline))
+	req.queueSpan.EndTo(req.spanBuf)
+	req.queueSpan = nil
 }
 
 // traceShedFinish closes the rest of a deadline-shed request's tree.
@@ -208,8 +312,10 @@ func (s *Server) traceShedFinish(req *request) {
 	if s.tr == nil {
 		return
 	}
-	req.rootSpan.Attr(obs.Str("state", outcomeShedDeadline))
-	req.rootSpan.EndTo(&req.spanBuf)
+	if req.sampled {
+		req.rootSpan.Attr(obs.Str("state", outcomeShedDeadline))
+		req.rootSpan.EndTo(req.spanBuf)
+	}
 	s.flightDone(req, "deadline")
 }
 
@@ -218,11 +324,11 @@ func (s *Server) traceShedFinish(req *request) {
 // without closing the root: the request is about to be re-routed or
 // resolved with ErrDeviceLost. Runs with shard.mu held.
 func (s *Server) traceEvacuated(sh *shard, req *request) {
-	if s.tr == nil {
+	if s.tr == nil || !req.sampled {
 		return
 	}
 	req.queueSpan.Attr(obs.Str("outcome", "evacuated"))
-	req.queueSpan.EndTo(&req.spanBuf)
+	req.queueSpan.EndTo(req.spanBuf)
 	req.queueSpan = nil
 }
 
@@ -234,12 +340,15 @@ func (s *Server) traceRequeue(sh *shard, req *request, from string) {
 	if s.tr == nil {
 		return
 	}
+	sh.hRequeued.Inc()
+	if !req.sampled {
+		return
+	}
 	req.queueSpan = s.tr.StartChild(req.rootSpan, "queue", obs.KindStage)
 	req.queueSpan.Attr(
 		obs.Str("shard", sh.key),
 		obs.Str("requeued_from", from),
 	)
-	sh.hRequeued.Inc()
 }
 
 // traceDeviceLost closes the tree of a request stranded by churn: its
@@ -251,22 +360,24 @@ func (s *Server) traceDeviceLost(req *request, devName string) {
 	if s.tr == nil {
 		return
 	}
-	req.rootSpan.Attr(
-		obs.Str("state", outcomeDeviceLost),
-		obs.Str("device", devName),
-	)
-	req.rootSpan.EndTo(&req.spanBuf)
-	s.ins.outcomes.With(req.mdl.name, "", outcomeDeviceLost).Inc()
+	s.outcomeCounter(req.mdl, "", outcomeDeviceLost).Inc()
+	if req.sampled {
+		req.rootSpan.Attr(
+			obs.Str("state", outcomeDeviceLost),
+			obs.Str("device", devName),
+		)
+		req.rootSpan.EndTo(req.spanBuf)
+	}
 	s.flightDone(req, "device-lost")
 }
 
 // traceExecuteStart ends the dispatch span and opens the execute span in
 // the executor goroutine.
 func (s *Server) traceExecuteStart(d *device, req *request) *obs.Span {
-	if s.tr == nil {
+	if s.tr == nil || !req.sampled {
 		return nil
 	}
-	req.dispatchSpan.EndTo(&req.spanBuf)
+	req.dispatchSpan.EndTo(req.spanBuf)
 	req.dispatchSpan = nil
 	exec := s.tr.StartChild(req.rootSpan, "execute", obs.KindStage)
 	exec.SetDevice(d.name)
@@ -282,22 +393,24 @@ func (s *Server) traceComplete(d *device, req *request, freed int, latency time.
 	if s.tr == nil {
 		return
 	}
-	complete := s.tr.StartChild(req.rootSpan, "complete", obs.KindStage)
-	complete.SetDevice(d.name)
-	rel := s.tr.StartChild(complete, "ledger.release", obs.KindStage)
-	rel.SetDevice(d.name)
-	rel.Attr(obs.Int("bytes", int64(freed)))
-	rel.EndTo(&req.spanBuf)
 	state := outcomeDone
 	if err != nil {
 		state = outcomeFailed
 	}
-	complete.Attr(obs.Str("state", state))
-	complete.EndTo(&req.spanBuf)
-	req.rootSpan.Attr(obs.Str("state", state))
-	req.rootSpan.SetDevice(d.name)
-	req.rootSpan.EndTo(&req.spanBuf)
-	s.ins.outcomes.With(req.mdl.name, d.sh.key, state).Inc()
+	if req.sampled {
+		complete := s.tr.StartChild(req.rootSpan, "complete", obs.KindStage)
+		complete.SetDevice(d.name)
+		rel := s.tr.StartChild(complete, "ledger.release", obs.KindStage)
+		rel.SetDevice(d.name)
+		rel.Attr(obs.Int("bytes", int64(freed)))
+		rel.EndTo(req.spanBuf)
+		complete.Attr(obs.Str("state", state))
+		complete.EndTo(req.spanBuf)
+		req.rootSpan.Attr(obs.Str("state", state))
+		req.rootSpan.SetDevice(d.name)
+		req.rootSpan.EndTo(req.spanBuf)
+	}
+	s.outcomeCounter(req.mdl, d.sh.key, state).Inc()
 
 	latMs := float64(latency) / float64(time.Millisecond)
 	req.mdl.hLatency.Observe(latMs)

@@ -475,6 +475,20 @@ type FlightOptions = obs.FlightOptions
 // traces and traffic stats, from Tracer.FlightSnapshot.
 type FlightSnapshot = obs.FlightSnapshot
 
+// SamplerOptions configure the tracer's admission-time head sampler
+// (Tracer.EnableSampling): a fixed keep probability (Rate), or an
+// adaptive mode steering the rate toward a target sampled
+// requests-per-second (TargetRPS), plus the always-keep outcome classes
+// that retain a flight exemplar even for head-unsampled requests.
+// Without EnableSampling every request is traced, the pre-sampling
+// behaviour.
+type SamplerOptions = obs.SamplerOptions
+
+// SamplerStats is the head sampler's live state (Tracer.SamplerStats,
+// served by the ops plane at /debug/sampling): current rate, lifetime
+// and trailing-window decision counts, and per-class keep counts.
+type SamplerStats = obs.SamplerStats
+
 // MetricFamily is one labeled metric family in a TraceSnapshot
 // (TraceSnapshot.Families): name, help, kind, label keys, and the
 // per-labelset series with their windowed views.
